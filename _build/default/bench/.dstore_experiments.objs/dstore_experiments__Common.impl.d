@@ -1,0 +1,1 @@
+bench/common.ml: Dstore_baselines Dstore_util Dstore_workload Histogram Option Printf Runner String Systems Ycsb

@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Bytes Common Config Dipper Dstore Dstore_core Dstore_platform Dstore_util Dstore_workload Kv_intf List Printf Runner Sim Sim_platform Systems Tablefmt Ycsb

@@ -1,0 +1,1 @@
+bench/exp_fig1.ml: Common Dstore_util Dstore_workload List Tablefmt

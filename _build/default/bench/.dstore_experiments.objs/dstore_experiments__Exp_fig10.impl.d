@@ -1,0 +1,1 @@
+bench/exp_fig10.ml: Common Dstore_util Dstore_workload List Runner Tablefmt

@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Bytes Common Dstore Dstore_baselines Dstore_core Dstore_platform Dstore_pmem Dstore_util Dstore_workload Fsmeta List Pmem Sim Sim_platform Systems Tablefmt Ycsb

@@ -1,0 +1,1 @@
+bench/exp_fig8.ml: Common Dstore_util Dstore_workload List Printf Runner Tablefmt Ycsb

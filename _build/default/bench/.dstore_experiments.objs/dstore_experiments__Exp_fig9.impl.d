@@ -1,0 +1,1 @@
+bench/exp_fig9.ml: Common Config Dstore_core Dstore_util Dstore_workload List Runner Systems Tablefmt Ycsb

@@ -1,0 +1,1 @@
+bench/exp_table3.ml: Bytes Common Dipper Dstore Dstore_core Dstore_platform Dstore_util Dstore_workload Option Sim Sim_platform Systems Tablefmt Ycsb

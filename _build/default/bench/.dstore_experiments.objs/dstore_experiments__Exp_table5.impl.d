@@ -1,0 +1,1 @@
+bench/exp_table5.ml: Common Dstore_util Dstore_workload Exp_table4 Fun Histogram List Runner Systems Tablefmt

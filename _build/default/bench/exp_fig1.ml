@@ -1,0 +1,31 @@
+(* Figure 1: tail-latency overhead of checkpoints. Write (update) tail
+   latency under a 28-client 50R/50W workload, with checkpoints enabled vs
+   disabled, for the cached systems and both DStore checkpoint designs.
+   Paper result: disabling checkpoints collapses p999/p9999 for cached
+   systems; DStore (DIPPER) shows no checkpoint tail to begin with. *)
+
+open Dstore_util
+open Common
+
+let systems = [ Cached; Lsm; DStore_cow; DStore ]
+
+let run opts =
+  hdr "Figure 1: Tail latency overhead of checkpoints (write latency, us)";
+  note "workload: 50%% read / 50%% write, %d clients, 4KB ops" opts.clients;
+  let t = Tablefmt.create
+      ([ "system"; "checkpoints" ] @ List.map fst pcts)
+  in
+  List.iter
+    (fun id ->
+      List.iter
+        (fun ck ->
+          let r = measure ~checkpoints:ck id opts in
+          Tablefmt.row t
+            ([ sys_name id; (if ck then "enabled" else "disabled") ]
+            @ List.map (fun (_, p) -> Tablefmt.f1 (us r.Dstore_workload.Runner.updates p)) pcts))
+        [ true; false ];
+      Tablefmt.sep t)
+    systems;
+  Tablefmt.print t;
+  note "expected shape: cached systems improve sharply at p999/p9999 when";
+  note "checkpoints are disabled; DStore (DIPPER) is unaffected."

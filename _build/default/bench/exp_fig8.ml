@@ -1,0 +1,36 @@
+(* Figure 8: tail latency curves at full subscription — read and update
+   percentile curves (p50..p9999) for YCSB A and B across all systems.
+   Paper result: DStore's curves are flattest and lowest (up to 6x);
+   checkpoints lengthen both read and write tails of the other systems;
+   CoW's p9999 is bad under A but close to DStore under B. *)
+
+open Dstore_util
+open Dstore_workload
+open Common
+
+let curve t id label h =
+  Tablefmt.row t
+    ([ sys_name id; label ]
+    @ List.map (fun (_, p) -> Tablefmt.f1 (us h p)) pcts)
+
+let run opts =
+  hdr "Figure 8: Tail latency curves (us)";
+  note "%d clients; YCSB A (50/50) and B (95/5)" opts.clients;
+  List.iter
+    (fun (wl, wl_name) ->
+      Printf.printf "\n  --- %s ---\n" wl_name;
+      let t = Tablefmt.create ([ "system"; "op" ] @ List.map fst pcts) in
+      List.iter
+        (fun id ->
+          let r = measure ~workload:wl id opts in
+          curve t id "read" r.Runner.reads;
+          curve t id "update" r.Runner.updates;
+          Tablefmt.sep t)
+        all_systems;
+      Tablefmt.print t)
+    [
+      (Ycsb.a ~records:opts.objects (), "YCSB-A (50% read, 50% write)");
+      (Ycsb.b ~records:opts.objects (), "YCSB-B (95% read, 5% write)");
+    ];
+  note "expected shape: DStore flattest/lowest; CoW p9999 high under A,";
+  note "near DStore under B (fewer checkpoints); read tails suffer too."

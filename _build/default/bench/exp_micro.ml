@@ -1,0 +1,97 @@
+(* Methodology microbenchmarks (Bechamel, real wall-clock time): the CPU
+   cost of the actual software path on this machine — log-record encoding,
+   B-tree operations, slab allocation, CRC — independent of the simulated
+   device times. These ground the cost model: the real software path is
+   cheap relative to device latencies, as the paper's Table 3 claims. *)
+
+open Bechamel
+open Toolkit
+open Dstore_util
+open Dstore_memory
+open Dstore_structs
+open Dstore_core
+
+let logrec_encode =
+  let op =
+    Logrec.Put
+      {
+        key = "user0000012345";
+        size = 4096;
+        meta = 77;
+        extents = [ (123, 1) ];
+        freed_meta = 42;
+        freed_extents = [ (99, 1) ];
+      }
+  in
+  Test.make ~name:"logrec encode+crc"
+    (Staged.stage (fun () ->
+         let b = Logrec.encode_payload op in
+         ignore (Checksum.crc32c b ~pos:0 ~len:(Bytes.length b))))
+
+let btree_ops =
+  let space = Space.format (Mem.dram (16 * 1024 * 1024)) in
+  let bt = Btree.create space ~root_slot:0 in
+  for i = 0 to 9999 do
+    ignore (Btree.insert bt (Printf.sprintf "user%010d" i) i)
+  done;
+  let i = ref 0 in
+  [
+    Test.make ~name:"btree find (10k keys)"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore (Btree.find bt (Printf.sprintf "user%010d" (!i mod 10000)))));
+    Test.make ~name:"btree overwrite"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore (Btree.insert bt (Printf.sprintf "user%010d" (!i mod 10000)) !i)));
+  ]
+
+let slab =
+  let space = Space.format (Mem.dram (16 * 1024 * 1024)) in
+  Test.make ~name:"slab alloc+free 256B"
+    (Staged.stage (fun () ->
+         let o = Space.alloc space 256 in
+         Space.free space o 256))
+
+let crc =
+  let b = Bytes.create 4096 in
+  Test.make ~name:"crc32c 4KB"
+    (Staged.stage (fun () -> ignore (Checksum.crc32c b ~pos:0 ~len:4096)))
+
+let histogram =
+  let h = Histogram.create () in
+  let i = ref 0 in
+  Test.make ~name:"histogram record"
+    (Staged.stage (fun () ->
+         incr i;
+         Histogram.record h (!i * 7919 mod 1_000_000)))
+
+let run (_ : Common.opts) =
+  Common.hdr "Microbenchmarks: real CPU cost of the software path (Bechamel)";
+  let tests =
+    [ logrec_encode ] @ btree_ops @ [ slab; crc; histogram ]
+  in
+  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s %s" tests in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    in
+    let raw = Benchmark.all cfg instances grouped in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    results
+  in
+  let results = benchmark () in
+  let t = Tablefmt.create [ "benchmark"; "ns/op" ] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Tablefmt.row t [ name; Tablefmt.f1 est ]
+      | _ -> Tablefmt.row t [ name; "n/a" ])
+    results;
+  Tablefmt.print t;
+  Common.note "these real-time costs justify the Config.costs calibration:";
+  Common.note "the software path is sub-microsecond next to device latencies."

@@ -1,0 +1,62 @@
+(* Table 5: summary of achievable service-level objectives — worst-case
+   throughput, p9999 latency, crash-recovery latency and space
+   amplification per system, assembled from fresh runs of the underlying
+   experiments. Paper result: DStore wins throughput and p9999 SLOs;
+   PMSE wins recovery and space SLOs. *)
+
+open Dstore_util
+open Dstore_workload
+open Common
+
+let run opts =
+  hdr "Table 5: Summary of achievable SLOs";
+  note "throughput SLO = worst 1s bin; p9999 over YCSB-A; recovery = crash case";
+  let fig7_window = min opts.fig7_window_ns 10_000_000_000 in
+  let t =
+    Tablefmt.create
+      [ "system"; "tput SLO (kIOPS)"; "p9999 (us)"; "recovery (ms)"; "space ampl." ]
+  in
+  let app_bytes = opts.objects * 4096 in
+  List.iter
+    (fun id ->
+      let r = measure ~timeline:true ~window:fig7_window id opts in
+      let worst_bin =
+        List.fold_left (fun acc s -> min acc s.Runner.ops) max_int r.Runner.timeline
+      in
+      let p9999 =
+        max
+          (Histogram.percentile r.Runner.reads 99.99)
+          (Histogram.percentile r.Runner.updates 99.99)
+      in
+      let recovery_ms =
+        match id with
+        | DStore | DStore_cow ->
+            let rt =
+              Exp_table4.dstore_recovery opts
+                ~tweak:(if id = DStore_cow then Systems.cow_tweak else Fun.id)
+                ~crash_mid_ckpt:true
+            in
+            rt.Exp_table4.metadata_ms +. rt.Exp_table4.replay_ms
+        | Cached ->
+            let rt = Exp_table4.cached_recovery opts ~crash_mid_ckpt:true in
+            rt.Exp_table4.metadata_ms +. rt.Exp_table4.replay_ms
+        | Lsm ->
+            let rt = Exp_table4.lsm_recovery opts ~crash:true in
+            rt.Exp_table4.metadata_ms +. rt.Exp_table4.replay_ms
+        | Inline ->
+            let rt = Exp_table4.inline_recovery opts ~crash:true in
+            rt.Exp_table4.metadata_ms +. rt.Exp_table4.replay_ms
+      in
+      let dram, pmem, ssd = r.Runner.footprint in
+      Tablefmt.row t
+        [
+          sys_name id;
+          Tablefmt.f1 (float_of_int worst_bin /. 1e3);
+          Tablefmt.f1 (float_of_int p9999 /. 1e3);
+          Tablefmt.f2 recovery_ms;
+          Tablefmt.f2 (float_of_int (dram + pmem + ssd) /. float_of_int app_bytes);
+        ])
+    all_systems;
+  Tablefmt.print t;
+  note "expected shape: DStore best throughput and p9999 SLOs; PMSE best";
+  note "recovery and space SLOs (paper Table 5)."

@@ -1,0 +1,1 @@
+bin/dstore_bench.ml: Arg Cmd Cmdliner Common Dstore_experiments Exp_ablation Exp_fig1 Exp_fig10 Exp_fig5 Exp_fig6 Exp_fig7 Exp_fig8 Exp_fig9 Exp_micro Exp_table3 Exp_table4 Exp_table5 List Term

@@ -1,0 +1,1 @@
+bin/dstore_bench.mli:

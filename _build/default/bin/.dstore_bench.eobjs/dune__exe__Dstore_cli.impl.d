@@ -1,0 +1,1 @@
+bin/dstore_cli.ml: Bytes Config Dipper Dstore Dstore_core Dstore_platform Dstore_pmem Dstore_ssd Dstore_util In_channel List Option Platform Pmem Printf Rng Sim Sim_platform Ssd String Tablefmt

@@ -1,0 +1,1 @@
+bin/dstore_cli.mli:

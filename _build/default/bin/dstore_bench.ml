@@ -1,0 +1,99 @@
+(* Cmdliner front-end for the reproduction experiments: the same harness
+   as bench/main.exe with man pages, named subcommands, and scale options.
+
+     dune exec bin/dstore_bench.exe -- fig7 --seconds 60 --clients 28
+     dune exec bin/dstore_bench.exe -- all --objects 20000 *)
+
+open Cmdliner
+open Dstore_experiments
+
+let opts_term =
+  let clients =
+    Arg.(
+      value
+      & opt int Common.default_opts.Common.clients
+      & info [ "clients" ] ~docv:"N" ~doc:"Workload threads (paper: 28).")
+  in
+  let objects =
+    Arg.(
+      value
+      & opt int Common.default_opts.Common.objects
+      & info [ "objects" ] ~docv:"N" ~doc:"YCSB records.")
+  in
+  let seconds =
+    Arg.(
+      value
+      & opt int (Common.default_opts.Common.fig7_window_ns / 1_000_000_000)
+      & info [ "seconds" ] ~docv:"S"
+          ~doc:"Figure-7 window in virtual seconds (paper: 60).")
+  in
+  let window_ms =
+    Arg.(
+      value
+      & opt int (Common.default_opts.Common.window_ns / 1_000_000)
+      & info [ "window-ms" ] ~docv:"MS"
+          ~doc:"Latency-experiment window in virtual milliseconds.")
+  in
+  let recovery_objects =
+    Arg.(
+      value
+      & opt int Common.default_opts.Common.recovery_objects
+      & info [ "recovery-objects" ] ~docv:"N"
+          ~doc:"Objects loaded for the recovery experiment (paper: 2M).")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int Common.default_opts.Common.seed
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic simulation seed.")
+  in
+  let make clients objects seconds window_ms recovery_objects seed =
+    {
+      Common.clients;
+      objects;
+      window_ns = window_ms * 1_000_000;
+      fig7_window_ns = seconds * 1_000_000_000;
+      recovery_objects;
+      seed;
+    }
+  in
+  Term.(
+    const make $ clients $ objects $ seconds $ window_ms $ recovery_objects
+    $ seed)
+
+let experiments =
+  [
+    ("fig1", "Tail latency overhead of checkpoints (Figure 1)", Exp_fig1.run);
+    ("fig5", "YCSB operation latency (Figure 5)", Exp_fig5.run);
+    ("fig6", "Metadata overhead vs DAX filesystems (Figure 6)", Exp_fig6.run);
+    ("table3", "Write request time breakdown (Table 3)", Exp_table3.run);
+    ("fig7", "Throughput and bandwidth over the window (Figure 7)", Exp_fig7.run);
+    ("fig8", "Tail latency curves (Figure 8)", Exp_fig8.run);
+    ("fig9", "Effect of optimizations (Figure 9)", Exp_fig9.run);
+    ("table4", "System recovery time (Table 4)", Exp_table4.run);
+    ("fig10", "Storage footprint (Figure 10)", Exp_fig10.run);
+    ("table5", "Achievable SLO summary (Table 5)", Exp_table5.run);
+    ("ablation", "DIPPER design-knob ablations", Exp_ablation.run);
+    ("micro", "Real-time software-path microbenchmarks", Exp_micro.run);
+  ]
+
+let cmd_of (name, doc, f) =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ opts_term)
+
+let all_cmd =
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment in sequence.")
+    Term.(
+      const (fun opts -> List.iter (fun (_, _, f) -> f opts) experiments)
+      $ opts_term)
+
+let () =
+  let info =
+    Cmd.info "dstore_bench" ~version:"1.0"
+      ~doc:
+        "Reproduce the evaluation of 'DStore: A Fast, Tailless, and \
+         Quiescent-Free Object Store for PMEM' (HPDC'21) on simulated \
+         devices in virtual time."
+  in
+  let group = Cmd.group info (all_cmd :: List.map cmd_of experiments) in
+  exit (Cmd.eval group)

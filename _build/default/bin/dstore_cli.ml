@@ -1,0 +1,138 @@
+(* Interactive DStore shell on simulated devices: drive the Table 2 API,
+   force checkpoints, crash the PMEM device, and recover — all from a
+   command stream. Useful for poking at crash consistency by hand.
+
+     dune exec bin/dstore_cli.exe
+     echo "put k hello\nget k\ncrash\nrecover\nget k\nquit" | dune exec bin/dstore_cli.exe
+
+   Commands:
+     put KEY VALUE     store an object
+     get KEY           fetch an object
+     del KEY           delete an object
+     list              object names in order
+     checkpoint        force a checkpoint
+     stats             engine statistics
+     footprint         DRAM/PMEM/SSD usage
+     crash             power-loss with random cache-line loss
+     recover           recover from the devices
+     quit *)
+
+open Dstore_platform
+open Dstore_pmem
+open Dstore_ssd
+open Dstore_core
+open Dstore_util
+
+let cfg =
+  {
+    Config.default with
+    space_bytes = 8 * 1024 * 1024;
+    meta_entries = 4096;
+    ssd_blocks = 16384;
+    log_slots = 1024;
+  }
+
+type session = {
+  sim : Sim.t;
+  platform : Platform.t;
+  pm : Pmem.t;
+  ssd : Ssd.t;
+  mutable store : Dstore.t option;
+  mutable ctx : Dstore.ctx option;
+  rng : Rng.t;
+}
+
+(* Run one store operation inside the simulator and drain it. *)
+let exec s f =
+  Sim.spawn s.sim "cli" (fun () -> f ());
+  Sim.run s.sim
+
+let ctx s = Option.get s.ctx
+
+let handle s line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "" ] -> ()
+  | [ "put"; key; value ] ->
+      exec s (fun () -> Dstore.oput (ctx s) key (Bytes.of_string value));
+      Printf.printf "ok (t=%d ns)\n" (Sim.now s.sim)
+  | "put" :: key :: rest when rest <> [] ->
+      let value = String.concat " " rest in
+      exec s (fun () -> Dstore.oput (ctx s) key (Bytes.of_string value));
+      Printf.printf "ok (t=%d ns)\n" (Sim.now s.sim)
+  | [ "get"; key ] ->
+      exec s (fun () ->
+          match Dstore.oget (ctx s) key with
+          | Some v -> Printf.printf "%S\n" (Bytes.to_string v)
+          | None -> print_endline "(not found)")
+  | [ "del"; key ] ->
+      exec s (fun () ->
+          Printf.printf "%s\n"
+            (if Dstore.odelete (ctx s) key then "deleted" else "(not found)"))
+  | [ "list" ] ->
+      exec s (fun () ->
+          Dstore.iter_names (Option.get s.store) print_endline);
+      Printf.printf "(%d objects)\n" (Dstore.object_count (Option.get s.store))
+  | [ "checkpoint" ] ->
+      exec s (fun () -> Dstore.checkpoint_now (Option.get s.store));
+      print_endline "checkpoint complete"
+  | [ "stats" ] ->
+      let st = Dipper.stats (Dstore.engine (Option.get s.store)) in
+      Printf.printf
+        "records appended: %d, checkpoints: %d, replayed: %d, moved: %d,\n\
+         conflict waits: %d, log-full stalls: %d\n"
+        st.Dipper.records_appended st.Dipper.checkpoints
+        st.Dipper.records_replayed st.Dipper.records_moved
+        st.Dipper.conflict_waits st.Dipper.log_full_stalls
+  | [ "footprint" ] ->
+      let f = Dstore.footprint (Option.get s.store) in
+      Printf.printf "dram=%s pmem=%s ssd=%s\n"
+        (Tablefmt.bytes f.Dstore.dram)
+        (Tablefmt.bytes f.Dstore.pmem)
+        (Tablefmt.bytes f.Dstore.ssd)
+  | [ "crash" ] ->
+      Pmem.crash s.pm (Pmem.Random (Rng.split s.rng));
+      Sim.clear_pending s.sim;
+      s.store <- None;
+      s.ctx <- None;
+      print_endline "CRASH: volatile state gone, unflushed lines torn"
+  | [ "recover" ] ->
+      exec s (fun () ->
+          let st = Dstore.recover s.platform s.pm s.ssd cfg in
+          s.store <- Some st;
+          s.ctx <- Some (Dstore.ds_init st);
+          let es = Dipper.stats (Dstore.engine st) in
+          Printf.printf "recovered: %d objects, replayed %d records\n"
+            (Dstore.object_count st) es.Dipper.recovery_replayed_records)
+  | [ "quit" ] | [ "exit" ] -> raise Exit
+  | _ -> print_endline "unknown command (put/get/del/list/checkpoint/stats/footprint/crash/recover/quit)"
+
+let () =
+  let sim = Sim.create () in
+  let platform = Sim_platform.make sim in
+  let pm =
+    Pmem.create platform
+      { Pmem.default_config with size = Dipper.layout_bytes cfg; crash_model = true }
+  in
+  let ssd = Ssd.create platform { Ssd.default_config with pages = 16384 } in
+  let s = { sim; platform; pm; ssd; store = None; ctx = None; rng = Rng.create 7 } in
+  exec s (fun () ->
+      let st = Dstore.create platform pm ssd cfg in
+      s.store <- Some st;
+      s.ctx <- Some (Dstore.ds_init st));
+  print_endline "dstore shell ready (simulated devices; 'quit' to exit)";
+  (try
+     while true do
+       print_string "dstore> ";
+       (match In_channel.input_line stdin with
+       | Some line -> (
+           match s.store with
+           | None
+             when not
+                    (List.mem (String.trim line)
+                       [ "recover"; "quit"; "exit"; "" ]) ->
+               print_endline "(crashed: only 'recover' or 'quit' make sense)"
+           | _ -> handle s line)
+       | None -> raise Exit)
+     done
+   with Exit -> ());
+  print_endline "bye"

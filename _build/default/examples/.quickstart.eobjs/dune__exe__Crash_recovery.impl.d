@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Bytes Config Dipper Dstore Dstore_core Dstore_platform Dstore_pmem Dstore_ssd Dstore_util Hashtbl Pmem Printf Rng Sim Sim_platform Ssd

@@ -1,0 +1,1 @@
+examples/filestore.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Config Dipper Dstore Dstore_core Dstore_platform Dstore_pmem Dstore_ssd Pmem Printf Sim Sim_platform Ssd

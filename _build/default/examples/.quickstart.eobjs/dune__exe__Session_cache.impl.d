@@ -1,0 +1,1 @@
+examples/session_cache.ml: Bytes Dipper Dstore Dstore_core Dstore_platform Dstore_util Dstore_workload Histogram Option Platform Printf Rng Sim Sim_platform Systems Zipf

@@ -1,0 +1,93 @@
+(* Session cache: the read-heavy cloud workload the paper's introduction
+   motivates — many client threads serving session lookups with occasional
+   updates (a YCSB-B-shaped mix), while DIPPER checkpoints run underneath
+   without quiescing the frontend. Prints per-second throughput so the
+   checkpoint transparency is visible. Run with:
+
+     dune exec examples/session_cache.exe *)
+
+open Dstore_platform
+open Dstore_util
+open Dstore_core
+open Dstore_workload
+
+let sessions = 2_000
+
+let clients = 8
+
+let seconds = 5
+
+let () =
+  let sim = Sim.create () in
+  let platform = Sim_platform.make ~parallelism:clients sim in
+  let scale =
+    {
+      Systems.default_scale with
+      Systems.objects = sessions;
+      log_slots = 1024 (* small log: several checkpoints inside the window *);
+      retain_data = true;
+    }
+  in
+  let store = ref None in
+  Sim.spawn sim "setup" (fun () ->
+      let st, _, _, _ = Systems.dstore_store platform scale in
+      let ctx = Dstore.ds_init st in
+      (* Load the session table. *)
+      for i = 0 to sessions - 1 do
+        Dstore.oput ctx
+          (Printf.sprintf "session:%04d" i)
+          (Bytes.of_string
+             (Printf.sprintf "{user:%d, logged_in:true, cart:[...]}" i))
+      done;
+      store := Some st);
+  Sim.run sim;
+  let st = Option.get !store in
+
+  let ops = ref 0 in
+  let reads = Histogram.create () in
+  let t_end = Sim.now sim + (seconds * Platform.ns_per_s) in
+  for c = 0 to clients - 1 do
+    Sim.spawn sim "frontend" (fun () ->
+        let ctx = Dstore.ds_init st in
+        let rng = Rng.create (1000 + c) in
+        let zipf = Zipf.create sessions in
+        let buf = Bytes.create 4096 in
+        while Sim.now sim < t_end do
+          let id = Zipf.draw_scrambled zipf rng in
+          let key = Printf.sprintf "session:%04d" id in
+          let t0 = Sim.now sim in
+          if Rng.int rng 100 < 95 then begin
+            (* 95%: session lookup *)
+            ignore (Dstore.oget_into ctx key buf);
+            Histogram.record reads (Sim.now sim - t0)
+          end
+          else
+            (* 5%: session update *)
+            Dstore.oput ctx key
+              (Bytes.of_string (Printf.sprintf "{user:%d, updated:%d}" id t0));
+          incr ops
+        done)
+  done;
+  (* Per-second throughput reporter. *)
+  Sim.spawn sim "reporter" (fun () ->
+      let last = ref 0 in
+      for s = 1 to seconds do
+        Sim.wait sim Platform.ns_per_s;
+        let o = !ops in
+        let ck = (Dipper.stats (Dstore.engine st)).Dipper.checkpoints in
+        Printf.printf "t=%ds  %6d ops/s  (checkpoints so far: %d)\n" s
+          (o - !last) ck;
+        last := o
+      done);
+  Sim.run sim;
+  Sim.spawn sim "stop" (fun () -> Dstore.stop st);
+  Sim.run sim;
+  let s = Dipper.stats (Dstore.engine st) in
+  Printf.printf
+    "served %d requests over %ds; read p50=%dns p999=%dns; %d checkpoints, \
+     frontend stalls: %d\n"
+    !ops seconds
+    (Histogram.percentile reads 50.0)
+    (Histogram.percentile reads 99.9)
+    s.Dipper.checkpoints s.Dipper.log_full_stalls;
+  print_endline "session-cache example done"

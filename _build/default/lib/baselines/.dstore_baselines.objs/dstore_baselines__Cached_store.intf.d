@@ -1,0 +1,1 @@
+lib/baselines/cached_store.mli: Bytes Dstore_platform Dstore_pmem Dstore_ssd Platform Pmem Ssd

@@ -1,0 +1,1 @@
+lib/baselines/fsmeta.ml: Bytes Dstore_platform Dstore_pmem Platform Pmem

@@ -1,0 +1,1 @@
+lib/baselines/fsmeta.mli: Dstore_platform Dstore_pmem Platform Pmem

@@ -1,0 +1,1 @@
+lib/baselines/inline_store.ml: Btree Bytes Config Dstore_core Dstore_memory Dstore_platform Dstore_pmem Dstore_structs List Mem Platform Pmem Space

@@ -1,0 +1,1 @@
+lib/baselines/inline_store.mli: Bytes Dstore_platform Dstore_pmem Platform Pmem

@@ -1,0 +1,1 @@
+lib/baselines/lsm_store.ml: Array Buffer Bytes Dstore_platform Dstore_pmem Dstore_ssd Dstore_util Fun Hashtbl Int32 List Platform Pmem Ssd String

@@ -1,0 +1,1 @@
+lib/baselines/lsm_store.mli: Bytes Dstore_platform Dstore_pmem Dstore_ssd Platform Pmem Ssd

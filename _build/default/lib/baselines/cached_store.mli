@@ -1,0 +1,71 @@
+(** Cached-system baseline: the "periodic async checkpoint" persistence
+    technique of MongoDB-PM / WiredTiger (Table 1, §2.1 of the paper).
+
+    A write-back design: a put journals the full document to PMEM (its
+    durability point) and updates only the volatile caches — the metadata
+    space and the DRAM data-page cache. Dirty data pages reach the SSD at
+    checkpoint time, while the whole cache is write-protected (a
+    writer-priority RW lock taken exclusively) until the writeback and the
+    metadata-image copy complete. Requests arriving during the checkpoint
+    stall behind the lock; that is the tail-latency and throughput-trough
+    behaviour Figures 1 and 7 attribute to cached systems.
+
+    Checkpoints trigger on journal fill or a periodic timer, as in
+    WiredTiger. Recovery loads the last checkpoint image and replays the
+    journal. *)
+
+open Dstore_platform
+open Dstore_pmem
+open Dstore_ssd
+
+type t
+
+type config = {
+  space_bytes : int;
+  meta_entries : int;
+  ssd_blocks : int;
+  journal_bytes : int;  (** Byte-framed journal carrying full documents. *)
+  ckpt_threshold : float;  (** Journal fill fraction that triggers. *)
+  ckpt_interval_ns : int;  (** Periodic trigger (WiredTiger default 60 s). *)
+  op_cpu_ns : int;
+      (** Modeled mongod + WiredTiger software path per operation,
+          calibrated to the paper's Table 5 throughput; zero for
+          functional tests. *)
+}
+
+val default_config : config
+
+val pmem_bytes : config -> int
+(** PMEM needed: journal + checkpoint image area. *)
+
+val create : Platform.t -> Pmem.t -> Ssd.t -> config -> t
+
+val recover : Platform.t -> Pmem.t -> Ssd.t -> config -> t
+
+val put : t -> string -> Bytes.t -> unit
+
+val get : t -> string -> Bytes.t -> int
+(** Into the caller's buffer; -1 if missing. *)
+
+val delete : t -> string -> bool
+
+val object_count : t -> int
+
+val checkpoint_now : t -> unit
+
+val checkpoint_running : t -> bool
+(** Lock-free snapshot for crash harnesses. *)
+
+val stop : t -> unit
+
+type stats = {
+  mutable checkpoints : int;
+  mutable ckpt_stall_ns : int;  (** Total time the cache was locked. *)
+  mutable recovery_metadata_ns : int;
+  mutable recovery_replay_ns : int;
+}
+
+val stats : t -> stats
+
+val footprint : t -> int * int * int
+(** (dram, pmem, ssd) bytes in use. *)

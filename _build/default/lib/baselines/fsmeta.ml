@@ -1,0 +1,97 @@
+open Dstore_platform
+open Dstore_pmem
+
+type fs = Xfs_dax | Ext4_dax | Nova
+
+let name = function
+  | Xfs_dax -> "xfs-DAX"
+  | Ext4_dax -> "ext4-DAX"
+  | Nova -> "NOVA"
+
+let inodes = 1024
+
+let inode_bytes = 256
+
+(* PMEM layout: [inode table | log/journal area (ring)]. *)
+let table_bytes = inodes * inode_bytes
+
+type t = {
+  platform : Platform.t;
+  pm : Pmem.t;
+  fs : fs;
+  log_off : int;
+  log_bytes : int;
+  mutable log_pos : int;
+  scratch4k : Bytes.t;
+  scratch1k : Bytes.t;
+}
+
+let create platform pm fs =
+  assert (Pmem.size pm >= table_bytes + (1 lsl 20));
+  {
+    platform;
+    pm;
+    fs;
+    log_off = table_bytes;
+    log_bytes = Pmem.size pm - table_bytes;
+    log_pos = 0;
+    scratch4k = Bytes.make 4096 'j';
+    scratch1k = Bytes.make 1024 'x';
+  }
+
+let log_alloc t n =
+  if t.log_pos + n > t.log_bytes then t.log_pos <- 0;
+  let off = t.log_off + t.log_pos in
+  t.log_pos <- t.log_pos + n;
+  off
+
+let inode_off inode = (inode mod inodes) * inode_bytes
+
+(* Kernel data path CPU (syscall entry, VFS, mapping lookup) — the cost
+   DStore's userspace run-to-completion pipeline avoids (§5.2). *)
+let vfs_cpu_ns = 900
+
+let touch_inode t inode =
+  (* Update size + mtime + block pointer words in place. *)
+  let o = inode_off inode in
+  Pmem.set_u64 t.pm o (Pmem.get_u64 t.pm o + 4096);
+  Pmem.set_u64 t.pm (o + 8) (t.platform.Platform.now ());
+  Pmem.set_u64 t.pm (o + 16) (Pmem.get_u64 t.pm (o + 16) + 1)
+
+let write_meta t ~inode =
+  t.platform.Platform.consume vfs_cpu_ns;
+  match t.fs with
+  | Nova ->
+      (* Append a 64 B log entry to the inode log, persist it, persist the
+         tail pointer, and persist the allocator update for the data pages
+         (NOVA, FAST'16). *)
+      let e = log_alloc t 64 in
+      Pmem.set_u64 t.pm e inode;
+      Pmem.set_u64 t.pm (e + 8) 4096;
+      Pmem.set_u64 t.pm (e + 16) (t.platform.Platform.now ());
+      Pmem.persist t.pm e 64;
+      (* Tail pointer and allocator counter share the inode's first cache
+         line: one persist covers both. *)
+      let tail = inode_off inode + 24 in
+      Pmem.set_u64 t.pm tail e;
+      let alloc = inode_off inode + 32 in
+      Pmem.set_u64 t.pm alloc (Pmem.get_u64 t.pm alloc + 1);
+      Pmem.persist t.pm tail 16
+  | Ext4_dax ->
+      (* jbd2: journal descriptor + metadata block (4 KB), then the commit
+         block, then the in-place inode update. *)
+      let j = log_alloc t 4096 in
+      Pmem.blit_from_bytes t.pm t.scratch4k ~src:0 ~dst:j ~len:4096;
+      Pmem.persist t.pm j 4096;
+      let c = log_alloc t 512 in
+      Pmem.set_u64 t.pm c 0xC03313 (* commit record *);
+      Pmem.persist t.pm c 512;
+      touch_inode t inode;
+      Pmem.persist t.pm (inode_off inode) inode_bytes
+  | Xfs_dax ->
+      (* xlog: a ~1 KB in-core log record write, then the inode update. *)
+      let j = log_alloc t 1024 in
+      Pmem.blit_from_bytes t.pm t.scratch1k ~src:0 ~dst:j ~len:1024;
+      Pmem.persist t.pm j 1024;
+      touch_inode t inode;
+      Pmem.persist t.pm (inode_off inode) inode_bytes

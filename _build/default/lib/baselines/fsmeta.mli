@@ -1,0 +1,40 @@
+(** Metadata-path models of the PMEM-optimized DAX filesystems compared in
+    Figure 6 (xfs-DAX, ext4-DAX, NOVA).
+
+    The paper measures the {e metadata overhead} of a 4 KB file write for
+    each filesystem against DStore's (whose metadata lives in DRAM and
+    costs one log-record flush). These models execute each filesystem's
+    journaling discipline against the shared PMEM device — real stores,
+    flushes and fences with the calibrated costs — rather than quoting
+    numbers:
+
+    - NOVA: append a 64 B entry to the inode's log, persist it, persist
+      the log-tail pointer, and persist the data-page allocator update;
+    - ext4-DAX (jbd2, ordered): write a journal descriptor + metadata
+      block (4 KB), persist, write the commit block, persist, then update
+      the inode in place and persist;
+    - xfs-DAX: write an in-core log buffer record (~1 KB), persist, update
+      the inode in place and persist.
+
+    All three also pay the kernel data path (syscall/VFS/mapping CPU) that
+    DStore's userspace run-to-completion pipeline avoids — a contribution
+    the paper calls out explicitly in §5.2. All must touch PMEM
+    synchronously because their volatile and persistent metadata are not
+    decoupled — the paper's explanation for Figure 6. *)
+
+open Dstore_platform
+open Dstore_pmem
+
+type fs = Xfs_dax | Ext4_dax | Nova
+
+val name : fs -> string
+
+type t
+
+val create : Platform.t -> Pmem.t -> fs -> t
+
+val write_meta : t -> inode:int -> unit
+(** Execute the metadata path of one 4 KB file write to [inode]. *)
+
+val inodes : int
+(** Size of the modeled inode table. *)

@@ -1,0 +1,61 @@
+(** Uncached baseline: the "inline persistence" technique of MongoDB-PMSE
+    (Table 1, §2.1 of the paper).
+
+    Everything — index, metadata, and the object values themselves — lives
+    in a single PMEM space and is updated {e in place}. Failure atomicity
+    comes from a real undo-log transaction (as in PMDK's libpmemobj):
+    before each in-place store, the old bytes are appended to a persistent
+    undo log and persisted; the modified ranges are flushed before the
+    transaction commit truncates the log. Recovery rolls back any
+    in-flight transaction and is near-instant — the paper's Table 4/5
+    result — but every operation pays the flush/fence toll, which is why
+    the uncached design loses on throughput and mean latency (Figures 5
+    and 7) while never quiescing.
+
+    Writers are serialized per store (PMSE-style coarse transactions);
+    readers run lock-free against the persistent structures. *)
+
+open Dstore_platform
+open Dstore_pmem
+
+type t
+
+type config = {
+  space_bytes : int;  (** The PMEM heap (values + index + metadata). *)
+  undo_bytes : int;
+  max_objects : int;
+  op_cpu_ns : int;
+      (** Modeled mongod + PMSE software path per operation; zero for
+          functional tests. *)
+}
+
+val default_config : config
+
+val pmem_bytes : config -> int
+
+val create : Platform.t -> Pmem.t -> config -> t
+
+val recover : Platform.t -> Pmem.t -> config -> t
+
+val put : t -> string -> Bytes.t -> unit
+
+val get : t -> string -> Bytes.t -> int
+
+val delete : t -> string -> bool
+
+val object_count : t -> int
+
+val stop : t -> unit
+(** No background machinery; present for interface symmetry. *)
+
+type stats = {
+  mutable txns : int;
+  mutable undo_entries : int;
+  mutable rollbacks : int;
+  mutable recovery_ns : int;
+}
+
+val stats : t -> stats
+
+val footprint : t -> int * int * int
+(** (dram, pmem, ssd); dram and ssd are ~0 by design. *)

@@ -1,0 +1,1 @@
+lib/core/dipper.ml: Array Atomic Bytes Config Dstore_memory Dstore_platform Dstore_pmem Dstore_structs Hashtbl List Logrec Mem Oplog Option Platform Pmem Printf Root Space

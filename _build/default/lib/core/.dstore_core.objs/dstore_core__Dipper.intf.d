@@ -1,0 +1,1 @@
+lib/core/dipper.mli: Config Dstore_memory Dstore_platform Dstore_pmem Dstore_structs Logrec Platform Pmem Space

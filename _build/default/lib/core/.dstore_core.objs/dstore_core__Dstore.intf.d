@@ -1,0 +1,1 @@
+lib/core/dstore.mli: Bytes Config Dipper Dstore_platform Dstore_pmem Dstore_ssd Platform Pmem Ssd

@@ -1,0 +1,1 @@
+lib/core/logrec.ml: Buffer Bytes Char Int32 Int64 List Printf String

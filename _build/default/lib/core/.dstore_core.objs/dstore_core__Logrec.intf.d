@@ -1,0 +1,1 @@
+lib/core/logrec.mli: Bytes

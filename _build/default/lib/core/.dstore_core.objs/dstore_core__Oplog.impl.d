@@ -1,0 +1,1 @@
+lib/core/oplog.ml: Bytes Checksum Dstore_pmem Dstore_util Int32 Int64 List Logrec Pmem

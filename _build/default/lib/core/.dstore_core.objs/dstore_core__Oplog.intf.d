@@ -1,0 +1,1 @@
+lib/core/oplog.mli: Dstore_pmem Logrec Pmem

@@ -1,0 +1,1 @@
+lib/core/root.ml: Dstore_pmem Pmem

@@ -1,0 +1,1 @@
+lib/core/root.mli: Dstore_pmem Pmem

@@ -1,0 +1,86 @@
+(** Store configuration: the design axes of the paper's evaluation plus
+    capacity and cost-model knobs.
+
+    The three ablation axes of Figure 9 are here: [logging]
+    (physical → logical), [checkpoint] (CoW → DIPPER), and [oe]
+    (observational-equivalence concurrency on/off). The defaults are the
+    full DStore design. *)
+
+type checkpoint_mode =
+  | Dipper  (** Quiescent-free decoupled checkpoint (§3.5) — the paper. *)
+  | Cow
+      (** Copy-on-write page checkpoints as in NOVA/Pronto (§4.5): mark the
+          volatile space read-only and copy pages on first touch. *)
+  | No_checkpoint
+      (** Never checkpoint; the log must be provisioned to outlast the run
+          (the "checkpoints disabled" configuration of Figure 1). *)
+
+type logging_mode =
+  | Logical  (** Compact operation logging (§3.4). *)
+  | Physical
+      (** ARIES-style physical redo images, as used by DudeTM/NV-HTM —
+          the Figure 9 naïve baseline. *)
+
+(** Modeled CPU costs, charged via [Platform.consume] at protocol level
+    (device costs are charged by the devices themselves). Calibrated from
+    the paper's Table 3. *)
+type costs = {
+  btree_ns : int;  (** One index update (Table 3: ~300 ns). *)
+  meta_ns : int;  (** Allocate blocks + write metadata entry (~292 ns). *)
+  lookup_ns : int;  (** Index + metadata read on the read path. *)
+  log_cpu_ns : int;  (** CPU part of building a log record. *)
+  cow_fault_ns : int;
+      (** Write-protection fault service: trap + mprotect bookkeeping +
+          TLB shootdown across the socket — the per-page cost clients
+          absorb under CoW checkpoints (§4.5). *)
+}
+
+let default_costs =
+  {
+    btree_ns = 300;
+    meta_ns = 292;
+    lookup_ns = 250;
+    log_cpu_ns = 60;
+    cow_fault_ns = 8_000;
+  }
+
+type t = {
+  checkpoint : checkpoint_mode;
+  logging : logging_mode;
+  oe : bool;
+      (** Observational equivalence: when false, index/metadata updates run
+          inside the pool critical section (fully serialized order). *)
+  log_slots : int;  (** 64 B slots per log (two logs are allocated). *)
+  checkpoint_threshold : float;
+      (** Trigger a checkpoint when active-log fill reaches this fraction. *)
+  checkpoint_workers : int;  (** Backend replay thread-pool size. *)
+  space_bytes : int;  (** Bytes per space (volatile + two PMEM shadows). *)
+  meta_entries : int;  (** Metadata-zone capacity (max live objects). *)
+  ssd_blocks : int;  (** Block-pool capacity; block = one SSD page. *)
+  readcount_buckets : int;
+  costs : costs;
+}
+
+let default =
+  {
+    checkpoint = Dipper;
+    logging = Logical;
+    oe = true;
+    log_slots = 8192;
+    checkpoint_threshold = 0.5;
+    checkpoint_workers = 4;
+    space_bytes = 32 * 1024 * 1024;
+    meta_entries = 16384;
+    ssd_blocks = 60 * 1024;
+    readcount_buckets = 65536;
+    costs = default_costs;
+  }
+
+let pp_mode fmt t =
+  Format.fprintf fmt "%s+%s%s"
+    (match t.logging with Logical -> "logical" | Physical -> "physical")
+    (match t.checkpoint with
+    | Dipper -> "dipper"
+    | Cow -> "cow"
+    | No_checkpoint -> "nockpt")
+    (if t.oe then "+oe" else "")

@@ -1,0 +1,720 @@
+open Dstore_platform
+open Dstore_pmem
+open Dstore_memory
+
+exception Log_full
+
+type hooks = {
+  format_structures : Space.t -> unit;
+  prepare : Space.t -> Logrec.op -> unit;
+  apply : Space.t -> Logrec.op -> unit;
+}
+
+type ticket = {
+  mutable lsn : int;
+  mutable log_id : int;
+  mutable slot : int;
+  op : Logrec.op;
+  key : string option;
+  done_ : bool Atomic.t;
+}
+
+type stats = {
+  mutable checkpoints : int;
+  mutable ckpt_total_ns : int;
+  mutable ckpt_bytes_cloned : int;
+  mutable log_full_stalls : int;
+  mutable conflict_waits : int;
+  mutable records_appended : int;
+  mutable append_flush_ns : int;
+  mutable records_replayed : int;
+  mutable records_moved : int;
+  mutable cow_faults : int;
+  mutable recovery_metadata_ns : int;
+  mutable recovery_replay_ns : int;
+  mutable recovery_replayed_records : int;
+}
+
+let fresh_stats () =
+  {
+    checkpoints = 0;
+    ckpt_total_ns = 0;
+    ckpt_bytes_cloned = 0;
+    log_full_stalls = 0;
+    conflict_waits = 0;
+    records_appended = 0;
+    append_flush_ns = 0;
+    records_replayed = 0;
+    records_moved = 0;
+    cow_faults = 0;
+    recovery_metadata_ns = 0;
+    recovery_replay_ns = 0;
+    recovery_replayed_records = 0;
+  }
+
+(* --- device layout ------------------------------------------------------ *)
+
+let align4k n = (n + 4095) land lnot 4095
+
+type layout = {
+  log_off : int array;
+  log_bytes : int;
+  space_off : int array;
+  space_bytes : int;
+  total : int;
+}
+
+let layout_of (cfg : Config.t) =
+  let log_bytes = align4k (Oplog.region_bytes ~slots:cfg.log_slots) in
+  let space_bytes = align4k cfg.space_bytes in
+  let log0 = 4096 in
+  let log1 = log0 + log_bytes in
+  let space0 = log1 + log_bytes in
+  let space1 = space0 + space_bytes in
+  {
+    log_off = [| log0; log1 |];
+    log_bytes;
+    space_off = [| space0; space1 |];
+    space_bytes;
+    total = space1 + space_bytes;
+  }
+
+let layout_bytes cfg = (layout_of cfg).total
+
+(* --- copy-on-write barrier state ---------------------------------------- *)
+
+let page_bytes = 4096
+
+type cow = {
+  mutable active : bool;
+  mutable marked_pages : int;
+  ro : Bytes.t;  (* one byte per volatile page: 1 = write-protected *)
+  mutable remaining : int;
+  mutable target_off : int;  (* device offset of the space being built *)
+  sem : Platform.sem;  (* fault-handler serialization (mmap_sem) *)
+}
+
+type capture = { mutable buf : (int * string) list; mutable on : bool }
+
+type t = {
+  platform : Platform.t;
+  pm : Pmem.t;
+  cfg : Config.t;
+  hooks : hooks;
+  lay : layout;
+  logs : Oplog.t array;
+  mutable active_log : int;
+  mutable next_base : int;  (* lsn base for the next log reset *)
+  root : Root.t;
+  mutable volatile : Space.t;
+  volatile_raw : Bytes.t;
+  mutable current_space : int;
+  mutable last_applied : int;
+  in_flight : (int, ticket) Hashtbl.t;
+  lock : Platform.mutex;
+  cond_ckpt : Platform.cond;  (* manager sleeps here *)
+  cond_space : Platform.cond;  (* writers wait for log space *)
+  cond_done : Platform.cond;  (* checkpoint_now waits here *)
+  mutable ckpt_needed : bool;
+  mutable ckpt_running : bool;
+  mutable stopping : bool;
+  cow : cow;
+  cap : capture;
+  st : stats;
+}
+
+let platform t = t.platform
+
+let config t = t.cfg
+
+let volatile t = t.volatile
+
+let stats t = t.st
+
+let ticket_lsn tk = tk.lsn
+
+let ticket_op tk = tk.op
+
+(* --- volatile arena wrapper --------------------------------------------- *)
+
+(* The volatile space's Mem is wrapped with (a) the CoW write barrier: a
+   store to a write-protected page copies the page to the PMEM target
+   first — the "page fault handler" of §4.5 — and (b) the physical-logging
+   capture used by the Figure 9 naïve baseline. *)
+let cow_fault platform fault_ns pm cow raw page =
+  cow.sem.Platform.acquire ();
+  if cow.active && page < cow.marked_pages && Bytes.get cow.ro page = '\001'
+  then begin
+    (* Fault trap + TLB shootdown, then the page copy — serialized by the
+       fault handler (mmap_sem), which is where CoW's tail comes from. *)
+    platform.Platform.consume fault_ns;
+    let off = page * page_bytes in
+    Pmem.blit_from_bytes pm raw ~src:off ~dst:(cow.target_off + off)
+      ~len:page_bytes;
+    Pmem.persist pm (cow.target_off + off) page_bytes;
+    Bytes.set cow.ro page '\000';
+    cow.remaining <- cow.remaining - 1
+  end;
+  cow.sem.Platform.release ()
+
+let wrap_volatile platform fault_ns pm cow cap st (base : Mem.t) raw : Mem.t =
+  let pre off len =
+    if cow.active then begin
+      let first = off / page_bytes and last = (off + len - 1) / page_bytes in
+      for p = first to min last (cow.marked_pages - 1) do
+        if Bytes.get cow.ro p = '\001' then begin
+          st.cow_faults <- st.cow_faults + 1;
+          cow_fault platform fault_ns pm cow raw p
+        end
+      done
+    end
+  in
+  let post off len =
+    if cap.on then cap.buf <- (off, Mem.read_string base ~off ~len) :: cap.buf
+  in
+  {
+    base with
+    set_u8 = (fun o v -> pre o 1; base.Mem.set_u8 o v; post o 1);
+    set_u16 = (fun o v -> pre o 2; base.Mem.set_u16 o v; post o 2);
+    set_u32 = (fun o v -> pre o 4; base.Mem.set_u32 o v; post o 4);
+    set_u64 = (fun o v -> pre o 8; base.Mem.set_u64 o v; post o 8);
+    blit_from_bytes =
+      (fun b ~src ~dst ~len ->
+        pre dst len;
+        base.Mem.blit_from_bytes b ~src ~dst ~len;
+        post dst len);
+    blit_within =
+      (fun ~src ~dst ~len ->
+        pre dst len;
+        base.Mem.blit_within ~src ~dst ~len;
+        post dst len);
+    fill =
+      (fun off len v ->
+        pre off len;
+        base.Mem.fill off len v;
+        post off len);
+  }
+
+(* --- construction -------------------------------------------------------- *)
+
+let space_mem t i =
+  Mem.of_pmem t.pm ~off:t.lay.space_off.(i) ~len:t.lay.space_bytes
+
+let make_engine platform pm (cfg : Config.t) hooks root =
+  let lay = layout_of cfg in
+  if Pmem.size pm < lay.total then
+    invalid_arg
+      (Printf.sprintf "Dipper: device too small (%d < %d)" (Pmem.size pm)
+         lay.total);
+  let raw = Bytes.make cfg.space_bytes '\000' in
+  let cow =
+    {
+      active = false;
+      marked_pages = 0;
+      ro = Bytes.make (cfg.space_bytes / page_bytes) '\000';
+      remaining = 0;
+      target_off = 0;
+      sem = platform.Platform.new_sem 1;
+    }
+  in
+  let cap = { buf = []; on = false } in
+  let st = fresh_stats () in
+  let logs =
+    Array.map (fun off -> Oplog.attach pm ~off ~slots:cfg.log_slots) lay.log_off
+  in
+  ( {
+      platform;
+      pm;
+      cfg;
+      hooks;
+      lay;
+      logs;
+      active_log = 0;
+      next_base = 0;
+      root;
+      (* Placeholder until the real volatile space is built below. *)
+      volatile = Space.format (Mem.dram 4096);
+      volatile_raw = raw;
+      current_space = 0;
+      last_applied = 0;
+      in_flight = Hashtbl.create 64;
+      lock = platform.Platform.new_mutex ();
+      cond_ckpt = platform.Platform.new_cond ();
+      cond_space = platform.Platform.new_cond ();
+      cond_done = platform.Platform.new_cond ();
+      ckpt_needed = false;
+      ckpt_running = false;
+      stopping = false;
+      cow;
+      cap;
+      st;
+    },
+    raw,
+    cow,
+    cap )
+
+let is_initialized pm = Root.is_initialized pm ~off:0
+
+(* --- checkpoint machinery ------------------------------------------------ *)
+
+let root_state t ~in_progress ~archived =
+  {
+    Root.current_space = t.current_space;
+    active_log = t.active_log;
+    ckpt_in_progress = in_progress;
+    ckpt_archived_log = archived;
+    last_applied_lsn = t.last_applied;
+  }
+
+(* Swap active/archived logs and re-home uncommitted records (§3.5). The
+   standby log must already be reset. Called under the frontend lock. *)
+let swap_logs t =
+  let arch = t.active_log in
+  let standby = 1 - arch in
+  t.active_log <- standby;
+  Root.publish t.root (root_state t ~in_progress:true ~archived:arch);
+  let tickets =
+    Hashtbl.fold (fun _ tk acc -> tk :: acc) t.in_flight []
+    |> List.sort (fun a b -> compare a.lsn b.lsn)
+  in
+  Hashtbl.reset t.in_flight;
+  let nl = t.logs.(standby) in
+  List.iter
+    (fun tk ->
+      let n = Logrec.slots_needed tk.op in
+      match Oplog.reserve nl n with
+      | None -> failwith "Dipper: new active log cannot hold in-flight records"
+      | Some (slot, lsn) ->
+          Oplog.write_record nl ~slot ~lsn tk.op;
+          (* Flushed here (under the lock, bounded by client count) so a
+             commit persisting only the first line cannot leave a torn
+             committed record. *)
+          Oplog.flush_record nl ~slot ~lsn tk.op;
+          tk.log_id <- standby;
+          tk.slot <- slot;
+          tk.lsn <- lsn;
+          Hashtbl.add t.in_flight lsn tk;
+          t.st.records_moved <- t.st.records_moved + 1)
+    tickets;
+  arch
+
+let committed_entries log ~above =
+  Oplog.scan log
+  |> List.filter (fun e ->
+         e.Oplog.committed && e.Oplog.lsn > above
+         && match e.Oplog.op with Logrec.Noop _ -> false | _ -> true)
+
+(* Replay [entries] onto [shadow] with a worker pool. Operations on the
+   same key hash to the same worker, preserving conflict order; across
+   workers, order is free (observational equivalence, §3.7). Physical
+   records have no key and are order-sensitive, so they force one worker. *)
+let replay_pool t shadow entries =
+  let has_phys =
+    List.exists
+      (fun e -> match e.Oplog.op with Logrec.Phys _ -> true | _ -> false)
+      entries
+  in
+  let workers = if has_phys then 1 else max 1 t.cfg.checkpoint_workers in
+  (* Phase 1, serial in LSN order: allocation-pool effects. These are the
+     steps the frontend performed inside its critical section, so their
+     order is the log order; they touch nothing the parallel phase reads. *)
+  List.iter (fun e -> t.hooks.prepare shadow e.Oplog.op) entries;
+  if entries = [] then ()
+  else if workers = 1 then
+    List.iter
+      (fun e ->
+        t.hooks.apply shadow e.Oplog.op;
+        t.st.records_replayed <- t.st.records_replayed + 1)
+      entries
+  else begin
+    let buckets = Array.make workers [] in
+    List.iter
+      (fun e ->
+        let b =
+          match Logrec.op_key e.Oplog.op with
+          | Some k -> Hashtbl.hash k mod workers
+          | None -> 0
+        in
+        buckets.(b) <- e :: buckets.(b))
+      entries;
+    let m = t.platform.Platform.new_mutex () in
+    let c = t.platform.Platform.new_cond () in
+    let pending = ref 0 in
+    Array.iteri
+      (fun i bucket ->
+        let bucket = List.rev bucket in
+        if bucket <> [] then begin
+          incr pending;
+          t.platform.Platform.spawn
+            (Printf.sprintf "ckpt-worker-%d" i)
+            (fun () ->
+              List.iter
+                (fun e ->
+                  t.hooks.apply shadow e.Oplog.op;
+                  t.st.records_replayed <- t.st.records_replayed + 1)
+                bucket;
+              Platform.with_lock m (fun () ->
+                  decr pending;
+                  c.Platform.signal ()))
+        end)
+      buckets;
+    Platform.with_lock m (fun () ->
+        while !pending > 0 do
+          c.Platform.wait m
+        done)
+  end
+
+(* Clone the current shadow space into the other PMEM half, charging
+   bandwidth costs, and return it attached. *)
+let clone_shadow t ~target =
+  let src = Space.attach (space_mem t t.current_space) in
+  let n = Space.used_bytes src in
+  Pmem.bulk_read_cost t.pm n;
+  t.st.ckpt_bytes_cloned <- t.st.ckpt_bytes_cloned + n;
+  Space.copy_into src (space_mem t target)
+
+let finish_checkpoint t ~target ~arch =
+  Platform.with_lock t.lock (fun () ->
+      t.current_space <- target;
+      t.last_applied <-
+        Oplog.lsn_base t.logs.(arch) + Oplog.capacity t.logs.(arch) - 1;
+      Root.publish t.root (root_state t ~in_progress:false ~archived:arch))
+
+(* One full DIPPER checkpoint cycle (§3.5). *)
+let dipper_checkpoint t =
+  let standby = 1 - t.active_log in
+  Oplog.reset t.logs.(standby) ~lsn_base:t.next_base;
+  t.next_base <- t.next_base + t.cfg.log_slots;
+  let arch = Platform.with_lock t.lock (fun () -> swap_logs t) in
+  let target = 1 - t.current_space in
+  let shadow = clone_shadow t ~target in
+  let entries = committed_entries t.logs.(arch) ~above:t.last_applied in
+  replay_pool t shadow entries;
+  Space.persist_used shadow;
+  finish_checkpoint t ~target ~arch
+
+(* One CoW checkpoint cycle (§4.5): snapshot the volatile space by page
+   copy instead of log replay. The archived log is still swapped out (its
+   effects are contained in the snapshot). *)
+let cow_checkpoint t =
+  let standby = 1 - t.active_log in
+  Oplog.reset t.logs.(standby) ~lsn_base:t.next_base;
+  t.next_base <- t.next_base + t.cfg.log_slots;
+  let target = 1 - t.current_space in
+  let arch =
+    Platform.with_lock t.lock (fun () ->
+        let arch = swap_logs t in
+        (* Mark: every used page becomes read-only. Fast — a flag sweep. *)
+        let pages =
+          (Space.used_bytes t.volatile + page_bytes - 1) / page_bytes
+        in
+        t.cow.target_off <- t.lay.space_off.(target);
+        t.cow.marked_pages <- pages;
+        t.cow.remaining <- pages;
+        Bytes.fill t.cow.ro 0 pages '\001';
+        t.cow.active <- true;
+        arch)
+  in
+  (* Background copier: walk pages; clients racing us absorb faults. *)
+  for p = 0 to t.cow.marked_pages - 1 do
+    if Bytes.get t.cow.ro p = '\001' then
+      cow_fault t.platform t.cfg.Config.costs.cow_fault_ns t.pm t.cow
+        t.volatile_raw p
+  done;
+  t.cow.active <- false;
+  finish_checkpoint t ~target ~arch
+
+let do_checkpoint t =
+  let t0 = t.platform.Platform.now () in
+  (match t.cfg.checkpoint with
+  | Config.Dipper -> dipper_checkpoint t
+  | Config.Cow -> cow_checkpoint t
+  | Config.No_checkpoint -> ());
+  t.st.checkpoints <- t.st.checkpoints + 1;
+  t.st.ckpt_total_ns <- t.st.ckpt_total_ns + (t.platform.Platform.now () - t0)
+
+let manager_loop t () =
+  let continue_ = ref true in
+  while !continue_ do
+    let should_run =
+      Platform.with_lock t.lock (fun () ->
+          while not (t.ckpt_needed || t.stopping) do
+            t.cond_ckpt.Platform.wait t.lock
+          done;
+          if t.stopping then false
+          else begin
+            t.ckpt_needed <- false;
+            t.ckpt_running <- true;
+            true
+          end)
+    in
+    if not should_run then continue_ := false
+    else begin
+      do_checkpoint t;
+      Platform.with_lock t.lock (fun () ->
+          t.ckpt_running <- false;
+          t.cond_done.Platform.broadcast ();
+          t.cond_space.Platform.broadcast ())
+    end
+  done
+
+let spawn_manager t =
+  if t.cfg.checkpoint <> Config.No_checkpoint then
+    t.platform.Platform.spawn "dipper-ckpt-manager" (manager_loop t)
+
+(* --- public lifecycle ----------------------------------------------------- *)
+
+let create platform pm cfg hooks =
+  let root =
+    Root.init pm ~off:0
+      {
+        Root.current_space = 0;
+        active_log = 0;
+        ckpt_in_progress = false;
+        ckpt_archived_log = 0;
+        last_applied_lsn = 0;
+      }
+  in
+  let t, raw, cow, cap = make_engine platform pm cfg hooks root in
+  let base = Mem.of_bytes raw in
+  let wrapped = wrap_volatile platform cfg.Config.costs.cow_fault_ns pm cow cap t.st base raw in
+  let volatile = Space.format wrapped in
+  hooks.format_structures volatile;
+  t.volatile <- volatile;
+  (* Shadow space 0: identical structure, created by the same code. *)
+  let shadow = Space.format (space_mem t 0) in
+  hooks.format_structures shadow;
+  Space.persist_used shadow;
+  Oplog.reset t.logs.(0) ~lsn_base:1;
+  Oplog.reset t.logs.(1) ~lsn_base:(1 + cfg.log_slots);
+  t.next_base <- 1 + (2 * cfg.log_slots);
+  spawn_manager t;
+  t
+
+let recover platform pm cfg hooks =
+  let root = Root.attach pm ~off:0 in
+  let t, raw, cow, cap = make_engine platform pm cfg hooks root in
+  let t0 = platform.Platform.now () in
+  let rs = Root.read root in
+  t.active_log <- rs.Root.active_log;
+  t.current_space <- rs.Root.current_space;
+  t.last_applied <- rs.Root.last_applied_lsn;
+  (* Phase 1: if a checkpoint was interrupted, redo it from the old shadow
+     copies (§3.6) — identical for DIPPER and CoW configurations. *)
+  if rs.Root.ckpt_in_progress then begin
+    let arch = rs.Root.ckpt_archived_log in
+    let target = 1 - t.current_space in
+    let shadow = clone_shadow t ~target in
+    let entries = committed_entries t.logs.(arch) ~above:t.last_applied in
+    List.iter (fun e -> t.hooks.prepare shadow e.Oplog.op) entries;
+    List.iter
+      (fun e ->
+        t.hooks.apply shadow e.Oplog.op;
+        t.st.records_replayed <- t.st.records_replayed + 1)
+      entries;
+    Space.persist_used shadow;
+    finish_checkpoint t ~target ~arch
+  end;
+  (* Phase 2: rebuild the volatile space — bulk copy of the current shadow
+     (the "replicate the PMEM allocator state in the DRAM allocator" step). *)
+  let pspace = Space.attach (space_mem t t.current_space) in
+  let used = Space.used_bytes pspace in
+  Pmem.bulk_read_cost pm used;
+  let base = Mem.of_bytes raw in
+  let wrapped = wrap_volatile platform cfg.Config.costs.cow_fault_ns pm cow cap t.st base raw in
+  t.volatile <- Space.copy_into pspace wrapped;
+  t.st.recovery_metadata_ns <- platform.Platform.now () - t0;
+  (* Phase 3: replay committed records beyond the watermark from both logs
+     in LSN order (robust to a crash landing anywhere around a swap). *)
+  let t1 = platform.Platform.now () in
+  let entries =
+    committed_entries t.logs.(0) ~above:t.last_applied
+    @ committed_entries t.logs.(1) ~above:t.last_applied
+    |> List.sort (fun a b -> compare a.Oplog.lsn b.Oplog.lsn)
+  in
+  List.iter (fun e -> t.hooks.prepare t.volatile e.Oplog.op) entries;
+  List.iter
+    (fun e ->
+      t.hooks.apply t.volatile e.Oplog.op;
+      t.st.recovery_replayed_records <- t.st.recovery_replayed_records + 1)
+    entries;
+  t.st.recovery_replay_ns <- platform.Platform.now () - t1;
+  (* Resume appending after the last valid record of the active log. *)
+  Oplog.recover_tail t.logs.(t.active_log);
+  t.next_base <-
+    max
+      (Oplog.lsn_base t.logs.(0))
+      (Oplog.lsn_base t.logs.(1))
+    + cfg.log_slots;
+  spawn_manager t;
+  t
+
+let stop t =
+  Platform.with_lock t.lock (fun () ->
+      t.stopping <- true;
+      t.cond_ckpt.Platform.broadcast ())
+
+(* --- write path ------------------------------------------------------------ *)
+
+let conflict_for ?ignore_ticket t key =
+  let skip tk = match ignore_ticket with Some i -> i == tk | None -> false in
+  let found = ref None in
+  (try
+     Hashtbl.iter
+       (fun _ tk ->
+         if tk.key = Some key && not (skip tk) then begin
+           found := Some tk;
+           raise Exit
+         end)
+       t.in_flight
+   with Exit -> ());
+  !found
+
+let spin_ns = 200
+
+(* Spin with exponential backoff: the paper's CC spins on the commit flag;
+   under simulation each poll is a scheduler event, so backoff keeps the
+   event count bounded without materially changing observed latency. *)
+let spin_wait t pred =
+  let d = ref spin_ns in
+  while not (pred ()) do
+    t.platform.Platform.sleep !d;
+    if !d < 25_600 then d := !d * 2
+  done
+
+let wait_ticket t tk = spin_wait t (fun () -> Atomic.get tk.done_)
+
+let conflicting_ticket ?ignore_ticket t key =
+  Platform.with_lock t.lock (fun () -> conflict_for ?ignore_ticket t key)
+
+let wait_ticket_done t tk = wait_ticket t tk
+
+let wait_write_conflict t key =
+  let rec go () =
+    match Platform.with_lock t.lock (fun () -> conflict_for t key) with
+    | None -> ()
+    | Some tk ->
+        t.st.conflict_waits <- t.st.conflict_waits + 1;
+        wait_ticket t tk;
+        go ()
+  in
+  go ()
+
+let wait_readers t rc key =
+  spin_wait t (fun () -> Dstore_structs.Readcount.readers rc key = 0)
+
+let request_checkpoint_locked t =
+  t.ckpt_needed <- true;
+  t.cond_ckpt.Platform.signal ()
+
+let locked_append ?ignore_ticket t ~key ~max_slots f =
+  let rec attempt () =
+    t.lock.Platform.lock ();
+    match conflict_for ?ignore_ticket t key with
+    | Some tk ->
+        t.lock.Platform.unlock ();
+        t.st.conflict_waits <- t.st.conflict_waits + 1;
+        wait_ticket t tk;
+        attempt ()
+    | None ->
+        if Oplog.free_slots t.logs.(t.active_log) < max_slots then begin
+          if t.cfg.checkpoint = Config.No_checkpoint then begin
+            t.lock.Platform.unlock ();
+            raise Log_full
+          end;
+          request_checkpoint_locked t;
+          t.st.log_full_stalls <- t.st.log_full_stalls + 1;
+          (* cond wait releases and re-acquires the frontend lock *)
+          t.cond_space.Platform.wait t.lock;
+          t.lock.Platform.unlock ();
+          attempt ()
+        end
+        else begin
+          let op = f () in
+          let n = Logrec.slots_needed op in
+          assert (n <= max_slots);
+          let log = t.logs.(t.active_log) in
+          let slot, lsn = Option.get (Oplog.reserve log n) in
+          Oplog.write_record log ~slot ~lsn op;
+          t.platform.Platform.consume t.cfg.costs.log_cpu_ns;
+          let tk =
+            {
+              lsn;
+              log_id = t.active_log;
+              slot;
+              op;
+              key = Some key;
+              done_ = Atomic.make false;
+            }
+          in
+          Hashtbl.add t.in_flight lsn tk;
+          if
+            t.cfg.checkpoint <> Config.No_checkpoint
+            && float_of_int (Oplog.tail log)
+               >= t.cfg.checkpoint_threshold *. float_of_int (Oplog.capacity log)
+          then request_checkpoint_locked t;
+          t.lock.Platform.unlock ();
+          (* The §3.4 flush protocol runs outside the critical section. *)
+          let tf = t.platform.Platform.now () in
+          Oplog.flush_record log ~slot ~lsn op;
+          t.st.append_flush_ns <-
+            t.st.append_flush_ns + (t.platform.Platform.now () - tf);
+          t.st.records_appended <- t.st.records_appended + 1;
+          tk
+        end
+  in
+  attempt ()
+
+let with_frontend_lock t f = Platform.with_lock t.lock f
+
+let commit t tk =
+  let log_id, slot =
+    Platform.with_lock t.lock (fun () ->
+        Oplog.set_commit_word t.logs.(tk.log_id) ~slot:tk.slot;
+        Hashtbl.remove t.in_flight tk.lsn;
+        (tk.log_id, tk.slot))
+  in
+  Oplog.persist_slot t.logs.(log_id) ~slot;
+  Atomic.set tk.done_ true
+
+(* --- physical logging capture ------------------------------------------------ *)
+
+let capture_writes t f =
+  assert (not t.cap.on);
+  t.cap.buf <- [];
+  t.cap.on <- true;
+  (match f () with
+  | () -> t.cap.on <- false
+  | exception e ->
+      t.cap.on <- false;
+      raise e);
+  List.rev t.cap.buf
+
+(* --- checkpoint control ------------------------------------------------------ *)
+
+let checkpoint_now t =
+  if t.cfg.checkpoint = Config.No_checkpoint then ()
+  else
+    Platform.with_lock t.lock (fun () ->
+        request_checkpoint_locked t;
+        while t.ckpt_needed || t.ckpt_running do
+          t.cond_done.Platform.wait t.lock
+        done)
+
+let is_checkpoint_running t = t.ckpt_running
+
+let checkpoints_quiesced t =
+  Platform.with_lock t.lock (fun () -> not (t.ckpt_needed || t.ckpt_running))
+
+(* --- footprint ------------------------------------------------------------ *)
+
+let space_used_raw t i =
+  (* Read the Space header fields directly; an unformatted half counts 0. *)
+  let off = t.lay.space_off.(i) in
+  let magic = Pmem.get_u64 t.pm off in
+  if magic = 0 then 0 else Pmem.get_u64 t.pm (off + 16)
+
+let pmem_footprint t =
+  Root.bytes + (2 * t.lay.log_bytes) + space_used_raw t 0 + space_used_raw t 1
+
+let dram_footprint t = Space.used_bytes t.volatile

@@ -1,0 +1,168 @@
+(** The DIPPER engine: Decoupled, In-memory, and Parallel PERsistence
+    (§3 of the paper).
+
+    DIPPER treats a set of DRAM data structures as a black box (§3.2): the
+    host store supplies two hooks — [format_structures] creates the
+    structures in a fresh space, [apply] replays one logical operation —
+    and the engine provides everything else:
+
+    - the persistent logical log (two {!Oplog}s, swapped by pointer),
+    - the frontend critical section and write-write concurrency control
+      (in-flight records + commit-flag spinning, §4.4),
+    - atomic quiescent-free checkpoints (§3.5): archive the log, clone the
+      current shadow space into the other PMEM half, replay committed
+      records with a worker pool, persist, publish the root — all while
+      the frontend keeps serving,
+    - CoW checkpointing (§4.5) as a drop-in alternative for the ablation,
+    - idempotent recovery (§3.6) from both failure points: redo an
+      interrupted checkpoint from the old shadow copies, rebuild the
+      volatile space by bulk copy, replay committed active-log records,
+    - physical-logging capture for the Figure 9 naïve baseline.
+
+    Because the same [apply] code runs on the volatile space (recovery) and
+    the PMEM shadow space (checkpoints), the engine realizes the paper's
+    "same code for both spaces" claim literally. *)
+
+open Dstore_platform
+open Dstore_pmem
+open Dstore_memory
+
+exception Log_full
+(** Raised only under [No_checkpoint] when the log is exhausted. *)
+
+type hooks = {
+  format_structures : Space.t -> unit;
+      (** Create the store's structures in a freshly formatted space. Must
+          be deterministic: it runs identically on the volatile space and
+          the PMEM shadow. *)
+  prepare : Space.t -> Logrec.op -> unit;
+      (** Replay phase 1 — the operation's allocation-pool effects (the
+          work the frontend did inside its critical section). Called
+          serially in LSN order; must read only the pools and the
+          operation's explicit ids, never the key-indexed structures. *)
+  apply : Space.t -> Logrec.op -> unit;
+      (** Replay phase 2 — the key-indexed structure updates (the work the
+          frontend did outside the lock, under observational equivalence).
+          Operations on distinct keys may run in parallel. Must charge its
+          modeled CPU costs. Neither hook ever sees [Noop]. *)
+}
+
+type t
+
+type ticket
+(** An in-flight (appended, uncommitted) record. *)
+
+val layout_bytes : Config.t -> int
+(** PMEM bytes the engine needs for root + two logs + two spaces. *)
+
+val create : Platform.t -> Pmem.t -> Config.t -> hooks -> t
+(** Format a fresh store on the device (root at offset 0). *)
+
+val recover : Platform.t -> Pmem.t -> Config.t -> hooks -> t
+(** Open after a shutdown or crash: redoes an interrupted checkpoint if the
+    root says one was running, rebuilds the volatile space from the current
+    shadow copies, and replays committed log records beyond the applied
+    watermark. *)
+
+val is_initialized : Pmem.t -> bool
+
+val volatile : t -> Space.t
+(** The volatile system space (CoW-barrier-wrapped when configured). *)
+
+val platform : t -> Platform.t
+
+val config : t -> Config.t
+
+(** {1 The write path (paper Figure 4)} *)
+
+val wait_readers : t -> Dstore_structs.Readcount.t -> string -> unit
+(** Poll the read count to zero (§4.4 read-write conflicts). *)
+
+val wait_write_conflict : t -> string -> unit
+(** Block while an in-flight record on this name exists — used by readers
+    for the symmetric read-after-write case. *)
+
+val locked_append :
+  ?ignore_ticket:ticket ->
+  t -> key:string -> max_slots:int -> (unit -> Logrec.op) -> ticket
+(** Steps 1–5 of the write pipeline: acquire the frontend lock; if an
+    in-flight record conflicts on [key], release and spin on its commit
+    flag, then retry; if the active log lacks [max_slots] free slots,
+    trigger a checkpoint and wait for space; otherwise run the caller's
+    allocation steps (which build the final operation), append the record
+    (uncommitted), release the lock, and run the §3.4 flush protocol. *)
+
+val with_frontend_lock : t -> (unit -> 'a) -> 'a
+(** Run under the pool lock without logging — for [oe = false] configs the
+    store also performs its structure updates inside {!locked_append}'s
+    callback; this entry point serves read-side uses. *)
+
+val commit : t -> ticket -> unit
+(** Step 9: persist the commit flag; conflict waiters release once the
+    record is durable. *)
+
+val ticket_lsn : ticket -> int
+
+val ticket_op : ticket -> Logrec.op
+(** The operation the ticket logged — [locked_append]'s callback may build
+    it from under-lock state the caller wants back. *)
+
+val conflicting_ticket : ?ignore_ticket:ticket -> t -> string -> ticket option
+(** The in-flight record on this name, if any (takes and releases the
+    frontend lock). [ignore_ticket] excludes one specific record — the
+    caller's own advisory-lock NOOP, so a lock holder can operate on the
+    object it locked. *)
+
+val wait_ticket_done : t -> ticket -> unit
+(** Spin (with backoff) until the ticket's record commits. *)
+
+(** {1 Physical logging (ablation)} *)
+
+val capture_writes : t -> (unit -> unit) -> (int * string) list
+(** Run [f] with volatile-space write capture enabled and return the redo
+    images. Caller must hold the frontend lock (physical logging runs with
+    [oe = false]). *)
+
+(** {1 Checkpoints} *)
+
+val checkpoint_now : t -> unit
+(** Trigger a checkpoint and block until it completes. *)
+
+val checkpoints_quiesced : t -> bool
+
+val is_checkpoint_running : t -> bool
+(** Lock-free snapshot (racy by design) — lets crash harnesses detect the
+    paper's worst failure point from outside process context. *)
+
+(** {1 Lifecycle} *)
+
+val stop : t -> unit
+(** Stop the background checkpoint manager (no final checkpoint — matching
+    the paper's shutdown, which recovers by replaying the active log). *)
+
+type stats = {
+  mutable checkpoints : int;
+  mutable ckpt_total_ns : int;  (** Wall (virtual) time inside checkpoints. *)
+  mutable ckpt_bytes_cloned : int;
+  mutable log_full_stalls : int;  (** Writers that waited for log space. *)
+  mutable conflict_waits : int;
+  mutable records_appended : int;
+  mutable append_flush_ns : int;
+      (** Total time in the record-flush protocol (Table 3's log-flush
+          component, together with commit flushes). *)
+  mutable records_replayed : int;
+  mutable records_moved : int;  (** Uncommitted records re-homed at swaps. *)
+  mutable cow_faults : int;  (** Client-absorbed CoW page copies. *)
+  mutable recovery_metadata_ns : int;
+  mutable recovery_replay_ns : int;
+  mutable recovery_replayed_records : int;
+}
+
+val stats : t -> stats
+
+val pmem_footprint : t -> int
+(** Bytes of PMEM in active use: root, both logs, used prefixes of both
+    space halves. *)
+
+val dram_footprint : t -> int
+(** Used bytes of the volatile space. *)

@@ -1,0 +1,802 @@
+open Dstore_platform
+open Dstore_pmem
+open Dstore_ssd
+open Dstore_memory
+open Dstore_structs
+
+exception Object_not_found of string
+
+exception Out_of_blocks
+
+type footprint = { dram : int; pmem : int; ssd : int }
+
+type breakdown = {
+  mutable ops : int;
+  mutable lock_alloc_log_ns : int;
+  mutable btree_ns : int;
+  mutable meta_ns : int;
+  mutable ssd_ns : int;
+  mutable log_flush_ns : int;
+}
+
+(* --- reserved-region layout inside every space ---------------------------- *)
+
+(* Must mirror Space.reserve's bump-and-align behaviour exactly; asserted at
+   format time. The same offsets hold in the volatile space, both PMEM
+   shadows, and any recovery copy — which is what makes the pool/zone ids in
+   log records meaningful everywhere. *)
+type regions = { blockpool_off : int; metapool_off : int; zone_off : int }
+
+let align16 n = (n + 15) land lnot 15
+
+let regions_of (cfg : Config.t) =
+  let blockpool_off = Space.header_bytes in
+  let metapool_off =
+    blockpool_off + align16 (Bitpool.bytes_needed cfg.ssd_blocks)
+  in
+  let zone_off =
+    metapool_off + align16 (Bitpool.bytes_needed cfg.meta_entries)
+  in
+  { blockpool_off; metapool_off; zone_off }
+
+(* Structure handles over one space. *)
+type handles = {
+  hspace : Space.t;
+  btree : Btree.t;
+  zone : Metazone.t;
+  blockpool : Bitpool.t;
+  metapool : Bitpool.t;
+}
+
+let btree_root_slot = 0
+
+let attach_handles (cfg : Config.t) reg space =
+  {
+    hspace = space;
+    btree = Btree.attach space ~root_slot:btree_root_slot;
+    zone = Metazone.attach space ~off:reg.zone_off ~count:cfg.meta_entries;
+    blockpool = Bitpool.attach space ~off:reg.blockpool_off ~count:cfg.ssd_blocks;
+    metapool = Bitpool.attach space ~off:reg.metapool_off ~count:cfg.meta_entries;
+  }
+
+let format_structures (cfg : Config.t) reg space =
+  let o1 = Space.reserve space (Bitpool.bytes_needed cfg.ssd_blocks) in
+  let o2 = Space.reserve space (Bitpool.bytes_needed cfg.meta_entries) in
+  let o3 = Space.reserve space (Metazone.bytes_needed cfg.meta_entries) in
+  assert (o1 = reg.blockpool_off && o2 = reg.metapool_off && o3 = reg.zone_off);
+  ignore (Bitpool.format space ~off:o1 ~count:cfg.ssd_blocks);
+  ignore (Bitpool.format space ~off:o2 ~count:cfg.meta_entries);
+  ignore (Metazone.format space ~off:o3 ~count:cfg.meta_entries);
+  ignore (Btree.create space ~root_slot:btree_root_slot)
+
+(* --- store ------------------------------------------------------------------ *)
+
+type ctx_id = int
+
+type t = {
+  platform : Platform.t;
+  cfg : Config.t;
+  reg : regions;
+  engine : Dipper.t;
+  ssd : Ssd.t;
+  rc : Readcount.t;
+  mutable h : handles;  (* over the volatile space *)
+  struct_lock : Platform.mutex;
+      (* Serializes index/metadata updates when [oe = false]; unused (no
+         contention) when observational equivalence is on. *)
+  held_locks : (string, ctx_id * Dipper.ticket) Hashtbl.t;
+  locks_guard : Mutex.t;
+  mutable collect_breakdown : bool;
+  bd : breakdown;
+}
+
+type ctx = { store : t; id : ctx_id; mutable live : bool }
+
+type obj = {
+  octx : ctx;
+  name : string;
+  mode : [ `Rd | `Wr | `Rdwr ];
+  mutable closed : bool;
+}
+
+type open_mode = Rd | Wr | Rdwr
+
+let engine t = t.engine
+
+let config t = t.cfg
+
+let is_initialized = Dipper.is_initialized
+
+let breakdown t = t.bd
+
+let set_collect_breakdown t v = t.collect_breakdown <- v
+
+let to_mz extents = List.map (fun (s, l) -> { Metazone.start = s; len = l }) extents
+
+let of_mz extents = List.map (fun e -> (e.Metazone.start, e.Metazone.len)) extents
+
+(* --- replay hooks ------------------------------------------------------------ *)
+
+(* Phase 1: pool effects, serial in LSN order (what the frontend did under
+   the lock, plus the commit-time releases). *)
+let prepare_op h (op : Logrec.op) =
+  let mark extents =
+    List.iter
+      (fun (s, l) ->
+        for b = s to s + l - 1 do
+          Bitpool.set_allocated h.blockpool b
+        done)
+      extents
+  in
+  let release extents =
+    List.iter
+      (fun (s, l) ->
+        for b = s to s + l - 1 do
+          Bitpool.free h.blockpool b
+        done)
+      extents
+  in
+  match op with
+  | Logrec.Put { meta; extents; freed_meta; freed_extents; _ } ->
+      mark extents;
+      Bitpool.set_allocated h.metapool meta;
+      release freed_extents;
+      if freed_meta >= 0 then Bitpool.free h.metapool freed_meta
+  | Logrec.Create { meta; _ } -> Bitpool.set_allocated h.metapool meta
+  | Logrec.Write { new_extents; _ } -> mark new_extents
+  | Logrec.Delete { meta; extents; _ } ->
+      release extents;
+      Bitpool.free h.metapool meta
+  | Logrec.Noop _ -> ()
+  | Logrec.Phys _ -> ()
+
+(* Phase 2: key-indexed structure updates (what the frontend did outside
+   the lock, under observational equivalence). *)
+let apply_op platform (cfg : Config.t) h (op : Logrec.op) =
+  let costs = cfg.costs in
+  match op with
+  | Logrec.Put { key; size; meta; extents; freed_meta; _ } ->
+      platform.Platform.consume (costs.meta_ns + costs.btree_ns);
+      Metazone.write_object h.zone meta ~size (to_mz extents);
+      ignore (Btree.insert h.btree key meta)
+  | Logrec.Create { key; meta } ->
+      platform.Platform.consume (costs.meta_ns + costs.btree_ns);
+      Metazone.write_object h.zone meta ~size:0 [];
+      ignore (Btree.insert h.btree key meta)
+  | Logrec.Write { meta; size; new_extents; _ } ->
+      platform.Platform.consume costs.meta_ns;
+      if new_extents <> [] then
+        Metazone.append_extents h.zone meta (to_mz new_extents);
+      Metazone.set_size h.zone meta size
+  | Logrec.Delete { key; _ } ->
+      platform.Platform.consume (costs.meta_ns + costs.btree_ns);
+      ignore (Btree.delete h.btree key)
+  | Logrec.Noop _ -> ()
+  | Logrec.Phys { images } ->
+      platform.Platform.consume costs.meta_ns;
+      let m = Space.mem h.hspace in
+      List.iter (fun (off, bytes) -> Mem.write_string m ~off bytes) images
+
+(* Replay hooks run per record; re-attaching four structure handles each
+   time dominates replay cost, so memoize per space (physical equality —
+   shadow spaces are short-lived, so a tiny cache suffices). *)
+let cached_handles cfg reg =
+  let cache = ref [] in
+  fun space ->
+    match List.assq_opt space !cache with
+    | Some h -> h
+    | None ->
+        let h = attach_handles cfg reg space in
+        cache := (space, h) :: (match !cache with a :: b :: _ -> [ a; b ] | l -> l);
+        h
+
+let hooks platform cfg reg =
+  let handles_of = cached_handles cfg reg in
+  {
+    Dipper.format_structures = (fun space -> format_structures cfg reg space);
+    prepare = (fun space op -> prepare_op (handles_of space) op);
+    apply = (fun space op -> apply_op platform cfg (handles_of space) op);
+  }
+
+let build platform cfg engine ssd =
+  let reg = regions_of cfg in
+  let h = attach_handles cfg reg (Dipper.volatile engine) in
+  {
+    platform;
+    cfg;
+    reg;
+    engine;
+    ssd;
+    rc = Readcount.create ~buckets:cfg.readcount_buckets ();
+    h;
+    struct_lock = platform.Platform.new_mutex ();
+    held_locks = Hashtbl.create 64;
+    locks_guard = Mutex.create ();
+    collect_breakdown = false;
+    bd =
+      {
+        ops = 0;
+        lock_alloc_log_ns = 0;
+        btree_ns = 0;
+        meta_ns = 0;
+        ssd_ns = 0;
+        log_flush_ns = 0;
+      };
+  }
+
+let create platform pm ssd cfg =
+  let reg = regions_of cfg in
+  let engine = Dipper.create platform pm cfg (hooks platform cfg reg) in
+  build platform cfg engine ssd
+
+let recover platform pm ssd cfg =
+  let reg = regions_of cfg in
+  let engine = Dipper.recover platform pm cfg (hooks platform cfg reg) in
+  build platform cfg engine ssd
+
+let stop t = Dipper.stop t.engine
+
+let checkpoint_now t = Dipper.checkpoint_now t.engine
+
+let next_ctx_id = Atomic.make 1
+
+let ds_init t = { store = t; id = Atomic.fetch_and_add next_ctx_id 1; live = true }
+
+let ds_finalize ctx = ctx.live <- false
+
+let check_ctx ctx = if not ctx.live then invalid_arg "DStore: finalized context"
+
+(* The caller's own advisory-lock record on [name], if it holds one: its
+   NOOP must not conflict with the holder's own operations. *)
+let own_lock ctx name =
+  let t = ctx.store in
+  Mutex.lock t.locks_guard;
+  let r =
+    match Hashtbl.find_opt t.held_locks name with
+    | Some (owner, tk) when owner = ctx.id -> Some tk
+    | _ -> None
+  in
+  Mutex.unlock t.locks_guard;
+  r
+
+(* With observational equivalence (the default), index and metadata updates
+   by non-conflicting requests run fully in parallel; the [oe = false]
+   ablation serializes them behind one lock (Figure 9's "+OE" step).
+
+   Copy-on-write checkpointing also serializes structure access — writers
+   AND readers: a write-protection fault suspends its client mid-update
+   (the page copy takes time), so without mutual exclusion another client
+   could traverse a half-updated structure. Real CoW has the same
+   property: the faulting writer holds the page inaccessible until the
+   copy completes. This serialization is precisely the concurrency cost
+   the paper attributes to the CoW design (§4.5, Figure 9). *)
+let serialized t = (not t.cfg.oe) || t.cfg.checkpoint = Config.Cow
+
+let with_structs t f =
+  if serialized t then Platform.with_lock t.struct_lock f else f ()
+
+(* Read-side guard: needed only under CoW (see above); OE reads are safe
+   because every structure mutation is atomic between scheduling points. *)
+let with_structs_read t f =
+  if t.cfg.checkpoint = Config.Cow then Platform.with_lock t.struct_lock f
+  else f ()
+
+(* --- data plane helpers ------------------------------------------------------ *)
+
+let page_size t = Ssd.page_size t.ssd
+
+let blocks_for t size = (size + page_size t - 1) / page_size t
+
+(* Write [size] bytes of [buf] to the blocks of [extents], in order. *)
+let write_data t extents buf size =
+  if size > 0 then begin
+    let ps = page_size t in
+    let nblocks = blocks_for t size in
+    let padded =
+      if Bytes.length buf >= nblocks * ps then buf
+      else begin
+        let b = Bytes.make (nblocks * ps) '\000' in
+        Bytes.blit buf 0 b 0 size;
+        b
+      end
+    in
+    let pos = ref 0 in
+    List.iter
+      (fun (start, len) ->
+        Ssd.write t.ssd ~page:start padded ~off:(!pos * ps) ~count:len;
+        pos := !pos + len)
+      extents
+  end
+
+let read_data t extents buf size =
+  if size > 0 then begin
+    let ps = page_size t in
+    let nblocks = blocks_for t size in
+    let scratch = Bytes.create (nblocks * ps) in
+    let pos = ref 0 in
+    List.iter
+      (fun (start, len) ->
+        if !pos < nblocks then begin
+          let len = min len (nblocks - !pos) in
+          Ssd.read t.ssd ~page:start scratch ~off:(!pos * ps) ~count:len;
+          pos := !pos + len
+        end)
+      extents;
+    Bytes.blit scratch 0 buf 0 size
+  end
+
+(* --- allocation helpers (run under the frontend lock) ------------------------- *)
+
+let alloc_blocks t nblocks =
+  if nblocks = 0 then []
+  else
+    match Bitpool.alloc_run t.h.blockpool nblocks with
+    | Some extents -> extents
+    | None -> raise Out_of_blocks
+
+let alloc_meta t =
+  match Bitpool.alloc t.h.metapool with
+  | Some m -> m
+  | None -> raise Out_of_blocks
+
+(* Commit-time releases: performed under the frontend lock so replay (which
+   processes pool effects serially in LSN order) can never observe a block
+   freed by record X yet allocated by a record younger than X. *)
+let release_freed t freed_meta freed_extents =
+  if freed_meta >= 0 || freed_extents <> [] then
+    Dipper.with_frontend_lock t.engine (fun () ->
+        List.iter
+          (fun (s, l) ->
+            for b = s to s + l - 1 do
+              Bitpool.free t.h.blockpool b
+            done)
+          freed_extents;
+        if freed_meta >= 0 then Bitpool.free t.h.metapool freed_meta)
+
+(* Worst-case record size, computable before taking the lock. *)
+let put_max_slots key nblocks =
+  let worst =
+    Logrec.Put
+      {
+        key;
+        size = 0;
+        meta = 0;
+        extents = List.init (max nblocks 1) (fun i -> (i * 2, 1));
+        freed_meta = 0;
+        freed_extents =
+          List.init (max nblocks 1 + 4) (fun i -> (i * 2, 1));
+      }
+  in
+  Logrec.slots_needed worst
+
+let now t = t.platform.Platform.now ()
+
+(* --- the write pipeline (Figure 4) ------------------------------------------- *)
+
+let put_structures t key meta size extents freed_meta =
+  let t6 = now t in
+  t.platform.Platform.consume t.cfg.costs.meta_ns;
+  Metazone.write_object t.h.zone meta ~size (to_mz extents);
+  let t7 = now t in
+  t.platform.Platform.consume t.cfg.costs.btree_ns;
+  ignore (Btree.insert t.h.btree key meta);
+  ignore freed_meta;
+  if t.collect_breakdown then begin
+    t.bd.meta_ns <- t.bd.meta_ns + (t7 - t6);
+    t.bd.btree_ns <- t.bd.btree_ns + (now t - t7)
+  end
+
+let oput_logical ctx t key value size =
+  let nblocks = blocks_for t size in
+  let ignore_ticket = own_lock ctx key in
+  let t0 = now t in
+  (* Steps 1-5: lock, find the binding being replaced, allocate, log. *)
+  let ticket =
+    Dipper.locked_append ?ignore_ticket t.engine ~key
+      ~max_slots:(put_max_slots key nblocks)
+      (fun () ->
+        let freed_meta, freed_extents =
+          match Btree.find t.h.btree key with
+          | Some old_meta ->
+              let _, exts = Metazone.read_object t.h.zone old_meta in
+              (old_meta, of_mz exts)
+          | None -> (-1, [])
+        in
+        let extents = alloc_blocks t nblocks in
+        let meta = alloc_meta t in
+        Logrec.Put { key; size; meta; extents; freed_meta; freed_extents })
+  in
+  let t5 = now t in
+  let meta, extents, freed_meta, freed_extents =
+    match Dipper.ticket_op ticket with
+    | Logrec.Put { meta; extents; freed_meta; freed_extents; _ } ->
+        (meta, extents, freed_meta, freed_extents)
+    | _ -> assert false
+  in
+  (* Drain readers of this object, then steps 6-7 (metadata + index). *)
+  Dipper.wait_readers t.engine t.rc key;
+  with_structs t (fun () ->
+      put_structures t key meta size extents freed_meta);
+  (* Step 8: data to the SSD. *)
+  let t8 = now t in
+  write_data t extents value size;
+  (* Step 9: commit and flush, then release the replaced allocation. *)
+  let t9 = now t in
+  Dipper.commit t.engine ticket;
+  release_freed t freed_meta freed_extents;
+  if t.collect_breakdown then begin
+    t.bd.ops <- t.bd.ops + 1;
+    t.bd.lock_alloc_log_ns <- t.bd.lock_alloc_log_ns + (t5 - t0);
+    t.bd.ssd_ns <- t.bd.ssd_ns + (t9 - t8);
+    t.bd.log_flush_ns <- t.bd.log_flush_ns + (now t - t9)
+  end
+
+(* Physical-logging put (Figure 9 naïve baseline): allocations, structure
+   updates and releases all run inside the critical section under write
+   capture; the record carries redo images of every modified byte range.
+   Intended for the write-only ablation workload (see DESIGN.md). *)
+let oput_physical ctx t key value size =
+  let nblocks = blocks_for t size in
+  let ignore_ticket = own_lock ctx key in
+  let data_extents = ref [] in
+  let ticket =
+    Dipper.locked_append ?ignore_ticket t.engine ~key ~max_slots:(t.cfg.log_slots / 4)
+      (fun () ->
+        let images =
+          Dipper.capture_writes t.engine (fun () ->
+              let freed_meta, freed_extents =
+                match Btree.find t.h.btree key with
+                | Some old_meta ->
+                    let _, exts = Metazone.read_object t.h.zone old_meta in
+                    (old_meta, of_mz exts)
+                | None -> (-1, [])
+              in
+              let extents = alloc_blocks t nblocks in
+              let meta = alloc_meta t in
+              data_extents := extents;
+              t.platform.Platform.consume
+                (t.cfg.costs.meta_ns + t.cfg.costs.btree_ns);
+              Metazone.write_object t.h.zone meta ~size (to_mz extents);
+              ignore (Btree.insert t.h.btree key meta);
+              if freed_meta >= 0 then Bitpool.free t.h.metapool freed_meta;
+              List.iter
+                (fun (s, l) ->
+                  for b = s to s + l - 1 do
+                    Bitpool.free t.h.blockpool b
+                  done)
+                freed_extents)
+        in
+        Logrec.Phys { images })
+  in
+  write_data t !data_extents value size;
+  Dipper.commit t.engine ticket
+
+let oput ctx key value =
+  check_ctx ctx;
+  let t = ctx.store in
+  let size = Bytes.length value in
+  match t.cfg.logging with
+  | Config.Logical -> oput_logical ctx t key value size
+  | Config.Physical -> oput_physical ctx t key value size
+
+(* --- reads ----------------------------------------------------------------- *)
+
+(* Reader protocol (§4.4): enter the read count, then back out and wait if
+   a write on this name is in flight. A writer appends its record before
+   draining the read count, so it only ever waits on readers that entered
+   before its record appeared — and those readers never wait on it: no
+   circular wait. *)
+let rec read_entry ctx key =
+  let t = ctx.store in
+  Readcount.enter_reader t.rc key;
+  match
+    Dipper.conflicting_ticket ?ignore_ticket:(own_lock ctx key) t.engine key
+  with
+  | None -> ()
+  | Some tk ->
+      Readcount.exit_reader t.rc key;
+      Dipper.wait_ticket_done t.engine tk;
+      read_entry ctx key
+
+let read_exit t key = Readcount.exit_reader t.rc key
+
+let oget_into ctx key buf =
+  check_ctx ctx;
+  let t = ctx.store in
+  read_entry ctx key;
+  let located =
+    with_structs_read t (fun () ->
+        match Btree.find t.h.btree key with
+        | None -> None
+        | Some meta ->
+            t.platform.Platform.consume t.cfg.costs.lookup_ns;
+            let size, extents = Metazone.read_object t.h.zone meta in
+            Some (size, extents))
+  in
+  let result =
+    match located with
+    | None -> -1
+    | Some (size, extents) ->
+        assert (Bytes.length buf >= size);
+        read_data t (of_mz extents) buf size;
+        size
+  in
+  read_exit t key;
+  result
+
+let oget ctx key =
+  check_ctx ctx;
+  let t = ctx.store in
+  read_entry ctx key;
+  let result =
+    match Btree.find t.h.btree key with
+    | None -> None
+    | Some meta ->
+        t.platform.Platform.consume t.cfg.costs.lookup_ns;
+        let size, extents = Metazone.read_object t.h.zone meta in
+        let buf = Bytes.create size in
+        read_data t (of_mz extents) buf size;
+        Some buf
+  in
+  read_exit t key;
+  result
+
+let oexists ctx key =
+  check_ctx ctx;
+  let t = ctx.store in
+  read_entry ctx key;
+  let r = Btree.mem t.h.btree key in
+  read_exit t key;
+  r
+
+(* --- delete ----------------------------------------------------------------- *)
+
+let odelete ctx key =
+  check_ctx ctx;
+  let t = ctx.store in
+  let ticket =
+    Dipper.locked_append
+      ?ignore_ticket:(own_lock ctx key)
+      t.engine ~key ~max_slots:(put_max_slots key 1)
+      (fun () ->
+        match Btree.find t.h.btree key with
+        | None -> Logrec.Noop { key }
+        | Some meta ->
+            let _, exts = Metazone.read_object t.h.zone meta in
+            Logrec.Delete { key; meta; extents = of_mz exts })
+  in
+  match Dipper.ticket_op ticket with
+  | Logrec.Noop _ ->
+      Dipper.commit t.engine ticket;
+      false
+  | Logrec.Delete { meta; extents; _ } ->
+      Dipper.wait_readers t.engine t.rc key;
+      with_structs t (fun () ->
+          t.platform.Platform.consume t.cfg.costs.btree_ns;
+          ignore (Btree.delete t.h.btree key));
+      Dipper.commit t.engine ticket;
+      release_freed t meta extents;
+      true
+  | _ -> assert false
+
+(* --- filesystem-style API ----------------------------------------------------- *)
+
+let oopen ctx name ?(create = true) mode =
+  check_ctx ctx;
+  let t = ctx.store in
+  let exists = with_structs_read t (fun () -> Btree.mem t.h.btree name) in
+  (match (exists, create, mode) with
+  | true, _, _ -> ()
+  | false, true, (Wr | Rdwr) ->
+      let ticket =
+        Dipper.locked_append
+          ?ignore_ticket:(own_lock ctx name)
+          t.engine ~key:name ~max_slots:4 (fun () ->
+            (* Re-check under the lock: a racing oopen may have created it. *)
+            match Btree.find t.h.btree name with
+            | Some _ -> Logrec.Noop { key = name }
+            | None -> Logrec.Create { key = name; meta = alloc_meta t })
+      in
+      (match Dipper.ticket_op ticket with
+      | Logrec.Create { meta; _ } ->
+          Dipper.wait_readers t.engine t.rc name;
+          with_structs t (fun () ->
+              t.platform.Platform.consume
+                (t.cfg.costs.meta_ns + t.cfg.costs.btree_ns);
+              Metazone.write_object t.h.zone meta ~size:0 [];
+              ignore (Btree.insert t.h.btree name meta))
+      | _ -> ());
+      Dipper.commit t.engine ticket
+  | false, _, _ -> raise (Object_not_found name));
+  {
+    octx = ctx;
+    name;
+    mode = (match mode with Rd -> `Rd | Wr -> `Wr | Rdwr -> `Rdwr);
+    closed = false;
+  }
+
+let check_obj o =
+  if o.closed then invalid_arg "DStore: operation on closed object";
+  check_ctx o.octx
+
+let oclose o =
+  check_obj o;
+  o.closed <- true
+
+let osize o =
+  check_obj o;
+  let t = o.octx.store in
+  read_entry o.octx o.name;
+  let size =
+    with_structs_read t (fun () ->
+        match Btree.find t.h.btree o.name with
+        | None -> None
+        | Some meta -> Some (fst (Metazone.read_object t.h.zone meta)))
+  in
+  read_exit t o.name;
+  match size with None -> raise (Object_not_found o.name) | Some s -> s
+
+(* Flatten extents into a page array for random page addressing. *)
+let pages_of_extents extents =
+  let flat = ref [] in
+  List.iter
+    (fun (s, l) ->
+      for i = 0 to l - 1 do
+        flat := (s + i) :: !flat
+      done)
+    extents;
+  Array.of_list (List.rev !flat)
+
+let oread o buf ~size ~off =
+  check_obj o;
+  if o.mode = `Wr then invalid_arg "DStore.oread: object opened write-only";
+  let t = o.octx.store in
+  read_entry o.octx o.name;
+  let located =
+    with_structs_read t (fun () ->
+        match Btree.find t.h.btree o.name with
+        | None -> None
+        | Some meta -> Some (Metazone.read_object t.h.zone meta))
+  in
+  let result =
+    match located with
+    | None ->
+        read_exit t o.name;
+        raise (Object_not_found o.name)
+    | Some (osz, extents) ->
+        if off >= osz then 0
+        else begin
+          let n = min size (osz - off) in
+          t.platform.Platform.consume t.cfg.costs.lookup_ns;
+          let ps = page_size t in
+          let first_page = off / ps and last_page = (off + n - 1) / ps in
+          let scratch = Bytes.create ((last_page - first_page + 1) * ps) in
+          let pages = pages_of_extents (of_mz extents) in
+          for p = first_page to last_page do
+            Ssd.read t.ssd ~page:pages.(p) scratch
+              ~off:((p - first_page) * ps)
+              ~count:1
+          done;
+          Bytes.blit scratch (off - (first_page * ps)) buf 0 n;
+          n
+        end
+  in
+  read_exit t o.name;
+  result
+
+let owrite o buf ~size ~off =
+  check_obj o;
+  if o.mode = `Rd then invalid_arg "DStore.owrite: object opened read-only";
+  let t = o.octx.store in
+  if size = 0 then 0
+  else begin
+    let ps = page_size t in
+    let name = o.name in
+    let new_end = off + size in
+    let plan = ref None in
+    let ticket =
+      Dipper.locked_append
+        ?ignore_ticket:(own_lock o.octx name)
+        t.engine ~key:name
+        ~max_slots:(put_max_slots name (blocks_for t size + 1))
+        (fun () ->
+          let meta =
+            match Btree.find t.h.btree name with
+            | Some m -> m
+            | None -> raise (Object_not_found name)
+          in
+          let osz, extents = Metazone.read_object t.h.zone meta in
+          let have_blocks = Metazone.blocks_of extents in
+          let need_blocks = (max new_end osz + ps - 1) / ps in
+          let extra = need_blocks - have_blocks in
+          let new_extents = if extra > 0 then alloc_blocks t extra else [] in
+          let new_size = max new_end osz in
+          plan := Some (meta, of_mz extents, new_extents, new_size);
+          if new_extents = [] && new_size = osz then
+            (* In-place overwrite: no metadata change, no logical record
+               needed (§4.3); the NOOP still serializes conflicting
+               writers through the conflict scan. *)
+            Logrec.Noop { key = name }
+          else Logrec.Write { key = name; meta; size = new_size; new_extents })
+    in
+    let meta, old_extents, new_extents, new_size = Option.get !plan in
+    Dipper.wait_readers t.engine t.rc name;
+    (match Dipper.ticket_op ticket with
+    | Logrec.Write _ ->
+        with_structs t (fun () ->
+            t.platform.Platform.consume t.cfg.costs.meta_ns;
+            if new_extents <> [] then
+              Metazone.append_extents t.h.zone meta (to_mz new_extents);
+            Metazone.set_size t.h.zone meta new_size)
+    | _ -> ());
+    (* Data: page-granular read-modify-write over the affected range. *)
+    let pages = pages_of_extents (old_extents @ new_extents) in
+    let first_page = off / ps and last_page = (new_end - 1) / ps in
+    let span = (last_page - first_page + 1) * ps in
+    let scratch = Bytes.make span '\000' in
+    let old_pages = Metazone.blocks_of (to_mz old_extents) in
+    let fetch_page p dst_off =
+      if p < old_pages then
+        Ssd.read t.ssd ~page:pages.(p) scratch ~off:dst_off ~count:1
+    in
+    if off mod ps <> 0 then fetch_page first_page 0;
+    if new_end mod ps <> 0 && last_page <> first_page then
+      fetch_page last_page ((last_page - first_page) * ps);
+    Bytes.blit buf 0 scratch (off - (first_page * ps)) size;
+    for p = first_page to last_page do
+      Ssd.write t.ssd ~page:pages.(p) scratch
+        ~off:((p - first_page) * ps)
+        ~count:1
+    done;
+    Dipper.commit t.engine ticket;
+    size
+  end
+
+(* --- advisory object locks (olock/ounlock, §4.5) ------------------------------- *)
+
+let olock ctx name =
+  check_ctx ctx;
+  let t = ctx.store in
+  let ticket =
+    Dipper.locked_append
+      ?ignore_ticket:(own_lock ctx name)
+      t.engine ~key:name ~max_slots:2 (fun () ->
+        Logrec.Noop { key = name })
+  in
+  Mutex.lock t.locks_guard;
+  Hashtbl.replace t.held_locks name (ctx.id, ticket);
+  Mutex.unlock t.locks_guard
+
+let ounlock ctx name =
+  check_ctx ctx;
+  let t = ctx.store in
+  Mutex.lock t.locks_guard;
+  let entry = Hashtbl.find_opt t.held_locks name in
+  Hashtbl.remove t.held_locks name;
+  Mutex.unlock t.locks_guard;
+  match entry with
+  | Some (_, tk) -> Dipper.commit t.engine tk
+  | None -> invalid_arg (Printf.sprintf "DStore.ounlock: %S is not locked" name)
+
+(* --- introspection -------------------------------------------------------------- *)
+
+let object_count t = Btree.length t.h.btree
+
+let iter_names t f = Btree.iter t.h.btree (fun k _ -> f k)
+
+let olist ctx ~prefix =
+  check_ctx ctx;
+  let t = ctx.store in
+  let acc = ref [] in
+  Btree.iter t.h.btree (fun k _ ->
+      if String.length k >= String.length prefix
+         && String.sub k 0 (String.length prefix) = prefix
+      then acc := k :: !acc);
+  List.rev !acc
+
+let footprint t =
+  {
+    dram = Dipper.dram_footprint t.engine;
+    pmem = Dipper.pmem_footprint t.engine;
+    ssd = Bitpool.allocated t.h.blockpool * page_size t;
+  }

@@ -1,0 +1,145 @@
+(** DStore: the decoupled object store (§4 of the paper).
+
+    An embedded storage sub-system exposing both key-value ([oget]/[oput]/
+    [odelete]) and filesystem-style ([oopen]/[oclose]/[oread]/[owrite])
+    access to modifiable objects (Table 2). The control plane — object
+    index (B-tree), metadata zone, block and metadata pools — lives in
+    DRAM, made persistent by DIPPER shadow copies in PMEM; the data plane
+    is an SSD with a power-loss-protected write cache (Figure 4).
+
+    A whole-object write follows the paper's nine steps: lock the pools;
+    append the logical log record; allocate blocks and a metadata page;
+    unlock; write the metadata entry and B-tree record (in parallel with
+    other requests, by observational equivalence); write the data to the
+    SSD; commit and flush the log record. Two refinements over the paper's
+    prose, both explained in DESIGN.md: allocated (and to-be-freed) extents
+    are carried in the record so checkpoint replay is allocation-exact, and
+    blocks freed by an overwrite or delete are released only at commit so a
+    crash before commit can never have handed a still-referenced block to
+    another object.
+
+    All calls must run in platform thread context (a simulated process or
+    a real thread). Each application thread creates its own {!ctx}
+    ([ds_init]/[ds_finalize]). *)
+
+open Dstore_platform
+open Dstore_pmem
+open Dstore_ssd
+
+type t
+
+type ctx
+
+type obj
+(** An open object handle (filesystem API). *)
+
+exception Object_not_found of string
+
+exception Out_of_blocks
+
+(** {1 Environment} *)
+
+val create : Platform.t -> Pmem.t -> Ssd.t -> Config.t -> t
+(** Format a fresh store across the two devices. *)
+
+val recover : Platform.t -> Pmem.t -> Ssd.t -> Config.t -> t
+(** Open an existing store after shutdown or crash (§3.6). *)
+
+val is_initialized : Pmem.t -> bool
+
+val stop : t -> unit
+(** Stop background machinery. No final checkpoint: recovery replays the
+    active log, as in the paper's clean-shutdown measurement. *)
+
+val ds_init : t -> ctx
+(** Per-thread request context (Table 2: [ds_init]). *)
+
+val ds_finalize : ctx -> unit
+
+(** {1 Key-value API} *)
+
+val oput : ctx -> string -> Bytes.t -> unit
+(** Store the whole object (create or replace). Durable on return. *)
+
+val oget : ctx -> string -> Bytes.t option
+(** Fetch the whole object. *)
+
+val oget_into : ctx -> string -> Bytes.t -> int
+(** Zero-copy-ish variant: read into the caller's buffer, return the
+    object size; -1 if absent. The buffer must be large enough. *)
+
+val odelete : ctx -> string -> bool
+(** Remove an object; [false] if it did not exist. Durable on return. *)
+
+val oexists : ctx -> string -> bool
+
+(** {1 Filesystem-style API} *)
+
+type open_mode = Rd | Wr | Rdwr
+
+val oopen : ctx -> string -> ?create:bool -> open_mode -> obj
+(** Open an object. With [create:true] (default), a missing object is
+    created empty (logged as a [Create] record). Raises
+    {!Object_not_found} when [create:false] and absent. *)
+
+val oclose : obj -> unit
+
+val osize : obj -> int
+
+val oread : obj -> Bytes.t -> size:int -> off:int -> int
+(** Read up to [size] bytes at object offset [off]; returns bytes read
+    (short at end of object). *)
+
+val owrite : obj -> Bytes.t -> size:int -> off:int -> int
+(** Write [size] bytes at object offset [off], extending the object if
+    needed. In-place page overwrites log nothing (§4.3); extensions log a
+    metadata record. Durable on return. *)
+
+(** {1 Concurrency control} *)
+
+val olock : ctx -> string -> unit
+(** Acquire an advisory object lock: appends a NOOP record that conflict
+    scans treat as an in-flight operation (§4.5). Blocks while another
+    lock or write on the name is in flight. *)
+
+val ounlock : ctx -> string -> unit
+(** Release: commits the NOOP record. *)
+
+(** {1 Introspection} *)
+
+val object_count : t -> int
+
+val iter_names : t -> (string -> unit) -> unit
+(** Object names in lexicographic order. *)
+
+val olist : ctx -> prefix:string -> string list
+(** Names with the given prefix, in order — a cheap by-product of the
+    B-tree's leaf chain, useful for directory-style listings (see
+    [examples/filestore.ml]). *)
+
+val checkpoint_now : t -> unit
+
+val engine : t -> Dipper.t
+
+val config : t -> Config.t
+
+type footprint = { dram : int; pmem : int; ssd : int }
+
+val footprint : t -> footprint
+
+(** {1 Write-path breakdown (Table 3)} *)
+
+(** Cumulative per-stage virtual time of whole-object puts, for the
+    paper's Table 3. Enable with {!set_collect_breakdown}. *)
+type breakdown = {
+  mutable ops : int;
+  mutable lock_alloc_log_ns : int;  (** Steps 1–5 (lock, alloc, log write). *)
+  mutable btree_ns : int;  (** Step 7. *)
+  mutable meta_ns : int;  (** Step 6. *)
+  mutable ssd_ns : int;  (** Step 8 (NVMe write). *)
+  mutable log_flush_ns : int;  (** Record flush + commit flush (§3.4, step 9). *)
+}
+
+val set_collect_breakdown : t -> bool -> unit
+
+val breakdown : t -> breakdown

@@ -1,0 +1,172 @@
+type extent = int * int
+
+type op =
+  | Put of {
+      key : string;
+      size : int;
+      meta : int;
+      extents : extent list;
+      freed_meta : int;
+      freed_extents : extent list;
+    }
+  | Create of { key : string; meta : int }
+  | Write of { key : string; meta : int; size : int; new_extents : extent list }
+  | Delete of { key : string; meta : int; extents : extent list }
+  | Noop of { key : string }
+  | Phys of { images : (int * string) list }
+
+let op_key = function
+  | Put { key; _ } | Create { key; _ } | Write { key; _ } | Delete { key; _ }
+  | Noop { key } ->
+      Some key
+  | Phys _ -> None
+
+let header_bytes = 24
+
+let slot_bytes = 64
+
+let tag_of_op = function
+  | Put _ -> 1
+  | Create _ -> 2
+  | Write _ -> 3
+  | Delete _ -> 4
+  | Noop _ -> 5
+  | Phys _ -> 6
+
+(* --- little-endian append helpers on Buffer --- *)
+
+let add_u16 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff))
+
+let add_u32 buf v =
+  add_u16 buf (v land 0xffff);
+  add_u16 buf ((v lsr 16) land 0xffff)
+
+let add_u64 buf v =
+  add_u32 buf (v land 0xFFFFFFFF);
+  add_u32 buf ((v lsr 32) land 0x7FFFFFFF)
+
+let add_str buf s =
+  add_u16 buf (String.length s);
+  Buffer.add_string buf s
+
+let add_extents buf extents =
+  add_u16 buf (List.length extents);
+  List.iter
+    (fun (start, len) ->
+      add_u32 buf start;
+      add_u32 buf len)
+    extents
+
+let encode_payload op =
+  let buf = Buffer.create 64 in
+  (match op with
+  | Put { key; size; meta; extents; freed_meta; freed_extents } ->
+      add_str buf key;
+      add_u64 buf size;
+      add_u32 buf meta;
+      add_extents buf extents;
+      add_u32 buf (if freed_meta < 0 then 0xFFFFFFFF else freed_meta);
+      add_extents buf freed_extents
+  | Create { key; meta } ->
+      add_str buf key;
+      add_u32 buf meta
+  | Write { key; meta; size; new_extents } ->
+      add_str buf key;
+      add_u32 buf meta;
+      add_u64 buf size;
+      add_extents buf new_extents
+  | Delete { key; meta; extents } ->
+      add_str buf key;
+      add_u32 buf meta;
+      add_extents buf extents
+  | Noop { key } -> add_str buf key
+  | Phys { images } ->
+      add_u16 buf (List.length images);
+      List.iter
+        (fun (off, bytes) ->
+          add_u64 buf off;
+          add_str buf bytes)
+        images);
+  Buffer.to_bytes buf
+
+(* --- decoding --- *)
+
+type cursor = { b : Bytes.t; mutable pos : int }
+
+let get_u16 c =
+  let v = Bytes.get_uint16_le c.b c.pos in
+  c.pos <- c.pos + 2;
+  v
+
+let get_u32 c =
+  let v = Int32.to_int (Bytes.get_int32_le c.b c.pos) land 0xFFFFFFFF in
+  c.pos <- c.pos + 4;
+  v
+
+let get_u64 c =
+  let v = Int64.to_int (Bytes.get_int64_le c.b c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_str c =
+  let len = get_u16 c in
+  if c.pos + len > Bytes.length c.b then failwith "Logrec: truncated string";
+  let s = Bytes.sub_string c.b c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let get_extents c =
+  let n = get_u16 c in
+  List.init n (fun _ ->
+      let start = get_u32 c in
+      let len = get_u32 c in
+      (start, len))
+
+let decode_payload ~tag b =
+  let c = { b; pos = 0 } in
+  try
+    match tag with
+    | 1 ->
+        let key = get_str c in
+        let size = get_u64 c in
+        let meta = get_u32 c in
+        let extents = get_extents c in
+        let fm = get_u32 c in
+        let freed_meta = if fm = 0xFFFFFFFF then -1 else fm in
+        let freed_extents = get_extents c in
+        Put { key; size; meta; extents; freed_meta; freed_extents }
+    | 2 ->
+        let key = get_str c in
+        let meta = get_u32 c in
+        Create { key; meta }
+    | 3 ->
+        let key = get_str c in
+        let meta = get_u32 c in
+        let size = get_u64 c in
+        let new_extents = get_extents c in
+        Write { key; meta; size; new_extents }
+    | 4 ->
+        let key = get_str c in
+        let meta = get_u32 c in
+        let extents = get_extents c in
+        Delete { key; meta; extents }
+    | 5 -> Noop { key = get_str c }
+    | 6 ->
+        let n = get_u16 c in
+        let images =
+          List.init n (fun _ ->
+              let off = get_u64 c in
+              let bytes = get_str c in
+              (off, bytes))
+        in
+        Phys { images }
+    | t -> failwith (Printf.sprintf "Logrec: unknown op tag %d" t)
+  with Invalid_argument _ -> failwith "Logrec: truncated payload"
+
+let record_bytes op = header_bytes + Bytes.length (encode_payload op)
+
+let slots_needed op =
+  let total = record_bytes op in
+  (total + slot_bytes - 1) / slot_bytes

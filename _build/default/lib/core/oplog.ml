@@ -1,0 +1,180 @@
+open Dstore_pmem
+open Dstore_util
+
+(* Region layout: one 64 B header slot, then [slots] record slots.
+   Header: magic u64 | lsn_base u64.
+   Record slot 0: lsn u64 | commit u64 | len u16 | op u8 | pad | crc u32 |
+   payload(40); continuation slots are raw payload. *)
+
+let slot_bytes = Logrec.slot_bytes
+
+let magic = 0x444C4F474C4F47 (* "DLOGLOG" *)
+
+type t = {
+  pm : Pmem.t;
+  off : int;
+  slots : int;
+  mutable base : int;  (* cached lsn_base *)
+  mutable tail_ : int;
+}
+
+let region_bytes ~slots = (slots + 1) * slot_bytes
+
+let hdr_off t = t.off
+
+let slot_off t s =
+  assert (s >= 0 && s < t.slots);
+  t.off + ((s + 1) * slot_bytes)
+
+let attach pm ~off ~slots =
+  assert (off mod slot_bytes = 0);
+  let t = { pm; off; slots; base = 0; tail_ = 0 } in
+  t.base <- Pmem.get_u64 pm (hdr_off t + 8);
+  t
+
+let reset t ~lsn_base =
+  Pmem.fill t.pm t.off (region_bytes ~slots:t.slots) 0;
+  Pmem.set_u64 t.pm (hdr_off t) magic;
+  Pmem.set_u64 t.pm (hdr_off t + 8) lsn_base;
+  Pmem.persist t.pm t.off (region_bytes ~slots:t.slots);
+  t.base <- lsn_base;
+  t.tail_ <- 0
+
+let capacity t = t.slots
+
+let lsn_base t = t.base
+
+let tail t = t.tail_
+
+let free_slots t = t.slots - t.tail_
+
+let reserve t n =
+  assert (n > 0);
+  if t.tail_ + n > t.slots then None
+  else begin
+    let slot = t.tail_ in
+    t.tail_ <- t.tail_ + n;
+    Some (slot, t.base + slot)
+  end
+
+(* Assemble the full record image (header + payload) in a scratch buffer.
+   The CRC covers lsn, len, op and payload — everything except the commit
+   word and the CRC itself. *)
+let build_record ~lsn op =
+  let payload = Logrec.encode_payload op in
+  let len_slots =
+    (Logrec.header_bytes + Bytes.length payload + slot_bytes - 1) / slot_bytes
+  in
+  let img = Bytes.make (len_slots * slot_bytes) '\000' in
+  Bytes.set_int64_le img 0 (Int64.of_int lsn);
+  (* commit word at 8 stays 0 *)
+  Bytes.set_uint16_le img 16 len_slots;
+  Bytes.set_uint8 img 18 (Logrec.tag_of_op op);
+  Bytes.blit payload 0 img Logrec.header_bytes (Bytes.length payload);
+  let crc =
+    Checksum.crc32c img ~pos:0 ~len:8
+    |> fun c ->
+    Checksum.crc32c ~init:c img ~pos:16 ~len:(Bytes.length img - 16)
+  in
+  Bytes.set_int32_le img 20 (Int32.of_int crc);
+  img
+
+let record_crc t ~slot ~len_slots =
+  let img = Bytes.create (len_slots * slot_bytes) in
+  Pmem.blit_to_bytes t.pm ~src:(slot_off t slot) img ~dst:0
+    ~len:(len_slots * slot_bytes);
+  (* Zero the commit and crc fields before hashing. *)
+  Bytes.set_int64_le img 8 0L;
+  let stored = Int32.to_int (Bytes.get_int32_le img 20) land 0xFFFFFFFF in
+  Bytes.set_int32_le img 20 0l;
+  let crc =
+    Checksum.crc32c img ~pos:0 ~len:8
+    |> fun c ->
+    Checksum.crc32c ~init:c img ~pos:16 ~len:(Bytes.length img - 16)
+  in
+  (stored, crc)
+
+let write_record t ~slot ~lsn op =
+  let img = build_record ~lsn op in
+  let n = Bytes.length img / slot_bytes in
+  assert (slot + n <= t.slots);
+  (* Store everything except the LSN word; it is written by flush_record,
+     after the rest of the record is durable. *)
+  Pmem.blit_from_bytes t.pm img ~src:8
+    ~dst:(slot_off t slot + 8)
+    ~len:(Bytes.length img - 8)
+
+let flush_record t ~slot ~lsn op =
+  let n = Logrec.slots_needed op in
+  (* 1. Persist every line except the first. *)
+  if n > 1 then
+    Pmem.flush t.pm (slot_off t slot + slot_bytes) ((n - 1) * slot_bytes);
+  if n > 1 then Pmem.fence t.pm;
+  (* 2. Write the LSN last, then persist its line: the record becomes
+     valid only once this line is durable. *)
+  Pmem.set_u64 t.pm (slot_off t slot) lsn;
+  Pmem.persist t.pm (slot_off t slot) slot_bytes
+
+let set_commit_word t ~slot = Pmem.set_u64 t.pm (slot_off t slot + 8) 1
+
+let persist_slot t ~slot = Pmem.persist t.pm (slot_off t slot) slot_bytes
+
+let commit_record t ~slot =
+  set_commit_word t ~slot;
+  persist_slot t ~slot
+
+let is_committed t ~slot = Pmem.get_u64 t.pm (slot_off t slot + 8) = 1
+
+type entry = { lsn : int; slot : int; committed : bool; op : Logrec.op }
+
+(* Validity probe at slot [s]: LSN equation + CRC. Returns the decoded
+   entry and its slot length. *)
+let probe t s =
+  let base_off = slot_off t s in
+  let lsn = Pmem.get_u64 t.pm base_off in
+  if lsn <> t.base + s then None
+  else begin
+    let len_slots = Pmem.get_u16 t.pm (base_off + 16) in
+    if len_slots < 1 || s + len_slots > t.slots then None
+    else begin
+      let stored, crc = record_crc t ~slot:s ~len_slots in
+      if stored <> crc then None
+      else begin
+        let tag = Pmem.get_u8 t.pm (base_off + 18) in
+        let payload_len = (len_slots * slot_bytes) - Logrec.header_bytes in
+        let payload = Bytes.create payload_len in
+        Pmem.blit_to_bytes t.pm
+          ~src:(base_off + Logrec.header_bytes)
+          payload ~dst:0 ~len:payload_len;
+        match Logrec.decode_payload ~tag payload with
+        | op ->
+            let committed = Pmem.get_u64 t.pm (base_off + 8) = 1 in
+            Some ({ lsn; slot = s; committed; op }, len_slots)
+        | exception Failure _ -> None
+      end
+    end
+  end
+
+let scan t =
+  let rec go s acc =
+    if s >= t.slots then List.rev acc
+    else
+      match probe t s with
+      | Some (e, len) -> go (s + len) (e :: acc)
+      | None -> go (s + 1) acc
+  in
+  go 0 []
+
+let recover_tail t =
+  let entries = scan t in
+  let last_end =
+    List.fold_left
+      (fun acc e -> max acc (e.slot + Logrec.slots_needed e.op))
+      0 entries
+  in
+  t.tail_ <- last_end
+
+let read_op t ~slot =
+  match probe t slot with
+  | Some (e, _) -> e.op
+  | None -> invalid_arg "Oplog.read_op: no valid record at slot"

@@ -1,0 +1,81 @@
+(** A DIPPER operation log: a PMEM region of 64-byte slots with the
+    reverse-order-flush append protocol of §3.4.
+
+    Two of these exist per store (active + archived, swapped by pointer at
+    checkpoint time). LSNs are derived from slot positions — a record
+    starting at slot [k] of a log whose epoch base is [b] has LSN [b + k] —
+    which is what lets recovery validate records positionally and skip torn
+    multi-slot records (DESIGN.md deviation 1).
+
+    Appending is split to keep the paper's lock-hold time (<300 ns):
+    {!reserve} + {!write_record} run inside the pool critical section and
+    only store bytes; {!flush_record} runs outside it and performs the
+    actual persistence protocol — payload lines first, then the LSN word is
+    written and its line flushed {e last}, so a crash can never leave a
+    valid-looking record with unpersisted payload. A record found by
+    {!scan} is therefore valid only if its LSN satisfies the slot equation
+    {e and} its CRC-32C (over LSN, header and payload) matches; the commit
+    word sits outside the CRC and is persisted separately by
+    {!commit_record} once the operation's data is durable. *)
+
+open Dstore_pmem
+
+type t
+
+val region_bytes : slots:int -> int
+(** Device bytes needed for a log of [slots] slots (includes one header
+    slot). *)
+
+val attach : Pmem.t -> off:int -> slots:int -> t
+(** Open a log region without modifying it (recovery path). *)
+
+val reset : t -> lsn_base:int -> unit
+(** Zero every slot, set the epoch base, persist. Bulk cost is charged to
+    the caller — DIPPER resets the standby log {e before} the swap, outside
+    the critical section. *)
+
+val capacity : t -> int
+
+val lsn_base : t -> int
+
+val tail : t -> int
+(** Next free slot (volatile; reconstructed by {!recover_tail}). *)
+
+val free_slots : t -> int
+
+val reserve : t -> int -> (int * int) option
+(** [reserve t n] claims [n] contiguous slots; returns [(slot, lsn)] or
+    [None] if the log is full. Caller must hold the frontend lock. *)
+
+val write_record : t -> slot:int -> lsn:int -> Logrec.op -> unit
+(** Store the record bytes (header with commit = 0 + payload). No
+    persistence; call under the frontend lock. *)
+
+val flush_record : t -> slot:int -> lsn:int -> Logrec.op -> unit
+(** The §3.4 protocol: flush continuation lines, then write the LSN and
+    flush its line last. On return the record is durable and valid (but
+    uncommitted). Call outside the lock. *)
+
+val commit_record : t -> slot:int -> unit
+(** Set and persist the commit word. *)
+
+val set_commit_word : t -> slot:int -> unit
+(** Store the commit word without persisting — used under the frontend
+    lock so a concurrent log swap sees the commit; pair with
+    {!persist_slot} outside the lock. *)
+
+val persist_slot : t -> slot:int -> unit
+
+val is_committed : t -> slot:int -> bool
+
+type entry = { lsn : int; slot : int; committed : bool; op : Logrec.op }
+
+val scan : t -> entry list
+(** All valid records in ascending LSN order, skipping torn/stale slots. *)
+
+val recover_tail : t -> unit
+(** Set {!tail} to the first slot after the last valid record, so appends
+    can continue after recovery. *)
+
+val read_op : t -> slot:int -> Logrec.op
+(** Decode the record at [slot] (must be valid). *)

@@ -1,0 +1,71 @@
+open Dstore_pmem
+
+(* Layout at [off]:
+     0    magic     u64
+     8    selector  u64 (0 or 1)
+     64   bank 0    (5 u64 fields)
+     128  bank 1
+   Banks are cache-line aligned so a bank persist never touches the
+   selector's line. *)
+
+let magic = 0x44524F4F54 (* "DROOT" *)
+
+let bytes = 4096
+
+type state = {
+  current_space : int;
+  active_log : int;
+  ckpt_in_progress : bool;
+  ckpt_archived_log : int;
+  last_applied_lsn : int;
+}
+
+type t = { pm : Pmem.t; off : int }
+
+let bank_off t b = t.off + 64 + (b * 64)
+
+let write_bank t b (s : state) =
+  let o = bank_off t b in
+  Pmem.set_u64 t.pm o s.current_space;
+  Pmem.set_u64 t.pm (o + 8) s.active_log;
+  Pmem.set_u64 t.pm (o + 16) (if s.ckpt_in_progress then 1 else 0);
+  Pmem.set_u64 t.pm (o + 24) s.ckpt_archived_log;
+  Pmem.set_u64 t.pm (o + 32) s.last_applied_lsn;
+  Pmem.persist t.pm o 64
+
+let read_bank t b =
+  let o = bank_off t b in
+  {
+    current_space = Pmem.get_u64 t.pm o;
+    active_log = Pmem.get_u64 t.pm (o + 8);
+    ckpt_in_progress = Pmem.get_u64 t.pm (o + 16) = 1;
+    ckpt_archived_log = Pmem.get_u64 t.pm (o + 24);
+    last_applied_lsn = Pmem.get_u64 t.pm (o + 32);
+  }
+
+let selector t = Pmem.get_u64 t.pm (t.off + 8)
+
+let init pm ~off state =
+  let t = { pm; off } in
+  write_bank t 0 state;
+  Pmem.set_u64 pm (off + 8) 0;
+  Pmem.persist pm off 16;
+  (* Magic last: the root exists only once fully formed. *)
+  Pmem.set_u64 pm off magic;
+  Pmem.persist pm off 16;
+  t
+
+let is_initialized pm ~off = Pmem.get_u64 pm off = magic
+
+let attach pm ~off =
+  if not (is_initialized pm ~off) then
+    invalid_arg "Root.attach: no initialized root object";
+  { pm; off }
+
+let read t = read_bank t (selector t)
+
+let publish t state =
+  let next = 1 - selector t in
+  write_bank t next state;
+  Pmem.set_u64 t.pm (t.off + 8) next;
+  Pmem.persist t.pm (t.off + 8) 8

@@ -1,0 +1,40 @@
+(** The PMEM root object (§3.5): the well-known anchor from which recovery
+    finds everything else.
+
+    It records which PMEM space half is current, which log is active,
+    whether a checkpoint was in progress (and over which archived log), and
+    the LSN watermark already applied to the shadow copies. Updates must be
+    atomic across all fields, so the root keeps two banks plus an 8-byte
+    selector: {!publish} writes the inactive bank, persists it, then flips
+    and persists the selector — a crash anywhere yields one of the two
+    complete states. *)
+
+open Dstore_pmem
+
+type state = {
+  current_space : int;  (** 0 or 1: the consistent shadow-space half. *)
+  active_log : int;  (** 0 or 1: the log receiving new records. *)
+  ckpt_in_progress : bool;
+  ckpt_archived_log : int;  (** Meaningful when [ckpt_in_progress]. *)
+  last_applied_lsn : int;
+      (** Every committed record with LSN <= this is reflected in the
+          current shadow space. *)
+}
+
+type t
+
+val bytes : int
+(** Reserved device bytes for the root (4096). *)
+
+val init : Pmem.t -> off:int -> state -> t
+(** Format a fresh root with the given initial state, persisted. *)
+
+val attach : Pmem.t -> off:int -> t
+(** Open an existing root. Raises [Invalid_argument] on bad magic. *)
+
+val is_initialized : Pmem.t -> off:int -> bool
+
+val read : t -> state
+
+val publish : t -> state -> unit
+(** Atomically replace the state (bank write + selector flip). *)

@@ -1,0 +1,1 @@
+lib/memory/mem.ml: Bytes Char Dstore_pmem Int32 Int64 Printf String

@@ -1,0 +1,1 @@
+lib/memory/space.ml: Base_bits Bytes Dstore_util Mem Mutex Printf

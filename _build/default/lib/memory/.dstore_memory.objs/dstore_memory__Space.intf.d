@@ -1,0 +1,1 @@
+lib/memory/space.mli: Mem

@@ -1,0 +1,110 @@
+module Pmem = Dstore_pmem.Pmem
+
+type t = {
+  size : int;
+  get_u8 : int -> int;
+  set_u8 : int -> int -> unit;
+  get_u16 : int -> int;
+  set_u16 : int -> int -> unit;
+  get_u32 : int -> int;
+  set_u32 : int -> int -> unit;
+  get_u64 : int -> int;
+  set_u64 : int -> int -> unit;
+  blit_to_bytes : src:int -> Bytes.t -> dst:int -> len:int -> unit;
+  blit_from_bytes : Bytes.t -> src:int -> dst:int -> len:int -> unit;
+  blit_within : src:int -> dst:int -> len:int -> unit;
+  fill : int -> int -> int -> unit;
+  persist : int -> int -> unit;
+  is_persistent : bool;
+}
+
+let bounds size off len =
+  if off < 0 || len < 0 || off + len > size then
+    invalid_arg (Printf.sprintf "Mem: access [%d,+%d) outside arena of %d" off len size)
+
+let of_bytes b =
+  let size = Bytes.length b in
+  let chk off len = bounds size off len in
+  {
+    size;
+    get_u8 = (fun o -> chk o 1; Char.code (Bytes.unsafe_get b o));
+    set_u8 = (fun o v -> chk o 1; Bytes.unsafe_set b o (Char.unsafe_chr (v land 0xff)));
+    get_u16 = (fun o -> chk o 2; Bytes.get_uint16_le b o);
+    set_u16 = (fun o v -> chk o 2; Bytes.set_uint16_le b o (v land 0xffff));
+    get_u32 = (fun o -> chk o 4; Int32.to_int (Bytes.get_int32_le b o) land 0xFFFFFFFF);
+    set_u32 = (fun o v -> chk o 4; Bytes.set_int32_le b o (Int32.of_int v));
+    get_u64 = (fun o -> chk o 8; Int64.to_int (Bytes.get_int64_le b o));
+    set_u64 = (fun o v -> chk o 8; Bytes.set_int64_le b o (Int64.of_int v));
+    blit_to_bytes =
+      (fun ~src dst_b ~dst ~len -> chk src len; Bytes.blit b src dst_b dst len);
+    blit_from_bytes =
+      (fun src_b ~src ~dst ~len -> chk dst len; Bytes.blit src_b src b dst len);
+    blit_within = (fun ~src ~dst ~len -> chk src len; chk dst len; Bytes.blit b src b dst len);
+    fill = (fun off len byte -> chk off len; Bytes.fill b off len (Char.chr (byte land 0xff)));
+    persist = (fun off len -> chk off len);
+    is_persistent = false;
+  }
+
+let dram n = of_bytes (Bytes.make n '\000')
+
+let of_pmem pm ~off ~len =
+  bounds (Pmem.size pm) off len;
+  let chk o l = bounds len o l in
+  {
+    size = len;
+    get_u8 = (fun o -> chk o 1; Pmem.get_u8 pm (off + o));
+    set_u8 = (fun o v -> chk o 1; Pmem.set_u8 pm (off + o) v);
+    get_u16 = (fun o -> chk o 2; Pmem.get_u16 pm (off + o));
+    set_u16 = (fun o v -> chk o 2; Pmem.set_u16 pm (off + o) v);
+    get_u32 = (fun o -> chk o 4; Pmem.get_u32 pm (off + o));
+    set_u32 = (fun o v -> chk o 4; Pmem.set_u32 pm (off + o) v);
+    get_u64 = (fun o -> chk o 8; Pmem.get_u64 pm (off + o));
+    set_u64 = (fun o v -> chk o 8; Pmem.set_u64 pm (off + o) v);
+    blit_to_bytes =
+      (fun ~src dst_b ~dst ~len:l -> chk src l; Pmem.blit_to_bytes pm ~src:(off + src) dst_b ~dst ~len:l);
+    blit_from_bytes =
+      (fun src_b ~src ~dst ~len:l -> chk dst l; Pmem.blit_from_bytes pm src_b ~src ~dst:(off + dst) ~len:l);
+    blit_within =
+      (fun ~src ~dst ~len:l -> chk src l; chk dst l; Pmem.blit_within pm ~src:(off + src) ~dst:(off + dst) ~len:l);
+    fill = (fun o l byte -> chk o l; Pmem.fill pm (off + o) l byte);
+    persist = (fun o l -> chk o l; Pmem.persist pm (off + o) l);
+    is_persistent = true;
+  }
+
+let sub t ~off ~len =
+  bounds t.size off len;
+  let chk o l = bounds len o l in
+  {
+    size = len;
+    get_u8 = (fun o -> chk o 1; t.get_u8 (off + o));
+    set_u8 = (fun o v -> chk o 1; t.set_u8 (off + o) v);
+    get_u16 = (fun o -> chk o 2; t.get_u16 (off + o));
+    set_u16 = (fun o v -> chk o 2; t.set_u16 (off + o) v);
+    get_u32 = (fun o -> chk o 4; t.get_u32 (off + o));
+    set_u32 = (fun o v -> chk o 4; t.set_u32 (off + o) v);
+    get_u64 = (fun o -> chk o 8; t.get_u64 (off + o));
+    set_u64 = (fun o v -> chk o 8; t.set_u64 (off + o) v);
+    blit_to_bytes =
+      (fun ~src dst_b ~dst ~len:l -> chk src l; t.blit_to_bytes ~src:(off + src) dst_b ~dst ~len:l);
+    blit_from_bytes =
+      (fun src_b ~src ~dst ~len:l -> chk dst l; t.blit_from_bytes src_b ~src ~dst:(off + dst) ~len:l);
+    blit_within =
+      (fun ~src ~dst ~len:l -> chk src l; chk dst l; t.blit_within ~src:(off + src) ~dst:(off + dst) ~len:l);
+    fill = (fun o l byte -> chk o l; t.fill (off + o) l byte);
+    persist = (fun o l -> chk o l; t.persist (off + o) l);
+    is_persistent = t.is_persistent;
+  }
+
+let read_string t ~off ~len =
+  let b = Bytes.create len in
+  t.blit_to_bytes ~src:off b ~dst:0 ~len;
+  Bytes.unsafe_to_string b
+
+let write_string t ~off s =
+  t.blit_from_bytes (Bytes.unsafe_of_string s) ~src:0 ~dst:off ~len:(String.length s)
+
+let equal_range a b ~off ~len =
+  let ba = Bytes.create len and bb = Bytes.create len in
+  a.blit_to_bytes ~src:off ba ~dst:0 ~len;
+  b.blit_to_bytes ~src:off bb ~dst:0 ~len;
+  Bytes.equal ba bb

@@ -1,0 +1,51 @@
+(** Uniform byte-addressable arena interface over DRAM and PMEM.
+
+    This is the mechanism behind the paper's central implementation claim
+    (§3.5): "since the representations of the DRAM and PMEM data structures
+    are the same, the same code can be used for both". Every data structure
+    in this codebase (slab allocator, B-tree, bitmap pools, metadata zone)
+    is written against [Mem.t] and stores only {e relative} offsets, so the
+    identical code runs on the volatile frontend and the persistent shadow
+    copies, and a region can be relocated (cloned between PMEM halves,
+    copied wholesale into DRAM at recovery) without fixups.
+
+    [persist] is a flush-plus-fence on PMEM-backed arenas and free on DRAM
+    ones — which is exactly the cost asymmetry DIPPER exploits. *)
+
+type t = {
+  size : int;
+  get_u8 : int -> int;
+  set_u8 : int -> int -> unit;
+  get_u16 : int -> int;
+  set_u16 : int -> int -> unit;
+  get_u32 : int -> int;
+  set_u32 : int -> int -> unit;
+  get_u64 : int -> int;
+  set_u64 : int -> int -> unit;
+  blit_to_bytes : src:int -> Bytes.t -> dst:int -> len:int -> unit;
+  blit_from_bytes : Bytes.t -> src:int -> dst:int -> len:int -> unit;
+  blit_within : src:int -> dst:int -> len:int -> unit;
+  fill : int -> int -> int -> unit;  (** [fill off len byte] *)
+  persist : int -> int -> unit;  (** [persist off len]: no-op on DRAM. *)
+  is_persistent : bool;
+}
+
+val of_bytes : Bytes.t -> t
+(** DRAM arena over a plain byte buffer. Bounds-checked. *)
+
+val dram : int -> t
+(** [dram n] allocates a fresh [n]-byte DRAM arena. *)
+
+val of_pmem : Dstore_pmem.Pmem.t -> off:int -> len:int -> t
+(** View of a PMEM device range; offsets are relative to [off]. The range
+    should be cache-line aligned so [persist] does not touch neighbours. *)
+
+val sub : t -> off:int -> len:int -> t
+(** Narrow an arena to a sub-range (offsets re-based to 0). *)
+
+val read_string : t -> off:int -> len:int -> string
+
+val write_string : t -> off:int -> string -> unit
+
+val equal_range : t -> t -> off:int -> len:int -> bool
+(** Compare the same range across two arenas (testing aid). *)

@@ -1,0 +1,75 @@
+(** A self-contained, relocatable data-structure region — the unit DIPPER
+    checkpoints, clones and recovers.
+
+    A space bundles a slab allocator with everything it allocates, all
+    addressed by offsets relative to the space base (§3.3 of the paper:
+    relative pointers + identical DRAM/PMEM allocators). Its free lists are
+    intrusive (threaded through the free blocks) and its bump pointer and
+    structure roots live in the header, so the {e entire} allocator state is
+    part of the region. Consequences, exactly as the paper requires:
+
+    - cloning a space is one bulk copy of its used prefix — this is how a
+      checkpoint "creates a copy of the allocator state" and of every shadow
+      structure in one stroke (§3.5);
+    - recovery can "replicate the PMEM allocator state in the DRAM
+      allocator" (§3.6) by copying the PMEM space into a DRAM arena and
+      attaching.
+
+    Layout: [header (4 KB) | reserved regions | slab heap]. Reserved
+    regions (metadata zone, pool bitmaps) are carved at format time and are
+    never freed, so their offsets — and hence the ids logged in DIPPER
+    records — are identical across the volatile and shadow spaces. *)
+
+type t
+
+exception Out_of_space
+
+val header_bytes : int
+
+val root_slots : int
+(** Number of generic root slots (structure entry points) in the header. *)
+
+val format : Mem.t -> t
+(** Initialise a fresh space covering the whole arena. *)
+
+val attach : Mem.t -> t
+(** Open an already-formatted space (e.g. after recovery copied it here).
+    Raises [Invalid_argument] if the magic does not match. *)
+
+val mem : t -> Mem.t
+
+val reserve : t -> int -> int
+(** [reserve t n] carves [n] bytes (16-aligned) that will never be freed.
+    Only valid before the first {!alloc}. Returns the region offset. *)
+
+val alloc : t -> int -> int
+(** Slab-allocate at least [n] bytes (power-of-two size classes, 16 B min).
+    Raises {!Out_of_space}. *)
+
+val free : t -> int -> int -> unit
+(** [free t off n] returns the block allocated by [alloc t n] at [off]. *)
+
+val class_size : int -> int
+(** The rounded size class [alloc] uses for a request of [n] bytes. *)
+
+val get_root : t -> int -> int
+
+val set_root : t -> int -> int -> unit
+(** [set_root t slot v]. Slots [0, root_slots). *)
+
+val used_bytes : t -> int
+(** High-water mark: the prefix a clone must copy. *)
+
+val size : t -> int
+
+val persist_used : t -> unit
+(** Flush the used prefix (no-op on DRAM arenas) — the end-of-checkpoint
+    durability pass of §3.5. *)
+
+val copy_into : t -> Mem.t -> t
+(** [copy_into src dst] bulk-copies the used prefix of [src] into [dst]
+    and attaches it. Device time must be charged separately by the caller
+    (the checkpoint engine knows which devices are involved). *)
+
+val free_list_bytes : t -> int
+(** Bytes sitting on free lists (diagnostics / footprint accounting). *)

@@ -1,0 +1,1 @@
+lib/platform/real_platform.ml: Atomic Condition Domain Hashtbl List Mutex Platform Thread Unix

@@ -1,0 +1,1 @@
+lib/platform/real_platform.mli: Platform

@@ -1,0 +1,1 @@
+lib/platform/rwlock.mli: Platform

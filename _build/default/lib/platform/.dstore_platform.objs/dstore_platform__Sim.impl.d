@@ -1,0 +1,1 @@
+lib/platform/sim.ml: Dstore_util Effect Pqueue Printexc Queue

@@ -1,0 +1,1 @@
+lib/platform/sim.mli: Effect

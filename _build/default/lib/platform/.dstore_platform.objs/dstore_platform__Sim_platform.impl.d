@@ -1,0 +1,1 @@
+lib/platform/sim_platform.ml: Effect Platform Queue Sim

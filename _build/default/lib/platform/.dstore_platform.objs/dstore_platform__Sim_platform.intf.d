@@ -1,0 +1,1 @@
+lib/platform/sim_platform.mli: Platform Sim

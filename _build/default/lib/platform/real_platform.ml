@@ -1,0 +1,120 @@
+type t = {
+  start : float;
+  threads : (int, Thread.t) Hashtbl.t;
+  reg_mutex : Mutex.t;
+  mutable next_id : int;
+  parallelism : int;
+}
+
+let create ?parallelism () =
+  let parallelism =
+    match parallelism with
+    | Some p -> p
+    | None -> Domain.recommended_domain_count ()
+  in
+  {
+    start = Unix.gettimeofday ();
+    threads = Hashtbl.create 16;
+    reg_mutex = Mutex.create ();
+    next_id = 0;
+    parallelism;
+  }
+
+let now_ns t = int_of_float ((Unix.gettimeofday () -. t.start) *. 1e9)
+
+let consume t ns =
+  (* Busy-spin: CPU cost must occupy the thread, not release the core. *)
+  let deadline = now_ns t + ns in
+  while now_ns t < deadline do
+    ()
+  done
+
+let sleep ns =
+  if ns <= 0 then Thread.yield () else Thread.delay (float_of_int ns /. 1e9)
+
+let spawn t name f =
+  ignore name;
+  Mutex.lock t.reg_mutex;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let th = Thread.create f () in
+  Hashtbl.replace t.threads id th;
+  Mutex.unlock t.reg_mutex
+
+let join_all t =
+  let rec drain () =
+    Mutex.lock t.reg_mutex;
+    let entries = Hashtbl.fold (fun id th acc -> (id, th) :: acc) t.threads [] in
+    Mutex.unlock t.reg_mutex;
+    match entries with
+    | [] -> ()
+    | entries ->
+        List.iter
+          (fun (id, th) ->
+            Thread.join th;
+            Mutex.lock t.reg_mutex;
+            Hashtbl.remove t.threads id;
+            Mutex.unlock t.reg_mutex)
+          entries;
+        drain ()
+  in
+  drain ()
+
+let platform t : Platform.t =
+  let new_mutex () =
+    let m = Mutex.create () in
+    { Platform.lock = (fun () -> Mutex.lock m);
+      unlock = (fun () -> Mutex.unlock m) }
+  in
+  let new_cond () =
+    (* Platform mutexes hide the underlying Mutex.t behind closures, so we
+       cannot use Condition.wait directly. A sleeping-waiter scheme gives
+       the same semantics: register under the caller's lock, then poll a
+       generation counter. Adequate for tests; the simulator is the
+       performance path. *)
+    let gen = Atomic.make 0 in
+    {
+      Platform.wait =
+        (fun (m : Platform.mutex) ->
+          let seen = Atomic.get gen in
+          m.unlock ();
+          while Atomic.get gen = seen do
+            Thread.yield ()
+          done;
+          m.lock ());
+      signal = (fun () -> Atomic.incr gen);
+      broadcast = (fun () -> Atomic.incr gen);
+    }
+  in
+  let new_sem capacity =
+    let m = Mutex.create () in
+    let c = Condition.create () in
+    let avail = ref capacity in
+    {
+      Platform.acquire =
+        (fun () ->
+          Mutex.lock m;
+          while !avail = 0 do
+            Condition.wait c m
+          done;
+          decr avail;
+          Mutex.unlock m);
+      release =
+        (fun () ->
+          Mutex.lock m;
+          incr avail;
+          Condition.signal c;
+          Mutex.unlock m);
+    }
+  in
+  {
+    Platform.name = "real";
+    now = (fun () -> now_ns t);
+    consume = (fun ns -> if ns > 0 then consume t ns);
+    sleep;
+    spawn = (fun name f -> spawn t name f);
+    new_mutex;
+    new_cond;
+    new_sem;
+    parallelism = t.parallelism;
+  }

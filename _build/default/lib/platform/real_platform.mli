@@ -1,0 +1,15 @@
+(** {!Platform.t} backed by OS threads and wall-clock time.
+
+    Used by tests that need genuine preemption on the concurrency-control
+    primitives. [consume] spins; [sleep] yields to the scheduler. Spawned
+    threads are tracked; call {!join_all} after signalling your daemons to
+    stop. *)
+
+type t
+
+val create : ?parallelism:int -> unit -> t
+
+val platform : t -> Platform.t
+
+val join_all : t -> unit
+(** Wait for every thread spawned through this platform to finish. *)

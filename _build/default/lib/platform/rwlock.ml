@@ -1,0 +1,67 @@
+type t = {
+  m : Platform.mutex;
+  readable : Platform.cond;
+  writable : Platform.cond;
+  mutable readers : int;
+  mutable writer : bool;
+  mutable writers_waiting : int;
+}
+
+let create (p : Platform.t) =
+  {
+    m = p.Platform.new_mutex ();
+    readable = p.Platform.new_cond ();
+    writable = p.Platform.new_cond ();
+    readers = 0;
+    writer = false;
+    writers_waiting = 0;
+  }
+
+let read_lock t =
+  Platform.with_lock t.m (fun () ->
+      while t.writer || t.writers_waiting > 0 do
+        t.readable.Platform.wait t.m
+      done;
+      t.readers <- t.readers + 1)
+
+let read_unlock t =
+  Platform.with_lock t.m (fun () ->
+      t.readers <- t.readers - 1;
+      assert (t.readers >= 0);
+      if t.readers = 0 then t.writable.Platform.broadcast ())
+
+let write_lock t =
+  Platform.with_lock t.m (fun () ->
+      t.writers_waiting <- t.writers_waiting + 1;
+      while t.writer || t.readers > 0 do
+        t.writable.Platform.wait t.m
+      done;
+      t.writers_waiting <- t.writers_waiting - 1;
+      t.writer <- true)
+
+let write_unlock t =
+  Platform.with_lock t.m (fun () ->
+      assert t.writer;
+      t.writer <- false;
+      t.writable.Platform.broadcast ();
+      t.readable.Platform.broadcast ())
+
+let with_read t f =
+  read_lock t;
+  match f () with
+  | v ->
+      read_unlock t;
+      v
+  | exception e ->
+      read_unlock t;
+      raise e
+
+let with_write t f =
+  write_lock t;
+  match f () with
+  | v ->
+      write_unlock t;
+      v
+  | exception e ->
+      write_unlock t;
+      raise e

@@ -1,0 +1,203 @@
+open Dstore_util
+
+(* The two effects a process can perform. [Wait] advances its local time;
+   [Suspend] parks the process, handing a resume closure to synchronization
+   primitives (mutex/cond/resource waiter queues). The resume closure
+   schedules the continuation at the resumer's current time — a direct
+   ownership handoff, so wakeups are FIFO-fair and never lost. *)
+type _ Effect.t +=
+  | Wait : int -> unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+type t = {
+  mutable clock : int;
+  mutable seq : int;
+  events : (unit -> unit) Pqueue.t;
+  mutable live : int;
+  mutable blocked : int;
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+}
+
+let create () =
+  {
+    clock = 0;
+    seq = 0;
+    events = Pqueue.create ();
+    live = 0;
+    blocked = 0;
+    failure = None;
+  }
+
+let now t = t.clock
+
+let schedule t time thunk =
+  t.seq <- t.seq + 1;
+  Pqueue.push t.events (max time t.clock) t.seq thunk
+
+let start t name f =
+  let open Effect.Deep in
+  ignore name;
+  t.live <- t.live + 1;
+  match_with f ()
+    {
+      retc = (fun () -> t.live <- t.live - 1);
+      exnc =
+        (fun e ->
+          t.live <- t.live - 1;
+          if t.failure = None then
+            t.failure <- Some (e, Printexc.get_raw_backtrace ()));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Wait d ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  schedule t (t.clock + max 0 d) (fun () -> continue k ()))
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  t.blocked <- t.blocked + 1;
+                  register (fun () ->
+                      t.blocked <- t.blocked - 1;
+                      schedule t t.clock (fun () -> continue k ())))
+          | _ -> None);
+    }
+
+let spawn t name f = schedule t t.clock (fun () -> start t name f)
+
+let wait _t d = Effect.perform (Wait d)
+
+let check_failure t =
+  match t.failure with
+  | Some (e, bt) ->
+      t.failure <- None;
+      Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let run t =
+  let rec loop () =
+    match Pqueue.pop t.events with
+    | None -> ()
+    | Some (time, _, thunk) ->
+        t.clock <- time;
+        thunk ();
+        check_failure t;
+        loop ()
+  in
+  loop ()
+
+let run_until t deadline =
+  let rec loop () =
+    match Pqueue.peek_key t.events with
+    | Some (time, _) when time <= deadline ->
+        (match Pqueue.pop t.events with
+        | Some (time, _, thunk) ->
+            t.clock <- time;
+            thunk ();
+            check_failure t;
+            loop ()
+        | None -> ())
+    | _ -> ()
+  in
+  loop ();
+  if t.clock < deadline then t.clock <- deadline
+
+let clear_pending t =
+  let rec drain () =
+    match Pqueue.pop t.events with Some _ -> drain () | None -> ()
+  in
+  drain ();
+  t.live <- 0;
+  t.blocked <- 0
+
+let blocked_processes t = t.blocked
+
+let live_processes t = t.live
+
+module Mutex = struct
+  type sim = t
+
+  type t = { mutable locked : bool; waiters : (unit -> unit) Queue.t }
+
+  let create (_ : sim) = { locked = false; waiters = Queue.create () }
+
+  let lock m =
+    if not m.locked then m.locked <- true
+    else Effect.perform (Suspend (fun resume -> Queue.push resume m.waiters))
+  (* When resumed, ownership was handed off by [unlock]; [locked] stays true. *)
+
+  let unlock m =
+    assert m.locked;
+    match Queue.pop m.waiters with
+    | resume -> resume ()
+    | exception Queue.Empty -> m.locked <- false
+
+  let locked m = m.locked
+end
+
+module Cond = struct
+  type sim = t
+
+  type t = { waiters : (unit -> unit) Queue.t }
+
+  let create (_ : sim) = { waiters = Queue.create () }
+
+  let wait c (m : Mutex.t) =
+    (* The register closure runs after the continuation is captured, so
+       releasing the mutex there makes wait-and-release atomic: a signal
+       arriving from the code the unlock admits finds us in the queue. *)
+    Effect.perform
+      (Suspend
+         (fun resume ->
+           Queue.push resume c.waiters;
+           Mutex.unlock m));
+    Mutex.lock m
+
+  let signal c =
+    match Queue.pop c.waiters with
+    | resume -> resume ()
+    | exception Queue.Empty -> ()
+
+  let broadcast c =
+    let pending = Queue.length c.waiters in
+    for _ = 1 to pending do
+      match Queue.pop c.waiters with
+      | resume -> resume ()
+      | exception Queue.Empty -> ()
+    done
+end
+
+module Resource = struct
+  type sim = t
+
+  type t = {
+    capacity : int;
+    sim : sim;
+    mutable in_use : int;
+    waiters : (unit -> unit) Queue.t;
+  }
+
+  let create sim ~capacity =
+    assert (capacity > 0);
+    { capacity; sim; in_use = 0; waiters = Queue.create () }
+
+  let acquire r =
+    if r.in_use < r.capacity then r.in_use <- r.in_use + 1
+    else Effect.perform (Suspend (fun resume -> Queue.push resume r.waiters))
+  (* Handoff: the releaser keeps [in_use] constant and wakes us directly. *)
+
+  let release r =
+    assert (r.in_use > 0);
+    match Queue.pop r.waiters with
+    | resume -> resume ()
+    | exception Queue.Empty -> r.in_use <- r.in_use - 1
+
+  let use r ~service_ns =
+    acquire r;
+    wait r.sim service_ns;
+    release r
+
+  let in_use r = r.in_use
+
+  let queued r = Queue.length r.waiters
+end

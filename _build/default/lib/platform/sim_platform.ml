@@ -1,0 +1,53 @@
+let make ?(parallelism = 28) (sim : Sim.t) : Platform.t =
+  let new_mutex () =
+    let m = Sim.Mutex.create sim in
+    { Platform.lock = (fun () -> Sim.Mutex.lock m);
+      unlock = (fun () -> Sim.Mutex.unlock m) }
+  in
+  let new_cond () =
+    (* A platform cond pairs with platform mutexes, which wrap sim mutexes
+       behind closures. We recover atomic release-and-wait by replicating
+       Sim.Cond's trick on the closure interface: park first (capturing the
+       continuation), then unlock via the closure inside the register
+       callback. *)
+    let waiters = Queue.create () in
+    {
+      Platform.wait =
+        (fun (m : Platform.mutex) ->
+          Effect.perform
+            (Sim.Suspend
+               (fun resume ->
+                 Queue.push resume waiters;
+                 m.unlock ()));
+          m.lock ());
+      signal =
+        (fun () ->
+          match Queue.pop waiters with
+          | resume -> resume ()
+          | exception Queue.Empty -> ());
+      broadcast =
+        (fun () ->
+          let pending = Queue.length waiters in
+          for _ = 1 to pending do
+            match Queue.pop waiters with
+            | resume -> resume ()
+            | exception Queue.Empty -> ()
+          done);
+    }
+  in
+  let new_sem capacity =
+    let r = Sim.Resource.create sim ~capacity in
+    { Platform.acquire = (fun () -> Sim.Resource.acquire r);
+      release = (fun () -> Sim.Resource.release r) }
+  in
+  {
+    Platform.name = "sim";
+    now = (fun () -> Sim.now sim);
+    consume = (fun ns -> if ns > 0 then Sim.wait sim ns);
+    sleep = (fun ns -> Sim.wait sim (max ns 1));
+    spawn = (fun name f -> Sim.spawn sim name f);
+    new_mutex;
+    new_cond;
+    new_sem;
+    parallelism;
+  }

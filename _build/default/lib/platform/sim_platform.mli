@@ -1,0 +1,14 @@
+(** {!Platform.t} backed by the {!Sim} discrete-event engine.
+
+    The conventional way to run an experiment:
+
+    {[
+      let sim = Sim.create () in
+      let p = Sim_platform.make ~parallelism:28 sim in
+      (* build devices and stores against [p], spawn clients ... *)
+      Sim.run sim
+    ]} *)
+
+val make : ?parallelism:int -> Sim.t -> Platform.t
+(** [parallelism] defaults to 28, the paper's full-subscription core
+    count. *)

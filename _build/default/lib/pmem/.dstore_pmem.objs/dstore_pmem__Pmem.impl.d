@@ -1,0 +1,1 @@
+lib/pmem/pmem.ml: Bytes Char Dstore_platform Dstore_util Hashtbl Int32 Int64 Mutex Platform Printf Rng

@@ -1,0 +1,1 @@
+lib/pmem/pmem.mli: Bytes Dstore_platform Dstore_util Platform

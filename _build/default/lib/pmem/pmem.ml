@@ -1,0 +1,211 @@
+open Dstore_platform
+open Dstore_util
+
+let line_size = 64
+
+let line_shift = 6
+
+type stats = {
+  mutable bytes_written : int;
+  mutable bytes_flushed : int;
+  mutable bytes_read_bulk : int;
+  mutable flush_calls : int;
+  mutable fence_calls : int;
+}
+
+type config = {
+  size : int;
+  flush_ns : int;
+  fence_ns : int;
+  read_bw : float;
+  write_bw : float;
+  crash_model : bool;
+}
+
+let default_config =
+  {
+    size = 256 * 1024 * 1024;
+    flush_ns = 100;
+    fence_ns = 200;
+    read_bw = 30.0;
+    write_bw = 10.0;
+    crash_model = true;
+  }
+
+type t = {
+  cfg : config;
+  platform : Platform.t;
+  data : Bytes.t;
+  (* line index -> last durable content of that line (undo image) *)
+  dirty : (int, Bytes.t) Hashtbl.t;
+  guard : Mutex.t;  (* protects [dirty] under the real platform *)
+  st : stats;
+}
+
+let create platform cfg =
+  assert (cfg.size > 0 && cfg.size mod line_size = 0);
+  {
+    cfg;
+    platform;
+    data = Bytes.make cfg.size '\000';
+    dirty = Hashtbl.create 4096;
+    guard = Mutex.create ();
+    st =
+      {
+        bytes_written = 0;
+        bytes_flushed = 0;
+        bytes_read_bulk = 0;
+        flush_calls = 0;
+        fence_calls = 0;
+      };
+  }
+
+let size t = t.cfg.size
+
+let stats t = t.st
+
+(* Record undo images for every line intersecting [off, off+len) that is
+   not already dirty. Must run before the store mutates [data]. *)
+let note_write t off len =
+  t.st.bytes_written <- t.st.bytes_written + len;
+  if t.cfg.crash_model then begin
+    let first = off lsr line_shift and last = (off + len - 1) lsr line_shift in
+    Mutex.lock t.guard;
+    for l = first to last do
+      if not (Hashtbl.mem t.dirty l) then begin
+        let undo = Bytes.create line_size in
+        Bytes.blit t.data (l lsl line_shift) undo 0 line_size;
+        Hashtbl.add t.dirty l undo
+      end
+    done;
+    Mutex.unlock t.guard
+  end
+
+let check t off len =
+  if off < 0 || len < 0 || off + len > t.cfg.size then
+    invalid_arg
+      (Printf.sprintf "Pmem: access [%d,+%d) outside device of %d bytes" off
+         len t.cfg.size)
+
+let get_u8 t off =
+  check t off 1;
+  Char.code (Bytes.unsafe_get t.data off)
+
+let set_u8 t off v =
+  check t off 1;
+  note_write t off 1;
+  Bytes.unsafe_set t.data off (Char.unsafe_chr (v land 0xff))
+
+let get_u16 t off =
+  check t off 2;
+  Bytes.get_uint16_le t.data off
+
+let set_u16 t off v =
+  check t off 2;
+  note_write t off 2;
+  Bytes.set_uint16_le t.data off (v land 0xffff)
+
+let get_u32 t off =
+  check t off 4;
+  Int32.to_int (Bytes.get_int32_le t.data off) land 0xFFFFFFFF
+
+let set_u32 t off v =
+  check t off 4;
+  note_write t off 4;
+  Bytes.set_int32_le t.data off (Int32.of_int v)
+
+let get_u64 t off =
+  check t off 8;
+  Int64.to_int (Bytes.get_int64_le t.data off)
+
+let set_u64 t off v =
+  check t off 8;
+  note_write t off 8;
+  Bytes.set_int64_le t.data off (Int64.of_int v)
+
+let blit_to_bytes t ~src b ~dst ~len =
+  check t src len;
+  Bytes.blit t.data src b dst len
+
+let blit_from_bytes t b ~src ~dst ~len =
+  check t dst len;
+  note_write t dst len;
+  Bytes.blit b src t.data dst len
+
+let blit_within t ~src ~dst ~len =
+  check t src len;
+  check t dst len;
+  note_write t dst len;
+  Bytes.blit t.data src t.data dst len
+
+let fill t off len byte =
+  check t off len;
+  note_write t off len;
+  Bytes.fill t.data off len (Char.chr (byte land 0xff))
+
+let flush t off len =
+  check t off len;
+  if len > 0 then begin
+    let first = off lsr line_shift and last = (off + len - 1) lsr line_shift in
+    let nlines = last - first + 1 in
+    if t.cfg.crash_model then begin
+      Mutex.lock t.guard;
+      for l = first to last do
+        Hashtbl.remove t.dirty l
+      done;
+      Mutex.unlock t.guard
+    end;
+    t.st.flush_calls <- t.st.flush_calls + 1;
+    t.st.bytes_flushed <- t.st.bytes_flushed + (nlines * line_size);
+    (* First line pays full writeback latency; the rest pipeline at device
+       write bandwidth. *)
+    let cost =
+      t.cfg.flush_ns
+      + int_of_float (float_of_int ((nlines - 1) * line_size) /. t.cfg.write_bw)
+    in
+    t.platform.consume cost
+  end
+
+let fence t =
+  t.st.fence_calls <- t.st.fence_calls + 1;
+  t.platform.consume t.cfg.fence_ns
+
+let persist t off len =
+  flush t off len;
+  fence t
+
+let bulk_read_cost t len =
+  t.st.bytes_read_bulk <- t.st.bytes_read_bulk + len;
+  t.platform.consume (int_of_float (float_of_int len /. t.cfg.read_bw))
+
+type crash_mode = Drop_all | Keep_all | Random of Rng.t
+
+let crash t mode =
+  if not t.cfg.crash_model then
+    invalid_arg "Pmem.crash: device created with crash_model = false";
+  Mutex.lock t.guard;
+  let resolve l undo =
+    let base = l lsl line_shift in
+    match mode with
+    | Keep_all -> ()
+    | Drop_all -> Bytes.blit undo 0 t.data base line_size
+    | Random rng -> (
+        match Rng.int rng 3 with
+        | 0 -> () (* spurious eviction persisted the whole line *)
+        | 1 -> Bytes.blit undo 0 t.data base line_size
+        | _ ->
+            (* Partial persistence at 8-byte-word granularity. *)
+            for w = 0 to (line_size / 8) - 1 do
+              if Rng.bool rng then
+                Bytes.blit undo (w * 8) t.data (base + (w * 8)) 8
+            done)
+  in
+  Hashtbl.iter resolve t.dirty;
+  Hashtbl.reset t.dirty;
+  Mutex.unlock t.guard
+
+let dirty_lines t =
+  Mutex.lock t.guard;
+  let n = Hashtbl.length t.dirty in
+  Mutex.unlock t.guard;
+  n

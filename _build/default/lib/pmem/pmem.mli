@@ -1,0 +1,128 @@
+(** Simulated byte-addressable persistent memory (Optane DCPMM stand-in).
+
+    The device models exactly the hardware semantics that make PMEM
+    programming hard (§2 of the paper):
+
+    - CPU stores land in a volatile cache: each 64 B line dirtied since its
+      last flush may or may not survive a crash (spurious eviction can
+      persist it early; power loss drops it).
+    - Persistence is explicit: {!flush} (clwb/clflushopt) writes lines back,
+      {!fence} (sfence) orders them. {!persist} is the common pairing.
+    - Store atomicity is 8 bytes: on a crash, a dirty line can persist
+      partially, at 8-byte-word granularity.
+
+    {!crash} applies that adversarial model so crash-consistency tests can
+    explore orderings real hardware exhibits only rarely. Latency and
+    bandwidth are charged to the calling thread via the platform, with
+    parameters calibrated from the paper (single-line persist ≈ 600 ns,
+    read ≈ 30 GB/s, write ≈ 10 GB/s).
+
+    Accessor reads/writes themselves charge no time — per-operation CPU
+    costs are charged at protocol level by the stores (see
+    [Config.costs]) — so simulations stay fast while flush/fence/bulk
+    traffic pays its way. *)
+
+open Dstore_platform
+
+type t
+
+type config = {
+  size : int;  (** Device capacity in bytes. *)
+  flush_ns : int;  (** Latency of a single-line writeback. *)
+  fence_ns : int;  (** Latency of draining the write queue. *)
+  read_bw : float;  (** Sequential read bandwidth, bytes/ns. *)
+  write_bw : float;  (** Sequential write bandwidth, bytes/ns. *)
+  crash_model : bool;
+      (** Track dirty-line undo images so {!crash} works. Disable for pure
+          performance runs to skip the bookkeeping. *)
+}
+
+val default_config : config
+(** 256 MB device, flush 100 ns, fence 200 ns, 30/10 GB/s, crash model
+    on. A single-line persist is 300 ns; a log append + commit pair is
+    ~600 ns, matching the paper's Table 3 (log flush = 616 ns). *)
+
+val create : Platform.t -> config -> t
+
+val size : t -> int
+
+val line_size : int
+(** 64 bytes. *)
+
+(** {1 CPU accessors (cached, not persistent until flushed)} *)
+
+val get_u8 : t -> int -> int
+
+val set_u8 : t -> int -> int -> unit
+
+val get_u16 : t -> int -> int
+
+val set_u16 : t -> int -> int -> unit
+
+val get_u32 : t -> int -> int
+
+val set_u32 : t -> int -> int -> unit
+
+val get_u64 : t -> int -> int
+(** 63-bit values stored as 64-bit little-endian words. *)
+
+val set_u64 : t -> int -> int -> unit
+
+val blit_to_bytes : t -> src:int -> Bytes.t -> dst:int -> len:int -> unit
+
+val blit_from_bytes : t -> Bytes.t -> src:int -> dst:int -> len:int -> unit
+
+val blit_within : t -> src:int -> dst:int -> len:int -> unit
+(** Ranges must not overlap. *)
+
+val fill : t -> int -> int -> int -> unit
+(** [fill t off len byte]. *)
+
+(** {1 Persistence} *)
+
+val flush : t -> int -> int -> unit
+(** [flush t off len] writes back every cache line intersecting the range.
+    Charges [flush_ns] plus pipelined per-line bandwidth cost. As in the
+    standard PMEM-testing model (pmemcheck/Yat), a flushed line is durable
+    immediately; {!fence} contributes ordering cost. Missing-flush bugs —
+    the class the paper's reverse-order protocol defends against — are
+    therefore caught by {!crash}. *)
+
+val fence : t -> unit
+
+val persist : t -> int -> int -> unit
+(** [flush] followed by [fence]. *)
+
+val bulk_read_cost : t -> int -> unit
+(** Charge the calling thread for a bandwidth-limited sequential read of
+    [len] bytes (used by recovery when copying PMEM into DRAM). *)
+
+(** {1 Crash injection} *)
+
+type crash_mode =
+  | Drop_all  (** Every unflushed dirty line reverts. *)
+  | Keep_all  (** Every dirty line happens to have been evicted (persists). *)
+  | Random of Dstore_util.Rng.t
+      (** Each dirty line independently persists fully, reverts fully, or
+          persists a random subset of its 8-byte words. *)
+
+val crash : t -> crash_mode -> unit
+(** Apply the crash model: resolve every dirty line per [crash_mode] and
+    mark the device clean. The caller then discards all volatile state and
+    runs recovery against the surviving bytes. *)
+
+val dirty_lines : t -> int
+(** Number of lines currently dirty (written and not yet persisted). *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  mutable bytes_written : int;  (** Bytes stored by the CPU. *)
+  mutable bytes_flushed : int;  (** Bytes written back by flushes. *)
+  mutable bytes_read_bulk : int;
+  mutable flush_calls : int;
+  mutable fence_calls : int;
+}
+
+val stats : t -> stats
+(** Live counters (monotonic); sample and diff for bandwidth timelines. *)

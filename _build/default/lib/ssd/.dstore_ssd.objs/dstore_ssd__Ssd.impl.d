@@ -1,0 +1,1 @@
+lib/ssd/ssd.ml: Bytes Dstore_platform Platform Printf

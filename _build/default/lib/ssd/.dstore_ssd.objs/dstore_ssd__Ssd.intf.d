@@ -1,0 +1,1 @@
+lib/ssd/ssd.mli: Bytes Dstore_platform Platform

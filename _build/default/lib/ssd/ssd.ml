@@ -1,0 +1,87 @@
+open Dstore_platform
+
+type config = {
+  page_size : int;
+  pages : int;
+  channels : int;
+  read_page_ns : int;
+  write_page_ns : int;
+  retain_data : bool;
+}
+
+let default_config =
+  {
+    page_size = 4096;
+    pages = 64 * 1024;
+    channels = 8;
+    read_page_ns = 10_000;
+    write_page_ns = 8_900;
+    retain_data = true;
+  }
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+type t = {
+  cfg : config;
+  platform : Platform.t;
+  data : Bytes.t;  (** Empty when [retain_data = false]. *)
+  channel_pool : Platform.sem;
+  st : stats;
+}
+
+let create (platform : Platform.t) cfg =
+  assert (cfg.page_size > 0 && cfg.pages > 0 && cfg.channels > 0);
+  {
+    cfg;
+    platform;
+    data =
+      (if cfg.retain_data then Bytes.make (cfg.page_size * cfg.pages) '\000'
+       else Bytes.empty);
+    channel_pool = platform.new_sem cfg.channels;
+    st = { reads = 0; writes = 0; bytes_read = 0; bytes_written = 0 };
+  }
+
+let config t = t.cfg
+
+let page_size t = t.cfg.page_size
+
+let pages t = t.cfg.pages
+
+let check t ~page ~count =
+  if page < 0 || count <= 0 || page + count > t.cfg.pages then
+    invalid_arg
+      (Printf.sprintf "Ssd: pages [%d,+%d) outside device of %d pages" page
+         count t.cfg.pages)
+
+let serve t service_ns =
+  t.channel_pool.acquire ();
+  t.platform.consume service_ns;
+  t.channel_pool.release ()
+
+let write t ~page src ~off ~count =
+  check t ~page ~count;
+  let bytes = count * t.cfg.page_size in
+  assert (off >= 0 && off + bytes <= Bytes.length src);
+  if t.cfg.retain_data then
+    Bytes.blit src off t.data (page * t.cfg.page_size) bytes;
+  t.st.writes <- t.st.writes + 1;
+  t.st.bytes_written <- t.st.bytes_written + bytes;
+  serve t (count * t.cfg.write_page_ns)
+
+let read t ~page dst ~off ~count =
+  check t ~page ~count;
+  let bytes = count * t.cfg.page_size in
+  assert (off >= 0 && off + bytes <= Bytes.length dst);
+  if t.cfg.retain_data then
+    Bytes.blit t.data (page * t.cfg.page_size) dst off bytes
+  else Bytes.fill dst off bytes '\000';
+  t.st.reads <- t.st.reads + 1;
+  t.st.bytes_read <- t.st.bytes_read + bytes;
+  serve t (count * t.cfg.read_page_ns)
+
+let stats t = t.st

@@ -1,0 +1,60 @@
+(** Simulated NVMe SSD (Intel P4800X stand-in) — DStore's data plane.
+
+    A page-addressed block device with:
+
+    - bounded internal parallelism: a channel pool; concurrent requests
+      beyond it queue FIFO, which is where device-level queueing delay in
+      the throughput experiments comes from;
+    - per-page service time calibrated from the paper (Table 3: 4 KB NVMe
+      write ≈ 8.9 µs); a multi-page request streams pages through one
+      channel;
+    - a power-loss-protected write cache (§4.2/§4.5 of the paper: device
+      capacitors flush the cache on power failure), so an acknowledged
+      write is durable — crashes need no special handling here.
+
+    [retain_data = false] keeps the timing and statistics but discards
+    payload bytes; long benchmark runs use it to avoid multi-GB buffers. *)
+
+open Dstore_platform
+
+type t
+
+type config = {
+  page_size : int;  (** Bytes per page (default 4096). *)
+  pages : int;  (** Device capacity in pages. *)
+  channels : int;  (** Parallel requests served concurrently. *)
+  read_page_ns : int;  (** Service time of a 1-page read. *)
+  write_page_ns : int;  (** Service time of a 1-page write. *)
+  retain_data : bool;
+}
+
+val default_config : config
+(** 4 KB pages, 64 Ki pages (256 MB), 8 channels, read 10 µs, write
+    8.9 µs, data retained. *)
+
+val create : Platform.t -> config -> t
+
+val config : t -> config
+
+val page_size : t -> int
+
+val pages : t -> int
+
+val write : t -> page:int -> Bytes.t -> off:int -> count:int -> unit
+(** [write t ~page src ~off ~count] writes [count] pages from [src]
+    starting at byte [off]. Blocks for queueing plus service time; durable
+    on return. *)
+
+val read : t -> page:int -> Bytes.t -> off:int -> count:int -> unit
+(** [read t ~page dst ~off ~count]. If the device was created with
+    [retain_data = false], fills the destination with zeros. *)
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+val stats : t -> stats
+(** Monotonic counters; sample and diff for bandwidth timelines. *)

@@ -1,0 +1,1 @@
+lib/structs/bitpool.ml: Array Base_bits Dstore_memory Dstore_util List Mem Space

@@ -1,0 +1,1 @@
+lib/structs/bitpool.mli: Dstore_memory

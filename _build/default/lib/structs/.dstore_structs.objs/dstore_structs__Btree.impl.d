@@ -1,0 +1,1 @@
+lib/structs/btree.ml: Char Dstore_memory Mem Printf Space String

@@ -1,0 +1,1 @@
+lib/structs/btree.mli: Dstore_memory

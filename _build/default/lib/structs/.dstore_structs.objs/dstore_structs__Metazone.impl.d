@@ -1,0 +1,1 @@
+lib/structs/metazone.ml: Dstore_memory List Mem Space

@@ -1,0 +1,1 @@
+lib/structs/metazone.mli: Dstore_memory

@@ -1,0 +1,1 @@
+lib/structs/readcount.ml: Array Atomic Base_bits Dstore_util Hashtbl

@@ -1,0 +1,1 @@
+lib/structs/readcount.mli:

@@ -1,0 +1,19 @@
+open Dstore_util
+
+type t = { mask : int; counts : int Atomic.t array }
+
+let create ?(buckets = 65536) () =
+  let n = Base_bits.ceil_pow2 (max buckets 16) in
+  { mask = n - 1; counts = Array.init n (fun _ -> Atomic.make 0) }
+
+let bucket t name = Hashtbl.hash name land t.mask
+
+let enter_reader t name = ignore (Atomic.fetch_and_add t.counts.(bucket t name) 1)
+
+let exit_reader t name =
+  let prev = Atomic.fetch_and_add t.counts.(bucket t name) (-1) in
+  assert (prev > 0)
+
+let readers t name = Atomic.get t.counts.(bucket t name)
+
+let total t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.counts

@@ -1,0 +1,26 @@
+(** Volatile read-count table for read-write concurrency control (§4.4).
+
+    Maps object names to the number of in-flight readers via atomic
+    fetch-and-add on a fixed array of counters indexed by name hash.
+    Collisions merely create false conflicts (a writer waits for an
+    unrelated reader) — conservative, never incorrect, and the table size
+    bounds memory instead of the live-object count.
+
+    Purely volatile by design: after a crash there are no readers, so
+    this state needs no recovery. *)
+
+type t
+
+val create : ?buckets:int -> unit -> t
+(** [buckets] rounds up to a power of two; default 65536. *)
+
+val enter_reader : t -> string -> unit
+(** Atomically increment the name's read count. *)
+
+val exit_reader : t -> string -> unit
+
+val readers : t -> string -> int
+(** Current (possibly stale) count for the name's bucket. *)
+
+val total : t -> int
+(** Sum over all buckets (diagnostics). *)

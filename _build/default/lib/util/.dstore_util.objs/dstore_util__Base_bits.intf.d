@@ -1,0 +1,1 @@
+lib/util/base_bits.mli:

@@ -1,0 +1,37 @@
+(* Position of the highest set bit, by successive halving. OCaml ints are
+   63-bit (usable bits 0..62), so all arithmetic stays in shifts-right. *)
+let msb v =
+  assert (v > 0);
+  let r = ref 0 in
+  let v = ref v in
+  if !v >= 1 lsl 32 then begin r := !r + 32; v := !v lsr 32 end;
+  if !v >= 1 lsl 16 then begin r := !r + 16; v := !v lsr 16 end;
+  if !v >= 1 lsl 8 then begin r := !r + 8; v := !v lsr 8 end;
+  if !v >= 1 lsl 4 then begin r := !r + 4; v := !v lsr 4 end;
+  if !v >= 1 lsl 2 then begin r := !r + 2; v := !v lsr 2 end;
+  if !v >= 2 then incr r;
+  !r
+
+let clz v = 62 - msb v
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2_ceil n =
+  assert (n > 0);
+  if n = 1 then 0 else 63 - clz (n - 1)
+
+let ceil_pow2 n = if is_pow2 n then n else 1 lsl log2_ceil n
+
+let popcount v =
+  let c = ref 0 in
+  let v = ref v in
+  while !v <> 0 do
+    v := !v land (!v - 1);
+    incr c
+  done;
+  !c
+
+let ctz v =
+  assert (v <> 0);
+  let rec go v n = if v land 1 = 1 then n else go (v lsr 1) (n + 1) in
+  go v 0

@@ -1,0 +1,23 @@
+(** Small bit-twiddling helpers shared by the histogram and the allocators. *)
+
+val msb : int -> int
+(** Position of the highest set bit ([msb 1 = 0], [msb max_int = 61]).
+    Requires the argument > 0. *)
+
+val clz : int -> int
+(** Count of leading zeros within OCaml's 63 usable bits
+    ([clz 1 = 62], [clz max_int = 1]). Requires the argument > 0. *)
+
+val ceil_pow2 : int -> int
+(** Smallest power of two >= the argument. Requires argument > 0. *)
+
+val log2_ceil : int -> int
+(** [log2_ceil n] is the exponent of [ceil_pow2 n]. *)
+
+val is_pow2 : int -> bool
+
+val popcount : int -> int
+(** Number of set bits (on the 63-bit representation). *)
+
+val ctz : int -> int
+(** Count of trailing zeros. Requires the argument <> 0. *)

@@ -1,0 +1,12 @@
+(** CRC-32C (Castagnoli) — the checksum guarding DIPPER log records.
+
+    A torn log record must never parse as valid; the slot/LSN equation
+    catches most tears and the CRC removes the residual collision risk
+    (see DESIGN.md, deviation 1). *)
+
+val crc32c : ?init:int -> Bytes.t -> pos:int -> len:int -> int
+(** [crc32c b ~pos ~len] is the CRC-32C of the byte range, as a
+    non-negative int in [0, 2^32). [init] continues a previous
+    computation (pass the previous result). *)
+
+val crc32c_string : string -> int

@@ -1,0 +1,44 @@
+(** HDR-style log-linear histograms for latency recording.
+
+    Values (nanoseconds in this codebase) are bucketed with a bounded
+    relative error (~1/64 by default), so p50 through p9999 of a
+    multi-million-sample run can be queried from a few KB of counters.
+    Recording is O(1) and allocation-free; histograms merge, which lets
+    each simulated client record privately and the runner aggregate. *)
+
+type t
+
+val create : ?sub_bits:int -> unit -> t
+(** [create ()] covers values from 0 to ~2^62 with [2^sub_bits] linear
+    sub-buckets per power of two (default [sub_bits = 6], i.e. ≤1.6%
+    relative error). *)
+
+val record : t -> int -> unit
+(** [record t v] adds one sample. Negative values count as 0. *)
+
+val record_n : t -> int -> int -> unit
+(** [record_n t v n] adds [n] samples of value [v]. *)
+
+val count : t -> int
+(** Total samples recorded. *)
+
+val min_value : t -> int
+(** Smallest recorded sample (exact). 0 if empty. *)
+
+val max_value : t -> int
+(** Largest recorded sample (exact). 0 if empty. *)
+
+val mean : t -> float
+(** Approximate mean (bucket-midpoint weighted). 0 if empty. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] with [p] in [0, 100]: smallest bucket upper bound such
+    that at least [p]% of samples fall at or below it. 0 if empty. *)
+
+val merge_into : dst:t -> t -> unit
+(** [merge_into ~dst src] adds all of [src]'s counts to [dst]. *)
+
+val reset : t -> unit
+
+val percentile_labels : (string * float) list
+(** The percentiles the paper reports: p50, p99, p999, p9999. *)

@@ -1,0 +1,72 @@
+type 'a entry = { p : int; s : int; v : 'a }
+
+type 'a t = { mutable a : 'a entry array; mutable n : int }
+
+let create () = { a = [||]; n = 0 }
+
+let is_empty q = q.n = 0
+
+let length q = q.n
+
+let less x y = x.p < y.p || (x.p = y.p && x.s < y.s)
+
+let grow q e =
+  let cap = Array.length q.a in
+  if q.n = cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let na = Array.make ncap e in
+    Array.blit q.a 0 na 0 q.n;
+    q.a <- na
+  end
+
+let push q p s v =
+  let e = { p; s; v } in
+  grow q e;
+  q.a.(q.n) <- e;
+  q.n <- q.n + 1;
+  (* Sift up. *)
+  let i = ref (q.n - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    if less q.a.(!i) q.a.(parent) then begin
+      let tmp = q.a.(parent) in
+      q.a.(parent) <- q.a.(!i);
+      q.a.(!i) <- tmp;
+      i := parent;
+      true
+    end
+    else false
+  do
+    ()
+  done
+
+let pop q =
+  if q.n = 0 then None
+  else begin
+    let top = q.a.(0) in
+    q.n <- q.n - 1;
+    if q.n > 0 then begin
+      q.a.(0) <- q.a.(q.n);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < q.n && less q.a.(l) q.a.(!smallest) then smallest := l;
+        if r < q.n && less q.a.(r) q.a.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = q.a.(!smallest) in
+          q.a.(!smallest) <- q.a.(!i);
+          q.a.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.p, top.s, top.v)
+  end
+
+let peek_key q = if q.n = 0 then None else Some (q.a.(0).p, q.a.(0).s)

@@ -1,0 +1,21 @@
+(** Array-based binary min-heap keyed by [(primary, tiebreak)] int pairs.
+
+    The discrete-event scheduler keys events by [(virtual_time, sequence)],
+    so FIFO order among simultaneous events is deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> int -> int -> 'a -> unit
+(** [push q primary tiebreak v] inserts [v]. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** Remove and return the minimum element. *)
+
+val peek_key : 'a t -> (int * int) option
+(** Key of the minimum element without removing it. *)

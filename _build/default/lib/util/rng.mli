@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generation.
+
+    A SplitMix64 generator: tiny state, high quality, and — unlike
+    [Stdlib.Random] — trivially splittable so every simulated client and
+    every property-test case can own an independent, reproducible stream. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a generator from a 63-bit seed. Equal seeds yield
+    equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] advances. *)
+
+val copy : t -> t
+(** Duplicate the current state (the copy replays the same stream). *)
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound). Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] draws uniformly from [lo, hi] inclusive. *)
+
+val float : t -> float
+(** Uniform draw from [0, 1). *)
+
+val bool : t -> bool
+
+val bytes : t -> int -> Bytes.t
+(** [bytes t n] is [n] random bytes. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

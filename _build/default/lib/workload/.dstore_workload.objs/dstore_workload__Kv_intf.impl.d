@@ -1,0 +1,1 @@
+lib/workload/kv_intf.ml: Bytes Dstore_pmem Dstore_ssd Pmem Ssd

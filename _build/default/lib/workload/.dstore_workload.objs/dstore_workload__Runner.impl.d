@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Bytes Dstore_platform Dstore_pmem Dstore_ssd Dstore_util Histogram Kv_intf List Option Platform Pmem Rng Sim Sim_platform Ssd Ycsb

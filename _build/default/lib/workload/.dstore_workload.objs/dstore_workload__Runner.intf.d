@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Dstore_platform Dstore_util Histogram Kv_intf Ycsb

@@ -1,0 +1,1 @@
+lib/workload/systems.ml: Cached_store Config Dipper Dstore Dstore_baselines Dstore_core Dstore_platform Dstore_pmem Dstore_ssd Dstore_util Fun Inline_store Kv_intf Lsm_store Option Pmem Ssd

@@ -1,0 +1,1 @@
+lib/workload/systems.mli: Config Dstore Dstore_baselines Dstore_core Dstore_platform Dstore_pmem Dstore_ssd Kv_intf Platform Pmem Ssd

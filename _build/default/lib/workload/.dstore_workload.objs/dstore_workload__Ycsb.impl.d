@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Array Dstore_util Fun Printf Rng Zipf

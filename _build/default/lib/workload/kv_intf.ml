@@ -1,0 +1,26 @@
+(** The uniform system interface the workload runner drives.
+
+    Every evaluated system — DStore in each configuration, and the three
+    baseline techniques — is wrapped in this record so the YCSB runner and
+    the figure harnesses treat them identically, exactly as the paper's
+    evaluation does. *)
+
+open Dstore_pmem
+open Dstore_ssd
+
+(** Per-thread operation endpoints ([ds_init]-style session). *)
+type client = {
+  put : string -> Bytes.t -> unit;
+  get : string -> Bytes.t -> int;  (** Into caller's buffer; -1 if absent. *)
+  delete : string -> unit;
+}
+
+type system = {
+  name : string;
+  client : unit -> client;  (** A fresh session for one workload thread. *)
+  checkpoint_now : (unit -> unit) option;
+  stop : unit -> unit;  (** Quiesce background machinery. *)
+  footprint : unit -> int * int * int;  (** (dram, pmem, ssd) bytes. *)
+  pm : Pmem.t;  (** For bandwidth sampling. *)
+  ssd : Ssd.t option;
+}

@@ -1,0 +1,50 @@
+(** Closed-loop YCSB runner over the discrete-event simulator.
+
+    Reproduces the paper's measurement methodology: N client threads at
+    full subscription issue operations back-to-back for a fixed window;
+    per-operation latencies go into HDR histograms (read and update
+    separately); an optional sampler bins completed operations and device
+    traffic per interval for the Figure 7 timelines. Deterministic for a
+    given seed. *)
+
+open Dstore_util
+
+type sample = {
+  t_ns : int;  (** Bin end, relative to measurement start. *)
+  ops : int;  (** Operations completed in the bin. *)
+  ssd_bytes : int;  (** SSD read+write traffic in the bin. *)
+  pmem_bytes : int;  (** PMEM writeback + bulk-read traffic in the bin. *)
+}
+
+type result = {
+  system : string;
+  workload : string;
+  clients : int;
+  duration_ns : int;
+  reads : Histogram.t;
+  updates : Histogram.t;
+  total_ops : int;
+  throughput : float;  (** Operations per second over the window. *)
+  timeline : sample list;
+  footprint : int * int * int;
+  load_ns : int;  (** Virtual time of the load phase. *)
+}
+
+val run :
+  ?seed:int ->
+  ?timeline_bin_ns:int ->
+  ?load:bool ->
+  ?loaders:int ->
+  ?think_ns:int ->
+  build:(Dstore_platform.Platform.t -> Kv_intf.system) ->
+  workload:Ycsb.t ->
+  clients:int ->
+  duration_ns:int ->
+  unit ->
+  result
+(** Build the system on a fresh simulator, load [workload.records] objects
+    (unless [load:false]), run [clients] closed-loop threads for
+    [duration_ns] of virtual time, stop the system, and report.
+    [think_ns] (default 100 us, jittered ±10%) models the YCSB client
+    loop between operations — see DESIGN.md's calibration note — and is
+    excluded from recorded latencies. *)

@@ -1,0 +1,230 @@
+(** Builders wiring each evaluated system onto fresh simulated devices.
+
+    Every system gets its own PMEM and SSD instances sized from a common
+    {!scale}, so comparisons share identical device parameters — the
+    paper's single-testbed methodology. *)
+
+open Dstore_platform
+open Dstore_pmem
+open Dstore_ssd
+open Dstore_core
+open Dstore_baselines
+
+type scale = {
+  objects : int;
+  value_bytes : int;
+  ssd_pages : int;
+  ssd_channels : int;
+  crash_model : bool;  (** Dirty-line tracking; off for performance runs. *)
+  retain_data : bool;  (** Keep payload bytes on the SSD model. *)
+  log_slots : int;  (** DIPPER log / cached-journal capacity. *)
+}
+
+let default_scale =
+  {
+    objects = 10_000;
+    value_bytes = 4096;
+    ssd_pages = 96 * 1024;
+    ssd_channels = 8;
+    crash_model = false;
+    retain_data = false;
+    log_slots = 8192;
+  }
+
+let make_ssd platform scale =
+  Ssd.create platform
+    {
+      Ssd.default_config with
+      pages = scale.ssd_pages;
+      channels = scale.ssd_channels;
+      retain_data = scale.retain_data;
+    }
+
+let make_pmem platform scale bytes =
+  Pmem.create platform
+    { Pmem.default_config with size = bytes; crash_model = scale.crash_model }
+
+(* Space sizing: metadata zone + bitmaps + B-tree nodes + key blobs, with
+   generous slack. *)
+let space_bytes_for scale =
+  let per_object = 64 (* zone *) + 64 (* btree share *) + 32 (* key blob *) in
+  max (8 * 1024 * 1024) (4 * 1024 * 1024 + (scale.objects * per_object * 3))
+
+let dstore_config scale =
+  {
+    Config.default with
+    log_slots = scale.log_slots;
+    space_bytes = space_bytes_for scale;
+    meta_entries = Dstore_util.Base_bits.ceil_pow2 (2 * scale.objects);
+    ssd_blocks = scale.ssd_pages;
+  }
+
+let dstore ?(tweak = Fun.id) ?label platform scale : Kv_intf.system =
+  let cfg = tweak (dstore_config scale) in
+  let pm = make_pmem platform scale (Dipper.layout_bytes cfg) in
+  let ssd = make_ssd platform scale in
+  let st = Dstore.create platform pm ssd cfg in
+  let name =
+    match label with
+    | Some l -> l
+    | None -> (
+        match (cfg.Config.checkpoint, cfg.Config.logging) with
+        | Config.Dipper, Config.Logical -> "DStore"
+        | Config.Cow, _ -> "DStore (CoW)"
+        | Config.No_checkpoint, _ -> "DStore (no ckpt)"
+        | _, Config.Physical -> "DStore (physical)")
+  in
+  {
+    Kv_intf.name;
+    client =
+      (fun () ->
+        let ctx = Dstore.ds_init st in
+        {
+          Kv_intf.put = (fun k v -> Dstore.oput ctx k v);
+          get = (fun k buf -> Dstore.oget_into ctx k buf);
+          delete = (fun k -> ignore (Dstore.odelete ctx k));
+        });
+    checkpoint_now = Some (fun () -> Dstore.checkpoint_now st);
+    stop = (fun () -> Dstore.stop st);
+    footprint =
+      (fun () ->
+        let f = Dstore.footprint st in
+        (f.Dstore.dram, f.Dstore.pmem, f.Dstore.ssd));
+    pm;
+    ssd = Some ssd;
+  }
+
+let dstore_store ?(tweak = Fun.id) platform scale =
+  (* Variant returning the raw store for experiments that need internals
+     (breakdown, engine stats, recovery). *)
+  let cfg = tweak (dstore_config scale) in
+  let pm = make_pmem platform scale (Dipper.layout_bytes cfg) in
+  let ssd = make_ssd platform scale in
+  (Dstore.create platform pm ssd cfg, pm, ssd, cfg)
+
+let cow_tweak cfg = { cfg with Config.checkpoint = Config.Cow }
+
+let no_ckpt_tweak cfg =
+  { cfg with Config.checkpoint = Config.No_checkpoint; log_slots = 1 lsl 20 }
+
+let physical_tweak cfg =
+  { cfg with Config.logging = Config.Physical; oe = false }
+
+let no_oe_tweak cfg = { cfg with Config.oe = false }
+
+let cached ?label ?(tweak = Fun.id) platform scale : Kv_intf.system =
+  let cfg =
+    tweak
+      {
+        Cached_store.default_config with
+        space_bytes = space_bytes_for scale;
+        meta_entries = Dstore_util.Base_bits.ceil_pow2 (2 * scale.objects);
+        ssd_blocks = scale.ssd_pages;
+      }
+  in
+  let pm = make_pmem platform scale (Cached_store.pmem_bytes cfg) in
+  let ssd = make_ssd platform scale in
+  let st = Cached_store.create platform pm ssd cfg in
+  {
+    Kv_intf.name = Option.value label ~default:"MongoDB-PM (cached)";
+    client =
+      (fun () ->
+        {
+          Kv_intf.put = (fun k v -> Cached_store.put st k v);
+          get = (fun k buf -> Cached_store.get st k buf);
+          delete = (fun k -> ignore (Cached_store.delete st k));
+        });
+    checkpoint_now = Some (fun () -> Cached_store.checkpoint_now st);
+    stop = (fun () -> Cached_store.stop st);
+    footprint = (fun () -> Cached_store.footprint st);
+    pm;
+    ssd = Some ssd;
+  }
+
+let lsm ?label platform scale : Kv_intf.system =
+  let memtable_bytes = max (1 lsl 20) (scale.objects * scale.value_bytes / 8) in
+  let cfg =
+    {
+      Lsm_store.default_config with
+      memtable_bytes;
+      wal_bytes = 16 * memtable_bytes;
+      max_objects = 2 * scale.objects;
+    }
+  in
+  let pm = make_pmem platform scale (Lsm_store.pmem_bytes cfg) in
+  let ssd = make_ssd platform scale in
+  let st = Lsm_store.create platform pm ssd cfg in
+  {
+    Kv_intf.name = Option.value label ~default:"PMEM-RocksDB (LSM)";
+    client =
+      (fun () ->
+        {
+          Kv_intf.put = (fun k v -> Lsm_store.put st k v);
+          get = (fun k buf -> Lsm_store.get st k buf);
+          delete = (fun k -> ignore (Lsm_store.delete st k));
+        });
+    checkpoint_now = None;
+    stop = (fun () -> Lsm_store.stop st);
+    footprint = (fun () -> Lsm_store.footprint st);
+    pm;
+    ssd = Some ssd;
+  }
+
+let lsm_no_stall ?label platform scale : Kv_intf.system =
+  let memtable_bytes = 8 * 1024 * 1024 in
+  let cfg =
+    {
+      Lsm_store.default_config with
+      memtable_bytes;
+      wal_bytes = 16 * memtable_bytes;
+      l0_limit = 64;
+      run_limit = 1_000_000;
+      max_objects = 2 * scale.objects;
+    }
+  in
+  let pm = make_pmem platform scale (Lsm_store.pmem_bytes cfg) in
+  let ssd = make_ssd platform scale in
+  let st = Lsm_store.create platform pm ssd cfg in
+  {
+    Kv_intf.name = Option.value label ~default:"PMEM-RocksDB (no stalls)";
+    client =
+      (fun () ->
+        {
+          Kv_intf.put = (fun k v -> Lsm_store.put st k v);
+          get = (fun k buf -> Lsm_store.get st k buf);
+          delete = (fun k -> ignore (Lsm_store.delete st k));
+        });
+    checkpoint_now = None;
+    stop = (fun () -> Lsm_store.stop st);
+    footprint = (fun () -> Lsm_store.footprint st);
+    pm;
+    ssd = Some ssd;
+  }
+
+let inline ?label platform scale : Kv_intf.system =
+  let cfg =
+    {
+      Inline_store.default_config with
+      space_bytes =
+        (4 * 1024 * 1024)
+        + (scale.objects * (scale.value_bytes + 128) * 3);
+      max_objects = 2 * scale.objects;
+    }
+  in
+  let pm = make_pmem platform scale (Inline_store.pmem_bytes cfg) in
+  let st = Inline_store.create platform pm cfg in
+  {
+    Kv_intf.name = Option.value label ~default:"MongoDB-PMSE (inline)";
+    client =
+      (fun () ->
+        {
+          Kv_intf.put = (fun k v -> Inline_store.put st k v);
+          get = (fun k buf -> Inline_store.get st k buf);
+          delete = (fun k -> ignore (Inline_store.delete st k));
+        });
+    checkpoint_now = None;
+    stop = (fun () -> Inline_store.stop st);
+    footprint = (fun () -> Inline_store.footprint st);
+    pm;
+    ssd = None;
+  }

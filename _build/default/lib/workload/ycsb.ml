@@ -1,0 +1,28 @@
+open Dstore_util
+
+type t = { name : string; read_pct : int; records : int; value_bytes : int }
+
+let make name read_pct ?(records = 10_000) ?(value_bytes = 4096) () =
+  { name; read_pct; records; value_bytes }
+
+let a = make "YCSB-A" 50
+
+let b = make "YCSB-B" 95
+
+let c = make "YCSB-C" 100
+
+let write_only = make "write-only" 0
+
+let key i = Printf.sprintf "user%010d" i
+
+type op = Read of string | Update of string
+
+type gen = { wl : t; zipf : Zipf.t; rng : Rng.t }
+
+let gen wl rng = { wl; zipf = Zipf.create wl.records; rng }
+
+let next g =
+  let k = key (Zipf.draw_scrambled g.zipf g.rng) in
+  if Rng.int g.rng 100 < g.wl.read_pct then Read k else Update k
+
+let load_keys wl = Array.init wl.records Fun.id

@@ -1,0 +1,36 @@
+(** YCSB core workloads (Cooper et al., SoCC'10), as used in the paper's
+    evaluation: workload A (50% read / 50% update), B (95/5), C (100/0),
+    over a scrambled-Zipfian request distribution with 4 KB records. *)
+
+open Dstore_util
+
+type t = {
+  name : string;
+  read_pct : int;  (** Percent of operations that are reads. *)
+  records : int;
+  value_bytes : int;
+}
+
+val a : ?records:int -> ?value_bytes:int -> unit -> t
+
+val b : ?records:int -> ?value_bytes:int -> unit -> t
+
+val c : ?records:int -> ?value_bytes:int -> unit -> t
+
+val write_only : ?records:int -> ?value_bytes:int -> unit -> t
+(** 100% updates — the Figure 9 ablation workload. *)
+
+val key : int -> string
+(** YCSB-style key for record [i] ("user" ++ digits). *)
+
+type op = Read of string | Update of string
+
+type gen
+(** Per-client operation generator (owns its Zipfian + RNG state). *)
+
+val gen : t -> Rng.t -> gen
+
+val next : gen -> op
+
+val load_keys : t -> int array
+(** The record ids to insert during the load phase (0..records-1). *)

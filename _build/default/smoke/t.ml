@@ -1,0 +1,35 @@
+open Dstore_platform
+open Dstore_workload
+open Dstore_core
+open Dstore_util
+let () =
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let stref = ref None in
+  Sim.spawn sim "setup" (fun () ->
+    let st, _, _, _ = Systems.dstore_store ~tweak:Systems.cow_tweak p Systems.default_scale in
+    stref := Some st);
+  Sim.run sim;
+  let st = Option.get !stref in
+  (* 8 parallel loaders like Runner *)
+  let rng = Rng.create 42 in
+  for l = 0 to 7 do
+    let lr = Rng.split rng in
+    Sim.spawn sim "loader" (fun () ->
+      let ctx = Dstore.ds_init st in
+      let v = Rng.bytes lr 4096 in
+      for i = l*1250 to (l+1)*1250 - 1 do
+        Dstore.oput ctx (Ycsb.key i) v
+      done;
+      Printf.printf "loader %d done vt=%dms\n%!" l (Sim.now sim / 1000000))
+  done;
+  for n = 1 to 15 do
+    Sim.run_until sim (Sim.now sim + 20_000_000);
+    let s = Dipper.stats (Dstore.engine st) in
+    Printf.printf "vt=%dms ckpts=%d running=%b faults=%d stalls=%d appended=%d live=%d blocked=%d\n%!"
+      (Sim.now sim / 1000000) s.Dipper.checkpoints
+      (Dipper.is_checkpoint_running (Dstore.engine st))
+      s.Dipper.cow_faults s.Dipper.log_full_stalls s.Dipper.records_appended
+      (Sim.live_processes sim) (Sim.blocked_processes sim);
+    ignore n
+  done

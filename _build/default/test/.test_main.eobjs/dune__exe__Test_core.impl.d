@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bytes Dstore_core Dstore_platform Dstore_pmem Dstore_util Gen List Logrec Oplog Option Pmem Printf QCheck QCheck_alcotest Rng Root Sim Sim_platform String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_baselines Test_core Test_dstore Test_memory Test_platform Test_pmem Test_ssd Test_structs Test_util Test_workload

@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Dstore_memory Dstore_platform Dstore_pmem Dstore_util Gen List Mem Option Pmem QCheck QCheck_alcotest Rng Sim Sim_platform Space

@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Array Atomic Dstore_platform List Platform Real_platform Rwlock Sim Sim_platform Thread

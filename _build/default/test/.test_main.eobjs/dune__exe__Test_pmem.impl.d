@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Array Bytes Dstore_platform Dstore_pmem Dstore_util Option Pmem QCheck QCheck_alcotest Rng Sim Sim_platform

@@ -1,0 +1,1 @@
+test/test_ssd.ml: Alcotest Array Bytes Char Dstore_platform Dstore_ssd List Option Sim Sim_platform Ssd

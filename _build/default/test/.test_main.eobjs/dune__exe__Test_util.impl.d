@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Base_bits Bytes Checksum Dstore_util Filename Fun Gen Histogram List Pqueue Printf QCheck QCheck_alcotest Rng String Sys Tablefmt Zipf

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Dstore_util Dstore_workload Hashtbl Histogram List Option Rng Runner String Systems Ycsb

@@ -1,0 +1,832 @@
+(* Integration tests for DStore over DIPPER: the Table 2 API, the write
+   pipeline, checkpoints, concurrency control, and crash recovery. The
+   crash-recovery property tests are the heart of the reproduction: after
+   any crash (including mid-checkpoint, with adversarial cache-line loss),
+   every acknowledged operation must be observable and the store must be
+   observationally equivalent to a sequential model. *)
+
+open Dstore_platform
+open Dstore_pmem
+open Dstore_ssd
+open Dstore_core
+open Dstore_util
+
+let check = Alcotest.check
+
+let small_cfg =
+  {
+    Config.default with
+    log_slots = 512;
+    space_bytes = 4 * 1024 * 1024;
+    meta_entries = 1024;
+    ssd_blocks = 4096;
+    checkpoint_workers = 2;
+  }
+
+type fixture = {
+  sim : Sim.t;
+  p : Platform.t;
+  pm : Pmem.t;
+  ssd : Ssd.t;
+  cfg : Config.t;
+}
+
+let fixture ?(cfg = small_cfg) ?(crash_model = true) () =
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let pm =
+    Pmem.create p
+      { Pmem.default_config with size = Dipper.layout_bytes cfg; crash_model }
+  in
+  let ssd = Ssd.create p { Ssd.default_config with pages = cfg.Config.ssd_blocks } in
+  { sim; p; pm; ssd; cfg }
+
+(* Run [f store ctx] in a fresh store inside a sim process. *)
+let with_store ?cfg ?crash_model f =
+  let fx = fixture ?cfg ?crash_model () in
+  let result = ref None in
+  Sim.spawn fx.sim "test" (fun () ->
+      let st = Dstore.create fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      result := Some (f fx st ctx);
+      Dstore.ds_finalize ctx;
+      Dstore.stop st);
+  Sim.run fx.sim;
+  Option.get !result
+
+let value_of_string s = Bytes.of_string s
+
+(* Wait inside a with_store test body (which runs in process context). *)
+let t_sleep fx ns = Sim.wait fx.sim ns
+
+let big_value seed size =
+  let r = Rng.create seed in
+  Rng.bytes r size
+
+(* --- basic API ----------------------------------------------------------- *)
+
+let test_put_get () =
+  with_store (fun _ _ ctx ->
+      Dstore.oput ctx "hello" (value_of_string "world");
+      match Dstore.oget ctx "hello" with
+      | Some v -> check Alcotest.string "value" "world" (Bytes.to_string v)
+      | None -> Alcotest.fail "missing")
+
+let test_get_missing () =
+  with_store (fun _ _ ctx ->
+      Alcotest.(check bool) "none" true (Dstore.oget ctx "ghost" = None);
+      check Alcotest.int "oget_into -1" (-1)
+        (Dstore.oget_into ctx "ghost" (Bytes.create 16)))
+
+let test_put_overwrite () =
+  with_store (fun _ st ctx ->
+      Dstore.oput ctx "k" (value_of_string "v1");
+      Dstore.oput ctx "k" (value_of_string "second-version");
+      (match Dstore.oget ctx "k" with
+      | Some v -> check Alcotest.string "latest" "second-version" (Bytes.to_string v)
+      | None -> Alcotest.fail "missing");
+      check Alcotest.int "one object" 1 (Dstore.object_count st))
+
+let test_put_4k_roundtrip () =
+  with_store (fun _ _ ctx ->
+      let v = big_value 1 4096 in
+      Dstore.oput ctx "user1" v;
+      match Dstore.oget ctx "user1" with
+      | Some got -> check Alcotest.bytes "4KB integrity" v got
+      | None -> Alcotest.fail "missing")
+
+let test_put_multiblock () =
+  with_store (fun _ _ ctx ->
+      let v = big_value 2 (16 * 1024) in
+      Dstore.oput ctx "big" v;
+      match Dstore.oget ctx "big" with
+      | Some got -> check Alcotest.bytes "16KB integrity" v got
+      | None -> Alcotest.fail "missing")
+
+let test_put_odd_size () =
+  with_store (fun _ _ ctx ->
+      let v = big_value 3 5000 in
+      Dstore.oput ctx "odd" v;
+      match Dstore.oget ctx "odd" with
+      | Some got ->
+          check Alcotest.int "size preserved" 5000 (Bytes.length got);
+          check Alcotest.bytes "integrity" v got
+      | None -> Alcotest.fail "missing")
+
+let test_empty_value () =
+  with_store (fun _ _ ctx ->
+      Dstore.oput ctx "empty" Bytes.empty;
+      match Dstore.oget ctx "empty" with
+      | Some v -> check Alcotest.int "zero bytes" 0 (Bytes.length v)
+      | None -> Alcotest.fail "missing")
+
+let test_delete () =
+  with_store (fun _ st ctx ->
+      Dstore.oput ctx "d" (value_of_string "x");
+      Alcotest.(check bool) "deleted" true (Dstore.odelete ctx "d");
+      Alcotest.(check bool) "gone" false (Dstore.oexists ctx "d");
+      Alcotest.(check bool) "double delete" false (Dstore.odelete ctx "d");
+      check Alcotest.int "count" 0 (Dstore.object_count st))
+
+let test_delete_frees_blocks () =
+  with_store (fun _ st ctx ->
+      let before = (Dstore.footprint st).Dstore.ssd in
+      Dstore.oput ctx "tmp" (big_value 4 8192);
+      Alcotest.(check bool) "blocks allocated" true
+        ((Dstore.footprint st).Dstore.ssd > before);
+      ignore (Dstore.odelete ctx "tmp");
+      check Alcotest.int "blocks released" before (Dstore.footprint st).Dstore.ssd)
+
+let test_overwrite_releases_old_blocks () =
+  with_store (fun _ st ctx ->
+      Dstore.oput ctx "k" (big_value 5 8192);
+      let after_first = (Dstore.footprint st).Dstore.ssd in
+      for i = 0 to 9 do
+        Dstore.oput ctx "k" (big_value i 8192)
+      done;
+      check Alcotest.int "footprint stable under overwrites" after_first
+        (Dstore.footprint st).Dstore.ssd)
+
+let test_many_objects () =
+  with_store (fun _ st ctx ->
+      for i = 0 to 499 do
+        Dstore.oput ctx (Printf.sprintf "obj%04d" i) (value_of_string (string_of_int i))
+      done;
+      check Alcotest.int "count" 500 (Dstore.object_count st);
+      for i = 0 to 499 do
+        match Dstore.oget ctx (Printf.sprintf "obj%04d" i) with
+        | Some v -> check Alcotest.string "value" (string_of_int i) (Bytes.to_string v)
+        | None -> Alcotest.failf "obj%04d missing" i
+      done)
+
+let test_olist_prefix () =
+  with_store (fun _ _ ctx ->
+      List.iter
+        (fun k -> Dstore.oput ctx k (value_of_string "x"))
+        [ "dir/a"; "dir/b"; "dir2/c"; "zzz" ];
+      Alcotest.(check (list string)) "prefix" [ "dir/a"; "dir/b" ]
+        (Dstore.olist ctx ~prefix:"dir/");
+      Alcotest.(check (list string)) "all" [ "dir/a"; "dir/b"; "dir2/c"; "zzz" ]
+        (Dstore.olist ctx ~prefix:"");
+      Alcotest.(check (list string)) "none" [] (Dstore.olist ctx ~prefix:"nope"))
+
+let test_iter_names_sorted () =
+  with_store (fun _ st ctx ->
+      List.iter
+        (fun k -> Dstore.oput ctx k (value_of_string k))
+        [ "zeta"; "alpha"; "mu" ];
+      let names = ref [] in
+      Dstore.iter_names st (fun n -> names := n :: !names);
+      check Alcotest.(list string) "sorted" [ "alpha"; "mu"; "zeta" ]
+        (List.rev !names))
+
+(* --- filesystem API -------------------------------------------------------- *)
+
+let test_open_write_read () =
+  with_store (fun _ _ ctx ->
+      let o = Dstore.oopen ctx "file" Dstore.Rdwr in
+      let payload = value_of_string "file contents here" in
+      check Alcotest.int "written"
+        (Bytes.length payload)
+        (Dstore.owrite o payload ~size:(Bytes.length payload) ~off:0);
+      check Alcotest.int "size" (Bytes.length payload) (Dstore.osize o);
+      let buf = Bytes.create 64 in
+      let n = Dstore.oread o buf ~size:64 ~off:0 in
+      check Alcotest.int "read bytes" (Bytes.length payload) n;
+      check Alcotest.string "content" "file contents here"
+        (Bytes.sub_string buf 0 n);
+      Dstore.oclose o)
+
+let test_open_no_create () =
+  with_store (fun _ _ ctx ->
+      Alcotest.check_raises "not found" (Dstore.Object_not_found "nofile")
+        (fun () -> ignore (Dstore.oopen ctx "nofile" ~create:false Dstore.Rd)))
+
+let test_owrite_extend () =
+  with_store (fun _ _ ctx ->
+      let o = Dstore.oopen ctx "grow" Dstore.Rdwr in
+      ignore (Dstore.owrite o (value_of_string "aaaa") ~size:4 ~off:0);
+      ignore (Dstore.owrite o (value_of_string "bbbb") ~size:4 ~off:6000);
+      check Alcotest.int "extended size" 6004 (Dstore.osize o);
+      let buf = Bytes.create 4 in
+      ignore (Dstore.oread o buf ~size:4 ~off:6000);
+      check Alcotest.string "tail" "bbbb" (Bytes.to_string buf);
+      ignore (Dstore.oread o buf ~size:4 ~off:0;);
+      check Alcotest.string "head intact" "aaaa" (Bytes.to_string buf);
+      Dstore.oclose o)
+
+let test_owrite_inplace_no_log () =
+  with_store (fun _ st ctx ->
+      let o = Dstore.oopen ctx "ip" Dstore.Rdwr in
+      ignore (Dstore.owrite o (big_value 6 4096) ~size:4096 ~off:0);
+      let appended = (Dipper.stats (Dstore.engine st)).Dipper.records_appended in
+      (* An in-place overwrite logs a NOOP for conflict serialization but
+         no metadata; the record count still rises by one per op. The
+         metadata-free property is observable through the op type: size
+         and extents must be unchanged afterwards. *)
+      ignore (Dstore.owrite o (big_value 7 4096) ~size:4096 ~off:0);
+      check Alcotest.int "size unchanged" 4096 (Dstore.osize o);
+      Alcotest.(check bool) "a record per op" true
+        ((Dipper.stats (Dstore.engine st)).Dipper.records_appended = appended + 1);
+      Dstore.oclose o)
+
+let test_oread_past_end () =
+  with_store (fun _ _ ctx ->
+      let o = Dstore.oopen ctx "short" Dstore.Rdwr in
+      ignore (Dstore.owrite o (value_of_string "xy") ~size:2 ~off:0);
+      let buf = Bytes.create 8 in
+      check Alcotest.int "clamped" 2 (Dstore.oread o buf ~size:8 ~off:0);
+      check Alcotest.int "past end" 0 (Dstore.oread o buf ~size:8 ~off:10);
+      Dstore.oclose o)
+
+let test_oclose_rejects_use () =
+  with_store (fun _ _ ctx ->
+      let o = Dstore.oopen ctx "c" Dstore.Rdwr in
+      Dstore.oclose o;
+      Alcotest.check_raises "closed"
+        (Invalid_argument "DStore: operation on closed object") (fun () ->
+          ignore (Dstore.osize o)))
+
+let test_olock_ounlock () =
+  with_store (fun _ _ ctx ->
+      Dstore.olock ctx "dir";
+      Dstore.ounlock ctx "dir";
+      Alcotest.check_raises "double unlock"
+        (Invalid_argument "DStore.ounlock: \"dir\" is not locked") (fun () ->
+          Dstore.ounlock ctx "dir"))
+
+let test_olock_blocks_writer () =
+  let fx = fixture () in
+  let order = ref [] in
+  Sim.spawn fx.sim "main" (fun () ->
+      let st = Dstore.create fx.p fx.pm fx.ssd fx.cfg in
+      let ctx1 = Dstore.ds_init st in
+      Dstore.olock ctx1 "obj";
+      Sim.spawn fx.sim "writer" (fun () ->
+          let ctx2 = Dstore.ds_init st in
+          Dstore.oput ctx2 "obj" (value_of_string "w");
+          order := ("write-done", Sim.now fx.sim) :: !order);
+      Sim.wait fx.sim 100_000;
+      order := ("unlock", Sim.now fx.sim) :: !order;
+      Dstore.ounlock ctx1 "obj";
+      Sim.wait fx.sim 100_000;
+      Dstore.stop st);
+  Sim.run fx.sim;
+  match List.rev !order with
+  | [ ("unlock", t1); ("write-done", t2) ] ->
+      Alcotest.(check bool) "writer blocked until unlock" true (t2 > t1)
+  | other ->
+      Alcotest.failf "unexpected order: %s"
+        (String.concat "," (List.map fst other))
+
+(* --- checkpoints ----------------------------------------------------------- *)
+
+let test_checkpoint_now () =
+  with_store (fun _ st ctx ->
+      for i = 0 to 49 do
+        Dstore.oput ctx (Printf.sprintf "k%d" i) (value_of_string "v")
+      done;
+      Dstore.checkpoint_now st;
+      let s = Dipper.stats (Dstore.engine st) in
+      Alcotest.(check bool) "a checkpoint ran" true (s.Dipper.checkpoints >= 1);
+      Alcotest.(check bool) "records replayed" true (s.Dipper.records_replayed >= 50);
+      (* Store still fully functional. *)
+      Dstore.oput ctx "after" (value_of_string "ckpt");
+      Alcotest.(check bool) "works after" true (Dstore.oexists ctx "after"))
+
+let test_checkpoint_automatic () =
+  (* A small log must trigger checkpoints by itself under write load. *)
+  let cfg = { small_cfg with log_slots = 64 } in
+  with_store ~cfg (fun _ st ctx ->
+      for i = 0 to 199 do
+        Dstore.oput ctx (Printf.sprintf "k%d" (i mod 20)) (value_of_string "v")
+      done;
+      let s = Dipper.stats (Dstore.engine st) in
+      Alcotest.(check bool) "checkpoints happened" true (s.Dipper.checkpoints >= 2);
+      for i = 0 to 19 do
+        Alcotest.(check bool) "data intact" true
+          (Dstore.oexists ctx (Printf.sprintf "k%d" i))
+      done)
+
+let test_no_checkpoint_mode_log_full () =
+  let cfg = { small_cfg with checkpoint = Config.No_checkpoint; log_slots = 8 } in
+  with_store ~cfg (fun _ _ ctx ->
+      Alcotest.(check bool) "raises Log_full" true
+        (match
+           for i = 0 to 99 do
+             Dstore.oput ctx (Printf.sprintf "k%d" i) (value_of_string "v")
+           done
+         with
+        | () -> false
+        | exception Dipper.Log_full -> true))
+
+let test_checkpoint_cow_mode () =
+  let cfg = { small_cfg with checkpoint = Config.Cow; log_slots = 64 } in
+  with_store ~cfg (fun _ st ctx ->
+      for i = 0 to 199 do
+        Dstore.oput ctx (Printf.sprintf "k%d" (i mod 20)) (big_value i 512)
+      done;
+      let s = Dipper.stats (Dstore.engine st) in
+      Alcotest.(check bool) "cow checkpoints ran" true (s.Dipper.checkpoints >= 1);
+      for i = 0 to 19 do
+        Alcotest.(check bool) "data intact" true
+          (Dstore.oexists ctx (Printf.sprintf "k%d" i))
+      done)
+
+let test_physical_logging_mode () =
+  let cfg =
+    { small_cfg with logging = Config.Physical; oe = false; log_slots = 2048 }
+  in
+  with_store ~cfg (fun _ st ctx ->
+      for i = 0 to 49 do
+        Dstore.oput ctx (Printf.sprintf "k%d" i) (value_of_string "phys")
+      done;
+      Dstore.checkpoint_now st;
+      for i = 0 to 49 do
+        Alcotest.(check bool) "intact" true
+          (Dstore.oexists ctx (Printf.sprintf "k%d" i))
+      done)
+
+(* --- concurrency ------------------------------------------------------------ *)
+
+let test_concurrent_distinct_keys () =
+  let fx = fixture () in
+  let done_count = ref 0 in
+  Sim.spawn fx.sim "main" (fun () ->
+      let st = Dstore.create fx.p fx.pm fx.ssd fx.cfg in
+      for c = 0 to 9 do
+        Sim.spawn fx.sim "client" (fun () ->
+            let ctx = Dstore.ds_init st in
+            for i = 0 to 19 do
+              Dstore.oput ctx (Printf.sprintf "c%d-k%d" c i) (value_of_string "v")
+            done;
+            incr done_count)
+      done;
+      Sim.wait fx.sim Platform.ns_per_s;
+      check Alcotest.int "all clients finished" 10 !done_count;
+      check Alcotest.int "all objects" 200 (Dstore.object_count st);
+      Dstore.stop st);
+  Sim.run fx.sim
+
+let test_concurrent_same_key_serialized () =
+  let fx = fixture () in
+  Sim.spawn fx.sim "main" (fun () ->
+      let st = Dstore.create fx.p fx.pm fx.ssd fx.cfg in
+      let finished = ref [] in
+      for c = 0 to 4 do
+        Sim.spawn fx.sim "client" (fun () ->
+            let ctx = Dstore.ds_init st in
+            Dstore.oput ctx "hot" (value_of_string (Printf.sprintf "w%d" c));
+            finished := c :: !finished)
+      done;
+      Sim.wait fx.sim Platform.ns_per_s;
+      check Alcotest.int "all done" 5 (List.length !finished);
+      let ctx = Dstore.ds_init st in
+      (match Dstore.oget ctx "hot" with
+      | Some v ->
+          (* The surviving value is the last writer to commit. *)
+          let winner = List.hd !finished in
+          check Alcotest.string "last committer wins"
+            (Printf.sprintf "w%d" winner)
+            (Bytes.to_string v)
+      | None -> Alcotest.fail "missing");
+      let s = Dipper.stats (Dstore.engine st) in
+      Alcotest.(check bool) "conflicts detected" true (s.Dipper.conflict_waits > 0);
+      Dstore.stop st);
+  Sim.run fx.sim
+
+let test_readers_exclude_writer () =
+  let fx = fixture () in
+  Sim.spawn fx.sim "main" (fun () ->
+      let st = Dstore.create fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      Dstore.oput ctx "shared" (big_value 10 4096);
+      let read_results = ref [] in
+      for _ = 0 to 7 do
+        Sim.spawn fx.sim "reader" (fun () ->
+            let rctx = Dstore.ds_init st in
+            match Dstore.oget rctx "shared" with
+            | Some v -> read_results := Bytes.length v :: !read_results
+            | None -> read_results := -1 :: !read_results)
+      done;
+      Sim.spawn fx.sim "writer" (fun () ->
+          let wctx = Dstore.ds_init st in
+          Dstore.oput wctx "shared" (big_value 11 8192));
+      Sim.wait fx.sim Platform.ns_per_s;
+      check Alcotest.int "all reads completed" 8 (List.length !read_results);
+      List.iter
+        (fun n ->
+          Alcotest.(check bool) "read saw a complete version" true
+            (n = 4096 || n = 8192))
+        !read_results;
+      Dstore.stop st);
+  Sim.run fx.sim
+
+let test_swap_moves_inflight_records () =
+  (* A record uncommitted at the moment of a log swap must be re-homed to
+     the new active log and still commit correctly (§3.5's "moving any
+     uncommitted log records"). A multi-block put keeps a record in flight
+     long enough for a forced checkpoint to land mid-write. *)
+  let fx = fixture () in
+  Sim.spawn fx.sim "main" (fun () ->
+      let st = Dstore.create fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      for i = 0 to 19 do
+        Dstore.oput ctx (Printf.sprintf "w%d" i) (value_of_string "x")
+      done;
+      Sim.spawn fx.sim "slow-writer" (fun () ->
+          let ctx2 = Dstore.ds_init st in
+          (* 64 blocks: the SSD write alone takes ~570 us. *)
+          Dstore.oput ctx2 "huge" (big_value 1 (64 * 4096)));
+      Sim.spawn fx.sim "ckpt" (fun () ->
+          Sim.wait fx.sim 50_000;
+          (* inside the slow write *)
+          Dstore.checkpoint_now st);
+      Sim.wait fx.sim Platform.ns_per_s;
+      let s = Dipper.stats (Dstore.engine st) in
+      Alcotest.(check bool) "a record was moved" true (s.Dipper.records_moved >= 1);
+      (match Dstore.oget ctx "huge" with
+      | Some v -> check Alcotest.int "huge intact" (64 * 4096) (Bytes.length v)
+      | None -> Alcotest.fail "huge lost");
+      Dstore.stop st);
+  Sim.run fx.sim
+
+let test_moved_record_survives_crash () =
+  (* Same scenario, but crash after the commit: the re-homed record must
+     be found by recovery. *)
+  let fx = fixture () in
+  Sim.spawn fx.sim "main" (fun () ->
+      let st = Dstore.create fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      for i = 0 to 9 do
+        Dstore.oput ctx (Printf.sprintf "w%d" i) (value_of_string "x")
+      done;
+      Sim.spawn fx.sim "slow-writer" (fun () ->
+          let ctx2 = Dstore.ds_init st in
+          Dstore.oput ctx2 "huge" (big_value 2 (64 * 4096)));
+      Sim.spawn fx.sim "ckpt" (fun () ->
+          Sim.wait fx.sim 50_000;
+          Dstore.checkpoint_now st);
+      Sim.wait fx.sim Platform.ns_per_s;
+      Dstore.stop st);
+  Sim.run fx.sim;
+  Pmem.crash fx.pm Pmem.Drop_all;
+  Sim.clear_pending fx.sim;
+  Sim.spawn fx.sim "recovery" (fun () ->
+      let st = Dstore.recover fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      (match Dstore.oget ctx "huge" with
+      | Some v -> check Alcotest.int "moved+committed record recovered" (64 * 4096) (Bytes.length v)
+      | None -> Alcotest.fail "huge lost after crash");
+      Dstore.stop st);
+  Sim.run fx.sim
+
+let test_olock_holder_passthrough () =
+  (* The olock holder can read and write the locked object (DESIGN.md
+     deviation 7); another context still blocks. *)
+  with_store (fun fx st ctx ->
+      Dstore.oput ctx "obj" (value_of_string "v0");
+      Dstore.olock ctx "obj";
+      (* Holder operates freely under its own lock. *)
+      Alcotest.(check bool) "holder reads" true (Dstore.oexists ctx "obj");
+      Dstore.oput ctx "obj" (value_of_string "v1");
+      (match Dstore.oget ctx "obj" with
+      | Some v -> check Alcotest.string "holder wrote" "v1" (Bytes.to_string v)
+      | None -> Alcotest.fail "missing");
+      (* A second context's write waits for the unlock. *)
+      let blocked_done = ref (-1) in
+      Sim.spawn fx.sim "other" (fun () ->
+          let ctx2 = Dstore.ds_init st in
+          Dstore.oput ctx2 "obj" (value_of_string "v2");
+          blocked_done := Sim.now fx.sim);
+      t_sleep fx 200_000;
+      let unlocked_at = Sim.now fx.sim in
+      Dstore.ounlock ctx "obj";
+      t_sleep fx Platform.ns_per_s;
+      Alcotest.(check bool) "other waited for unlock" true
+        (!blocked_done >= unlocked_at))
+
+let test_cow_faults_counted () =
+  let cfg = { small_cfg with checkpoint = Config.Cow; log_slots = 64 } in
+  with_store ~cfg (fun _ st ctx ->
+      for i = 0 to 199 do
+        Dstore.oput ctx (Printf.sprintf "k%d" (i mod 40)) (value_of_string "v")
+      done;
+      let s = Dipper.stats (Dstore.engine st) in
+      Alcotest.(check bool) "cow checkpoints ran" true (s.Dipper.checkpoints >= 1))
+
+let test_physical_mode_crash_recovery () =
+  let cfg =
+    { small_cfg with logging = Config.Physical; oe = false; log_slots = 4096 }
+  in
+  let fx = fixture ~cfg () in
+  Sim.spawn fx.sim "main" (fun () ->
+      let st = Dstore.create fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      for i = 0 to 59 do
+        Dstore.oput ctx (Printf.sprintf "p%d" i) (value_of_string (string_of_int i))
+      done);
+  Sim.run fx.sim;
+  Pmem.crash fx.pm (Pmem.Random (Rng.create 7));
+  Sim.clear_pending fx.sim;
+  Sim.spawn fx.sim "recovery" (fun () ->
+      let st = Dstore.recover fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      for i = 0 to 59 do
+        match Dstore.oget ctx (Printf.sprintf "p%d" i) with
+        | Some v -> check Alcotest.string "physical redo" (string_of_int i) (Bytes.to_string v)
+        | None -> Alcotest.failf "p%d lost (physical logging)" i
+      done;
+      Dstore.stop st);
+  Sim.run fx.sim
+
+(* --- recovery ----------------------------------------------------------------- *)
+
+(* Clean-shutdown recovery: stop (no final checkpoint), recover, compare. *)
+let test_recover_clean () =
+  let fx = fixture () in
+  Sim.spawn fx.sim "main" (fun () ->
+      let st = Dstore.create fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      for i = 0 to 99 do
+        Dstore.oput ctx (Printf.sprintf "k%03d" i) (big_value i 1024)
+      done;
+      ignore (Dstore.odelete ctx "k050");
+      Dstore.stop st;
+      let st2 = Dstore.recover fx.p fx.pm fx.ssd fx.cfg in
+      let ctx2 = Dstore.ds_init st2 in
+      check Alcotest.int "count" 99 (Dstore.object_count st2);
+      for i = 0 to 99 do
+        let key = Printf.sprintf "k%03d" i in
+        if i = 50 then
+          Alcotest.(check bool) "deleted stays deleted" false (Dstore.oexists ctx2 key)
+        else
+          match Dstore.oget ctx2 key with
+          | Some v -> check Alcotest.bytes key (big_value i 1024) v
+          | None -> Alcotest.failf "%s missing after recovery" key
+      done;
+      Dstore.stop st2);
+  Sim.run fx.sim
+
+let test_recover_after_checkpoint () =
+  let fx = fixture () in
+  Sim.spawn fx.sim "main" (fun () ->
+      let st = Dstore.create fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      for i = 0 to 49 do
+        Dstore.oput ctx (Printf.sprintf "pre%d" i) (value_of_string "1")
+      done;
+      Dstore.checkpoint_now st;
+      for i = 0 to 49 do
+        Dstore.oput ctx (Printf.sprintf "post%d" i) (value_of_string "2")
+      done;
+      Dstore.stop st;
+      let st2 = Dstore.recover fx.p fx.pm fx.ssd fx.cfg in
+      let ctx2 = Dstore.ds_init st2 in
+      check Alcotest.int "both halves" 100 (Dstore.object_count st2);
+      Alcotest.(check bool) "pre-checkpoint" true (Dstore.oexists ctx2 "pre7");
+      Alcotest.(check bool) "post-checkpoint" true (Dstore.oexists ctx2 "post7");
+      Dstore.stop st2);
+  Sim.run fx.sim
+
+let test_recover_crash_drop_all () =
+  (* Hard crash losing every unflushed line: every completed put must
+     survive. *)
+  let fx = fixture () in
+  let acked = ref [] in
+  Sim.spawn fx.sim "main" (fun () ->
+      let st = Dstore.create fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      for i = 0 to 79 do
+        Dstore.oput ctx (Printf.sprintf "k%d" i) (value_of_string (string_of_int i));
+        acked := i :: !acked
+      done);
+  Sim.run fx.sim;
+  Pmem.crash fx.pm Pmem.Drop_all;
+  Sim.clear_pending fx.sim;
+  Sim.spawn fx.sim "recovery" (fun () ->
+      let st = Dstore.recover fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      List.iter
+        (fun i ->
+          match Dstore.oget ctx (Printf.sprintf "k%d" i) with
+          | Some v -> check Alcotest.string "value" (string_of_int i) (Bytes.to_string v)
+          | None -> Alcotest.failf "acked k%d lost" i)
+        !acked;
+      Dstore.stop st);
+  Sim.run fx.sim
+
+let test_recover_crash_mid_checkpoint () =
+  (* Stop the simulation mid-checkpoint (the paper's worst failure point),
+     crash, and verify the redo path reconstructs everything acked. *)
+  let cfg = { small_cfg with log_slots = 128 } in
+  let fx = fixture ~cfg () in
+  let acked = ref [] in
+  Sim.spawn fx.sim "main" (fun () ->
+      let st = Dstore.create fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      (* Small log: checkpoints trigger repeatedly under this loop. *)
+      for i = 0 to 299 do
+        let key = Printf.sprintf "k%d" (i mod 60) in
+        Dstore.oput ctx key (value_of_string (Printf.sprintf "v%d" i));
+        acked := (key, Printf.sprintf "v%d" i) :: !acked
+      done);
+  (* Run just far enough that a checkpoint is in flight with high
+     probability, then pull the plug. *)
+  Sim.run_until fx.sim 2_000_000;
+  Pmem.crash fx.pm (Pmem.Random (Rng.create 42));
+  Sim.clear_pending fx.sim;
+  (* Model: the last acked value per key. *)
+  let module M = Map.Make (String) in
+  let model =
+    List.fold_left
+      (fun m (k, v) -> if M.mem k m then m else M.add k v m)
+      M.empty !acked
+  in
+  Sim.spawn fx.sim "recovery" (fun () ->
+      let st = Dstore.recover fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      M.iter
+        (fun k v ->
+          match Dstore.oget ctx k with
+          | Some got -> check Alcotest.string k v (Bytes.to_string got)
+          | None -> Alcotest.failf "acked %s lost" k)
+        model;
+      Dstore.stop st);
+  Sim.run fx.sim
+
+let test_owrite_crash_consistency () =
+  (* Grow an object via owrite, crash, and verify the committed extension
+     (size + new extents + data) survives. *)
+  let fx = fixture () in
+  Sim.spawn fx.sim "main" (fun () ->
+      let st = Dstore.create fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      let o = Dstore.oopen ctx "grown" Dstore.Rdwr in
+      ignore (Dstore.owrite o (Bytes.make 4096 'A') ~size:4096 ~off:0);
+      ignore (Dstore.owrite o (Bytes.make 4096 'B') ~size:4096 ~off:8192);
+      Dstore.oclose o);
+  Sim.run fx.sim;
+  Pmem.crash fx.pm Pmem.Drop_all;
+  Sim.clear_pending fx.sim;
+  Sim.spawn fx.sim "recovery" (fun () ->
+      let st = Dstore.recover fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      let o = Dstore.oopen ctx "grown" ~create:false Dstore.Rd in
+      check Alcotest.int "size recovered" 12288 (Dstore.osize o);
+      let buf = Bytes.create 4096 in
+      ignore (Dstore.oread o buf ~size:4096 ~off:8192);
+      check Alcotest.bytes "tail data" (Bytes.make 4096 'B') buf;
+      ignore (Dstore.oread o buf ~size:4096 ~off:0);
+      check Alcotest.bytes "head data" (Bytes.make 4096 'A') buf;
+      Dstore.oclose o;
+      Dstore.stop st);
+  Sim.run fx.sim
+
+let test_recover_uninitialized_fails () =
+  let fx = fixture () in
+  Sim.spawn fx.sim "t" (fun () ->
+      Alcotest.(check bool) "not initialized" false (Dstore.is_initialized fx.pm);
+      Alcotest.check_raises "recover fails"
+        (Invalid_argument "Root.attach: no initialized root object") (fun () ->
+          ignore (Dstore.recover fx.p fx.pm fx.ssd fx.cfg)));
+  Sim.run fx.sim
+
+let test_double_recovery_idempotent () =
+  let fx = fixture () in
+  Sim.spawn fx.sim "main" (fun () ->
+      let st = Dstore.create fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      for i = 0 to 29 do
+        Dstore.oput ctx (Printf.sprintf "k%d" i) (value_of_string "v")
+      done;
+      Dstore.stop st;
+      (* Recover twice in a row (§3.6: idempotent recovery). *)
+      let st1 = Dstore.recover fx.p fx.pm fx.ssd fx.cfg in
+      Dstore.stop st1;
+      let st2 = Dstore.recover fx.p fx.pm fx.ssd fx.cfg in
+      check Alcotest.int "count stable" 30 (Dstore.object_count st2);
+      let ctx2 = Dstore.ds_init st2 in
+      Alcotest.(check bool) "readable" true (Dstore.oexists ctx2 "k7");
+      (* And still writable. *)
+      Dstore.oput ctx2 "new" (value_of_string "post-recovery");
+      Dstore.stop st2);
+  Sim.run fx.sim
+
+(* The flagship property: random workload, crash at a random instant with
+   adversarial line loss, recover, and require observational equivalence
+   with the acked-operation model. *)
+let prop_crash_recovery_observational_equivalence =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"crash anywhere: acked ops survive recovery"
+       ~count:25
+       QCheck.(pair (int_range 0 1_000_000) (int_range 100_000 30_000_000))
+       (fun (seed, crash_at) ->
+         let cfg = { small_cfg with log_slots = 96 } in
+         let fx = fixture ~cfg () in
+         let module M = Map.Make (String) in
+         let r = Rng.create seed in
+         (* Model: last acked value per key, plus the in-flight operation
+            of each client (which may or may not have committed when the
+            plug is pulled). *)
+         let acked : string option M.t ref = ref M.empty in
+         let pending : (int, string * string option) Hashtbl.t =
+           Hashtbl.create 8
+         in
+         let store = ref None in
+         Sim.spawn fx.sim "setup" (fun () ->
+             store := Some (Dstore.create fx.p fx.pm fx.ssd fx.cfg));
+         Sim.run fx.sim;
+         let st = Option.get !store in
+         for c = 0 to 3 do
+           let cr = Rng.split r in
+           Sim.spawn fx.sim (Printf.sprintf "client%d" c) (fun () ->
+               let ctx = Dstore.ds_init st in
+               for i = 0 to 199 do
+                 let key = Printf.sprintf "key%d" (Rng.int cr 24) in
+                 if Rng.int cr 5 = 0 then begin
+                   Hashtbl.replace pending c (key, None);
+                   ignore (Dstore.odelete ctx key);
+                   Hashtbl.remove pending c;
+                   acked := M.add key None !acked
+                 end
+                 else begin
+                   let v = Printf.sprintf "c%d-i%d" c i in
+                   Hashtbl.replace pending c (key, Some v);
+                   Dstore.oput ctx key (Bytes.of_string v);
+                   Hashtbl.remove pending c;
+                   acked := M.add key (Some v) !acked
+                 end
+               done)
+         done;
+         Sim.run_until fx.sim crash_at;
+         Pmem.crash fx.pm (Pmem.Random (Rng.split r));
+         Sim.clear_pending fx.sim;
+         let in_flight_for key =
+           Hashtbl.fold
+             (fun _ (k, v) acc -> if k = key then v :: acc else acc)
+             pending []
+         in
+         let ok = ref true in
+         Sim.spawn fx.sim "recovery" (fun () ->
+             let st2 = Dstore.recover fx.p fx.pm fx.ssd fx.cfg in
+             let ctx = Dstore.ds_init st2 in
+             let keys = List.init 24 (fun i -> Printf.sprintf "key%d" i) in
+             List.iter
+               (fun key ->
+                 let got = Option.map Bytes.to_string (Dstore.oget ctx key) in
+                 let last_acked =
+                   match M.find_opt key !acked with Some v -> v | None -> None
+                 in
+                 let acceptable = last_acked :: in_flight_for key in
+                 if not (List.mem got acceptable) then ok := false)
+               keys;
+             Dstore.stop st2);
+         Sim.run fx.sim;
+         !ok))
+
+let suite =
+  [
+    ("put/get", `Quick, test_put_get);
+    ("get missing", `Quick, test_get_missing);
+    ("put overwrite", `Quick, test_put_overwrite);
+    ("put 4KB roundtrip", `Quick, test_put_4k_roundtrip);
+    ("put multiblock (16KB)", `Quick, test_put_multiblock);
+    ("put odd size", `Quick, test_put_odd_size);
+    ("empty value", `Quick, test_empty_value);
+    ("delete", `Quick, test_delete);
+    ("delete frees blocks", `Quick, test_delete_frees_blocks);
+    ("overwrite releases old blocks", `Quick, test_overwrite_releases_old_blocks);
+    ("500 objects", `Quick, test_many_objects);
+    ("iter names sorted", `Quick, test_iter_names_sorted);
+    ("olist prefix scan", `Quick, test_olist_prefix);
+    ("open/write/read", `Quick, test_open_write_read);
+    ("open no-create missing", `Quick, test_open_no_create);
+    ("owrite extends", `Quick, test_owrite_extend);
+    ("owrite in-place", `Quick, test_owrite_inplace_no_log);
+    ("oread past end", `Quick, test_oread_past_end);
+    ("closed handle rejected", `Quick, test_oclose_rejects_use);
+    ("olock/ounlock", `Quick, test_olock_ounlock);
+    ("olock blocks writer", `Quick, test_olock_blocks_writer);
+    ("checkpoint_now", `Quick, test_checkpoint_now);
+    ("automatic checkpoints", `Quick, test_checkpoint_automatic);
+    ("No_checkpoint raises Log_full", `Quick, test_no_checkpoint_mode_log_full);
+    ("CoW checkpoint mode", `Quick, test_checkpoint_cow_mode);
+    ("physical logging mode", `Quick, test_physical_logging_mode);
+    ("concurrent distinct keys", `Quick, test_concurrent_distinct_keys);
+    ("concurrent same key serialized", `Quick, test_concurrent_same_key_serialized);
+    ("readers exclude writer", `Quick, test_readers_exclude_writer);
+    ("swap moves in-flight records", `Quick, test_swap_moves_inflight_records);
+    ("moved record survives crash", `Quick, test_moved_record_survives_crash);
+    ("olock holder passthrough", `Quick, test_olock_holder_passthrough);
+    ("cow faults counted", `Quick, test_cow_faults_counted);
+    ("physical-mode crash recovery", `Quick, test_physical_mode_crash_recovery);
+    ("recover clean shutdown", `Quick, test_recover_clean);
+    ("recover after checkpoint", `Quick, test_recover_after_checkpoint);
+    ("recover crash drop-all", `Quick, test_recover_crash_drop_all);
+    ("recover crash mid-checkpoint", `Quick, test_recover_crash_mid_checkpoint);
+    ("owrite crash consistency", `Quick, test_owrite_crash_consistency);
+    ("recover uninitialized fails", `Quick, test_recover_uninitialized_fails);
+    ("double recovery idempotent", `Quick, test_double_recovery_idempotent);
+    prop_crash_recovery_observational_equivalence;
+  ]

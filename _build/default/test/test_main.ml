@@ -1,0 +1,17 @@
+(* Aggregated test runner for the DStore reproduction. One alcotest suite
+   per library; suites are added here as libraries come online. *)
+
+let () =
+  Alcotest.run "dstore"
+    [
+      ("util", Test_util.suite);
+      ("platform", Test_platform.suite);
+      ("pmem", Test_pmem.suite);
+      ("ssd", Test_ssd.suite);
+      ("memory", Test_memory.suite);
+      ("structs", Test_structs.suite);
+      ("core", Test_core.suite);
+      ("dstore", Test_dstore.suite);
+      ("baselines", Test_baselines.suite);
+      ("workload", Test_workload.suite);
+    ]

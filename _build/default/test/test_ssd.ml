@@ -1,0 +1,126 @@
+(* Tests for the SSD device model: data integrity, service times, channel
+   queueing, discard mode, stats. *)
+
+open Dstore_platform
+open Dstore_ssd
+
+let check = Alcotest.check
+
+let small_config = { Ssd.default_config with pages = 256 }
+
+let with_ssd ?(cfg = small_config) f =
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let dev = Ssd.create p cfg in
+  let result = ref None in
+  Sim.spawn sim "test" (fun () -> result := Some (f dev p sim));
+  Sim.run sim;
+  Option.get !result
+
+let page_of_byte cfg b = Bytes.make cfg.Ssd.page_size (Char.chr b)
+
+let test_write_read_roundtrip () =
+  with_ssd (fun dev _ _ ->
+      let data = page_of_byte small_config 0x5A in
+      Ssd.write dev ~page:3 data ~off:0 ~count:1;
+      let out = Bytes.create 4096 in
+      Ssd.read dev ~page:3 out ~off:0 ~count:1;
+      check Alcotest.bytes "roundtrip" data out)
+
+let test_multi_page () =
+  with_ssd (fun dev _ _ ->
+      let data = Bytes.create (4 * 4096) in
+      for i = 0 to (4 * 4096) - 1 do
+        Bytes.set data i (Char.chr (i mod 251))
+      done;
+      Ssd.write dev ~page:10 data ~off:0 ~count:4;
+      let out = Bytes.create (4 * 4096) in
+      Ssd.read dev ~page:10 out ~off:0 ~count:4;
+      check Alcotest.bytes "4 pages" data out)
+
+let test_write_latency () =
+  with_ssd (fun dev _ sim ->
+      let t0 = Sim.now sim in
+      Ssd.write dev ~page:0 (page_of_byte small_config 1) ~off:0 ~count:1;
+      check Alcotest.int "4KB write = 8.9us" 8_900 (Sim.now sim - t0))
+
+let test_read_latency () =
+  with_ssd (fun dev _ sim ->
+      let t0 = Sim.now sim in
+      let out = Bytes.create 4096 in
+      Ssd.read dev ~page:0 out ~off:0 ~count:1;
+      check Alcotest.int "4KB read = 10us" 10_000 (Sim.now sim - t0))
+
+let test_multipage_latency_scales () =
+  with_ssd (fun dev _ sim ->
+      let t0 = Sim.now sim in
+      Ssd.write dev ~page:0 (Bytes.create (4 * 4096)) ~off:0 ~count:4;
+      check Alcotest.int "16KB write = 4x" (4 * 8_900) (Sim.now sim - t0))
+
+let test_channel_queueing () =
+  (* 16 concurrent 1-page writes on 8 channels: two waves. *)
+  let cfg = { small_config with channels = 8 } in
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let dev = Ssd.create p cfg in
+  let finish = Array.make 16 0 in
+  for i = 0 to 15 do
+    Sim.spawn sim "w" (fun () ->
+        Ssd.write dev ~page:i (Bytes.create 4096) ~off:0 ~count:1;
+        finish.(i) <- Sim.now sim)
+  done;
+  Sim.run sim;
+  let wave1 = Array.to_list (Array.sub finish 0 8)
+  and wave2 = Array.to_list (Array.sub finish 8 8) in
+  List.iter (fun t -> check Alcotest.int "wave 1" 8_900 t) wave1;
+  List.iter (fun t -> check Alcotest.int "wave 2" 17_800 t) wave2
+
+let test_discard_mode () =
+  let cfg = { small_config with retain_data = false } in
+  with_ssd ~cfg (fun dev _ sim ->
+      let t0 = Sim.now sim in
+      Ssd.write dev ~page:0 (page_of_byte cfg 0xFF) ~off:0 ~count:1;
+      check Alcotest.int "timing still modeled" 8_900 (Sim.now sim - t0);
+      let out = Bytes.make 4096 'x' in
+      Ssd.read dev ~page:0 out ~off:0 ~count:1;
+      check Alcotest.bytes "reads zeros" (Bytes.make 4096 '\000') out)
+
+let test_bounds () =
+  with_ssd (fun dev _ _ ->
+      Alcotest.check_raises "oob"
+        (Invalid_argument "Ssd: pages [256,+1) outside device of 256 pages")
+        (fun () -> Ssd.write dev ~page:256 (Bytes.create 4096) ~off:0 ~count:1))
+
+let test_stats () =
+  with_ssd (fun dev _ _ ->
+      let st = Ssd.stats dev in
+      Ssd.write dev ~page:0 (Bytes.create 8192) ~off:0 ~count:2;
+      let out = Bytes.create 4096 in
+      Ssd.read dev ~page:0 out ~off:0 ~count:1;
+      check Alcotest.int "writes" 1 st.Ssd.writes;
+      check Alcotest.int "bytes written" 8192 st.Ssd.bytes_written;
+      check Alcotest.int "reads" 1 st.Ssd.reads;
+      check Alcotest.int "bytes read" 4096 st.Ssd.bytes_read)
+
+let test_offset_blit () =
+  with_ssd (fun dev _ _ ->
+      let src = Bytes.create (3 * 4096) in
+      Bytes.fill src 4096 4096 'Q';
+      Ssd.write dev ~page:7 src ~off:4096 ~count:1;
+      let out = Bytes.create 4096 in
+      Ssd.read dev ~page:7 out ~off:0 ~count:1;
+      check Alcotest.bytes "middle page written" (Bytes.make 4096 'Q') out)
+
+let suite =
+  [
+    ("write/read roundtrip", `Quick, test_write_read_roundtrip);
+    ("multi-page roundtrip", `Quick, test_multi_page);
+    ("write latency", `Quick, test_write_latency);
+    ("read latency", `Quick, test_read_latency);
+    ("multi-page latency scales", `Quick, test_multipage_latency_scales);
+    ("channel queueing", `Quick, test_channel_queueing);
+    ("discard mode", `Quick, test_discard_mode);
+    ("bounds checked", `Quick, test_bounds);
+    ("stats", `Quick, test_stats);
+    ("offset blit", `Quick, test_offset_blit);
+  ]
