@@ -68,15 +68,31 @@ let build ?(checkpoints = true) id opts p =
       Systems.lsm_no_stall ~label:(sys_name Lsm) p scale
   | Inline, _ -> Systems.inline ~label:(sys_name Inline) p scale
 
+(* JSON results accumulator: every [measure] call appends its results
+   blob; the harness drains the buffer after each experiment and writes a
+   BENCH_<experiment>.json file. *)
+let json_results : Dstore_obs.Json.t list ref = ref []
+
+let record_json j = json_results := j :: !json_results
+
+let take_json () =
+  let l = List.rev !json_results in
+  json_results := [];
+  l
+
 let measure ?(timeline = false) ?(checkpoints = true) ?workload ?window id opts =
   let wl =
     match workload with Some w -> w | None -> Ycsb.a ~records:opts.objects ()
   in
   let window = Option.value window ~default:opts.window_ns in
-  Runner.run ~seed:opts.seed
-    ?timeline_bin_ns:(if timeline then Some 1_000_000_000 else None)
-    ~build:(build ~checkpoints id opts)
-    ~workload:wl ~clients:opts.clients ~duration_ns:window ()
+  let r =
+    Runner.run ~seed:opts.seed
+      ?timeline_bin_ns:(if timeline then Some 1_000_000_000 else None)
+      ~build:(build ~checkpoints id opts)
+      ~workload:wl ~clients:opts.clients ~duration_ns:window ()
+  in
+  record_json (Runner.result_json r);
+  r
 
 let pcts = Histogram.percentile_labels
 

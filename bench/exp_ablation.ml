@@ -126,6 +126,7 @@ let sweep_threshold opts =
                 footprint = (fun () -> (0, 0, 0));
                 pm;
                 ssd = Some ssd;
+                obs = Some (Dstore.obs st);
               }
             in
             sys)

@@ -92,7 +92,24 @@ let () =
   List.iter
     (fun (name, _, f) ->
       let t = Unix.gettimeofday () in
+      ignore (Common.take_json ());
       f !opts;
+      (* Drain the runs recorded by this experiment into a JSON blob. *)
+      (match Common.take_json () with
+      | [] -> ()
+      | runs ->
+          let file = Printf.sprintf "BENCH_%s.json" name in
+          let oc = open_out file in
+          output_string oc
+            (Dstore_obs.Json.pretty
+               (Dstore_obs.Json.Obj
+                  [
+                    ("experiment", Dstore_obs.Json.String name);
+                    ("runs", Dstore_obs.Json.List runs);
+                  ]));
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "  [results written to %s]\n%!" file);
       Printf.printf "  [%s completed in %.1fs real time]\n%!" name
         (Unix.gettimeofday () -. t))
     to_run;

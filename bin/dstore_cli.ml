@@ -12,6 +12,9 @@
      list              object names in order
      checkpoint        force a checkpoint
      stats             engine statistics
+     metrics           full metrics registry (counters/gauges/histograms)
+     trace [N]         last N trace events (default 20)
+     trace-clear       empty the trace ring
      footprint         DRAM/PMEM/SSD usage
      crash             power-loss with random cache-line loss
      recover           recover from the devices
@@ -22,6 +25,9 @@ open Dstore_pmem
 open Dstore_ssd
 open Dstore_core
 open Dstore_util
+module Obs = Dstore_obs.Obs
+module Metrics = Dstore_obs.Metrics
+module Trace = Dstore_obs.Trace
 
 let cfg =
   {
@@ -37,6 +43,7 @@ type session = {
   platform : Platform.t;
   pm : Pmem.t;
   ssd : Ssd.t;
+  obs : Obs.t;  (* session-owned: the trace survives crash/recover *)
   mutable store : Dstore.t option;
   mutable ctx : Dstore.ctx option;
   rng : Rng.t;
@@ -76,13 +83,26 @@ let handle s line =
       exec s (fun () -> Dstore.checkpoint_now (Option.get s.store));
       print_endline "checkpoint complete"
   | [ "stats" ] ->
-      let st = Dipper.stats (Dstore.engine (Option.get s.store)) in
+      (* Read through the registry: the dipper.* series are live views of
+         the engine's stats record. *)
+      let m = s.obs.Obs.metrics in
+      let v name = Option.value (Metrics.value m name) ~default:0 in
       Printf.printf
         "records appended: %d, checkpoints: %d, replayed: %d, moved: %d,\n\
          conflict waits: %d, log-full stalls: %d\n"
-        st.Dipper.records_appended st.Dipper.checkpoints
-        st.Dipper.records_replayed st.Dipper.records_moved
-        st.Dipper.conflict_waits st.Dipper.log_full_stalls
+        (v "dipper.records_appended")
+        (v "dipper.checkpoints")
+        (v "dipper.records_replayed")
+        (v "dipper.records_moved")
+        (v "dipper.conflict_waits")
+        (v "dipper.log_full_stalls")
+  | [ "metrics" ] -> Obs.print_metrics s.obs
+  | [ "trace" ] -> Obs.print_trace ~last:20 s.obs
+  | [ "trace"; n ] when int_of_string_opt n <> None ->
+      Obs.print_trace ~last:(int_of_string n) s.obs
+  | [ "trace-clear" ] ->
+      Trace.clear s.obs.Obs.trace;
+      print_endline "trace cleared"
   | [ "footprint" ] ->
       let f = Dstore.footprint (Option.get s.store) in
       Printf.printf "dram=%s pmem=%s ssd=%s\n"
@@ -97,14 +117,17 @@ let handle s line =
       print_endline "CRASH: volatile state gone, unflushed lines torn"
   | [ "recover" ] ->
       exec s (fun () ->
-          let st = Dstore.recover s.platform s.pm s.ssd cfg in
+          let st = Dstore.recover ~obs:s.obs s.platform s.pm s.ssd cfg in
           s.store <- Some st;
           s.ctx <- Some (Dstore.ds_init st);
           let es = Dipper.stats (Dstore.engine st) in
           Printf.printf "recovered: %d objects, replayed %d records\n"
             (Dstore.object_count st) es.Dipper.recovery_replayed_records)
   | [ "quit" ] | [ "exit" ] -> raise Exit
-  | _ -> print_endline "unknown command (put/get/del/list/checkpoint/stats/footprint/crash/recover/quit)"
+  | _ ->
+      print_endline
+        "unknown command (put/get/del/list/checkpoint/stats/metrics/trace/\n\
+         trace-clear/footprint/crash/recover/quit)"
 
 let () =
   let sim = Sim.create () in
@@ -114,9 +137,16 @@ let () =
       { Pmem.default_config with size = Dipper.layout_bytes cfg; crash_model = true }
   in
   let ssd = Ssd.create platform { Ssd.default_config with pages = 16384 } in
-  let s = { sim; platform; pm; ssd; store = None; ctx = None; rng = Rng.create 7 } in
+  let obs =
+    Obs.create ~trace_capacity:cfg.Config.trace_capacity
+      ~now:(fun () -> platform.Platform.now ())
+      ()
+  in
+  let s =
+    { sim; platform; pm; ssd; obs; store = None; ctx = None; rng = Rng.create 7 }
+  in
   exec s (fun () ->
-      let st = Dstore.create platform pm ssd cfg in
+      let st = Dstore.create ~obs platform pm ssd cfg in
       s.store <- Some st;
       s.ctx <- Some (Dstore.ds_init st));
   print_endline "dstore shell ready (simulated devices; 'quit' to exit)";

@@ -59,6 +59,13 @@ type t = {
   ssd_blocks : int;  (** Block-pool capacity; block = one SSD page. *)
   readcount_buckets : int;
   costs : costs;
+  obs_enabled : bool;
+      (** Observability opt-out: when false the store's metrics registry
+          and trace ring are created disabled (recording is a dead
+          branch). Engine {!Dipper.stats} and {!Dstore.breakdown} are
+          unaffected — they are not optional instrumentation. *)
+  trace_capacity : int;
+      (** Trace ring size in entries (DRAM only, bounded memory). *)
 }
 
 let default =
@@ -74,6 +81,8 @@ let default =
     ssd_blocks = 60 * 1024;
     readcount_buckets = 65536;
     costs = default_costs;
+    obs_enabled = true;
+    trace_capacity = 4096;
   }
 
 let pp_mode fmt t =

@@ -1,6 +1,9 @@
 open Dstore_platform
 open Dstore_pmem
 open Dstore_memory
+module Obs = Dstore_obs.Obs
+module Metrics = Dstore_obs.Metrics
+module Trace = Dstore_obs.Trace
 
 exception Log_full
 
@@ -121,6 +124,7 @@ type t = {
   cow : cow;
   cap : capture;
   st : stats;
+  obs : Obs.t;
 }
 
 let platform t = t.platform
@@ -130,6 +134,31 @@ let config t = t.cfg
 let volatile t = t.volatile
 
 let stats t = t.st
+
+let obs t = t.obs
+
+let trace t ev = Trace.emit t.obs.Obs.trace ev
+
+(* Engine statistics surface on the registry as callback gauges over the
+   live stats record: the record stays the single always-on source of
+   truth (its counters carry protocol meaning and must not be silenced by
+   an observability opt-out), and the unified export reads it lazily. *)
+let register_stat_views m (st : stats) =
+  let module M = Metrics in
+  M.gauge_fn m "dipper.checkpoints" (fun () -> st.checkpoints);
+  M.gauge_fn m "dipper.ckpt_total_ns" (fun () -> st.ckpt_total_ns);
+  M.gauge_fn m "dipper.ckpt_bytes_cloned" (fun () -> st.ckpt_bytes_cloned);
+  M.gauge_fn m "dipper.log_full_stalls" (fun () -> st.log_full_stalls);
+  M.gauge_fn m "dipper.conflict_waits" (fun () -> st.conflict_waits);
+  M.gauge_fn m "dipper.records_appended" (fun () -> st.records_appended);
+  M.gauge_fn m "dipper.append_flush_ns" (fun () -> st.append_flush_ns);
+  M.gauge_fn m "dipper.records_replayed" (fun () -> st.records_replayed);
+  M.gauge_fn m "dipper.records_moved" (fun () -> st.records_moved);
+  M.gauge_fn m "dipper.cow_faults" (fun () -> st.cow_faults);
+  M.gauge_fn m "dipper.recovery_metadata_ns" (fun () -> st.recovery_metadata_ns);
+  M.gauge_fn m "dipper.recovery_replay_ns" (fun () -> st.recovery_replay_ns);
+  M.gauge_fn m "dipper.recovery_replayed_records" (fun () ->
+      st.recovery_replayed_records)
 
 let ticket_lsn tk = tk.lsn
 
@@ -200,7 +229,17 @@ let wrap_volatile platform fault_ns pm cow cap st (base : Mem.t) raw : Mem.t =
 let space_mem t i =
   Mem.of_pmem t.pm ~off:t.lay.space_off.(i) ~len:t.lay.space_bytes
 
-let make_engine platform pm (cfg : Config.t) hooks root =
+let make_engine ?obs platform pm (cfg : Config.t) hooks root =
+  let obs =
+    match obs with
+    | Some o -> o
+    | None ->
+        Obs.create ~enabled:cfg.Config.obs_enabled
+          ~trace_capacity:cfg.Config.trace_capacity
+          ~now:(fun () -> platform.Platform.now ())
+          ()
+  in
+  Pmem.attach_obs pm obs;
   let lay = layout_of cfg in
   if Pmem.size pm < lay.total then
     invalid_arg
@@ -219,8 +258,9 @@ let make_engine platform pm (cfg : Config.t) hooks root =
   in
   let cap = { buf = []; on = false } in
   let st = fresh_stats () in
+  register_stat_views obs.Obs.metrics st;
   let logs =
-    Array.map (fun off -> Oplog.attach pm ~off ~slots:cfg.log_slots) lay.log_off
+    Array.map (fun off -> Oplog.attach ~obs pm ~off ~slots:cfg.log_slots) lay.log_off
   in
   ( {
       platform;
@@ -248,6 +288,7 @@ let make_engine platform pm (cfg : Config.t) hooks root =
       cow;
       cap;
       st;
+      obs;
     },
     raw,
     cow,
@@ -272,6 +313,7 @@ let swap_logs t =
   let arch = t.active_log in
   let standby = 1 - arch in
   t.active_log <- standby;
+  trace t (Trace.Log_swap { archived = arch; active = standby });
   Root.publish t.root (root_state t ~in_progress:true ~archived:arch);
   let tickets =
     Hashtbl.fold (fun _ tk acc -> tk :: acc) t.in_flight []
@@ -386,12 +428,17 @@ let dipper_checkpoint t =
   Oplog.reset t.logs.(standby) ~lsn_base:t.next_base;
   t.next_base <- t.next_base + t.cfg.log_slots;
   let arch = Platform.with_lock t.lock (fun () -> swap_logs t) in
+  trace t (Trace.Ckpt Trace.C_archive);
   let target = 1 - t.current_space in
+  trace t (Trace.Ckpt Trace.C_clone);
   let shadow = clone_shadow t ~target in
   let entries = committed_entries t.logs.(arch) ~above:t.last_applied in
+  trace t (Trace.Ckpt Trace.C_replay);
   replay_pool t shadow entries;
+  trace t (Trace.Ckpt Trace.C_persist);
   Space.persist_used shadow;
-  finish_checkpoint t ~target ~arch
+  finish_checkpoint t ~target ~arch;
+  trace t (Trace.Ckpt Trace.C_publish)
 
 (* One CoW checkpoint cycle (§4.5): snapshot the volatile space by page
    copy instead of log replay. The archived log is still swapped out (its
@@ -404,6 +451,8 @@ let cow_checkpoint t =
   let arch =
     Platform.with_lock t.lock (fun () ->
         let arch = swap_logs t in
+        trace t (Trace.Ckpt Trace.C_archive);
+        trace t (Trace.Ckpt Trace.C_clone);
         (* Mark: every used page becomes read-only. Fast — a flag sweep. *)
         let pages =
           (Space.used_bytes t.volatile + page_bytes - 1) / page_bytes
@@ -422,10 +471,13 @@ let cow_checkpoint t =
         t.volatile_raw p
   done;
   t.cow.active <- false;
-  finish_checkpoint t ~target ~arch
+  trace t (Trace.Ckpt Trace.C_persist);
+  finish_checkpoint t ~target ~arch;
+  trace t (Trace.Ckpt Trace.C_publish)
 
 let do_checkpoint t =
   let t0 = t.platform.Platform.now () in
+  trace t (Trace.Ckpt Trace.C_trigger);
   (match t.cfg.checkpoint with
   | Config.Dipper -> dipper_checkpoint t
   | Config.Cow -> cow_checkpoint t
@@ -464,7 +516,7 @@ let spawn_manager t =
 
 (* --- public lifecycle ----------------------------------------------------- *)
 
-let create platform pm cfg hooks =
+let create ?obs platform pm cfg hooks =
   let root =
     Root.init pm ~off:0
       {
@@ -475,7 +527,7 @@ let create platform pm cfg hooks =
         last_applied_lsn = 0;
       }
   in
-  let t, raw, cow, cap = make_engine platform pm cfg hooks root in
+  let t, raw, cow, cap = make_engine ?obs platform pm cfg hooks root in
   let base = Mem.of_bytes raw in
   let wrapped = wrap_volatile platform cfg.Config.costs.cow_fault_ns pm cow cap t.st base raw in
   let volatile = Space.format wrapped in
@@ -491,10 +543,11 @@ let create platform pm cfg hooks =
   spawn_manager t;
   t
 
-let recover platform pm cfg hooks =
+let recover ?obs platform pm cfg hooks =
   let root = Root.attach pm ~off:0 in
-  let t, raw, cow, cap = make_engine platform pm cfg hooks root in
+  let t, raw, cow, cap = make_engine ?obs platform pm cfg hooks root in
   let t0 = platform.Platform.now () in
+  trace t (Trace.Recovery Trace.R_start);
   let rs = Root.read root in
   t.active_log <- rs.Root.active_log;
   t.current_space <- rs.Root.current_space;
@@ -502,6 +555,7 @@ let recover platform pm cfg hooks =
   (* Phase 1: if a checkpoint was interrupted, redo it from the old shadow
      copies (§3.6) — identical for DIPPER and CoW configurations. *)
   if rs.Root.ckpt_in_progress then begin
+    trace t (Trace.Recovery Trace.R_redo_ckpt);
     let arch = rs.Root.ckpt_archived_log in
     let target = 1 - t.current_space in
     let shadow = clone_shadow t ~target in
@@ -517,6 +571,7 @@ let recover platform pm cfg hooks =
   end;
   (* Phase 2: rebuild the volatile space — bulk copy of the current shadow
      (the "replicate the PMEM allocator state in the DRAM allocator" step). *)
+  trace t (Trace.Recovery Trace.R_rebuild);
   let pspace = Space.attach (space_mem t t.current_space) in
   let used = Space.used_bytes pspace in
   Pmem.bulk_read_cost pm used;
@@ -526,6 +581,7 @@ let recover platform pm cfg hooks =
   t.st.recovery_metadata_ns <- platform.Platform.now () - t0;
   (* Phase 3: replay committed records beyond the watermark from both logs
      in LSN order (robust to a crash landing anywhere around a swap). *)
+  trace t (Trace.Recovery Trace.R_replay);
   let t1 = platform.Platform.now () in
   let entries =
     committed_entries t.logs.(0) ~above:t.last_applied
@@ -546,6 +602,7 @@ let recover platform pm cfg hooks =
       (Oplog.lsn_base t.logs.(0))
       (Oplog.lsn_base t.logs.(1))
     + cfg.log_slots;
+  trace t (Trace.Recovery Trace.R_done);
   spawn_manager t;
   t
 
@@ -614,6 +671,7 @@ let locked_append ?ignore_ticket t ~key ~max_slots f =
     | Some tk ->
         t.lock.Platform.unlock ();
         t.st.conflict_waits <- t.st.conflict_waits + 1;
+        trace t (Trace.Conflict_wait key);
         wait_ticket t tk;
         attempt ()
     | None ->
@@ -624,12 +682,15 @@ let locked_append ?ignore_ticket t ~key ~max_slots f =
           end;
           request_checkpoint_locked t;
           t.st.log_full_stalls <- t.st.log_full_stalls + 1;
+          trace t Trace.Log_full_stall;
           (* cond wait releases and re-acquires the frontend lock *)
           t.cond_space.Platform.wait t.lock;
           t.lock.Platform.unlock ();
           attempt ()
         end
         else begin
+          trace t (Trace.Write_step (Trace.W_lock, key));
+          trace t (Trace.Write_step (Trace.W_conflict_check, key));
           let op = f () in
           let n = Logrec.slots_needed op in
           assert (n <= max_slots);
@@ -660,6 +721,7 @@ let locked_append ?ignore_ticket t ~key ~max_slots f =
           t.st.append_flush_ns <-
             t.st.append_flush_ns + (t.platform.Platform.now () - tf);
           t.st.records_appended <- t.st.records_appended + 1;
+          trace t (Trace.Write_step (Trace.W_log_append, key));
           tk
         end
   in
@@ -675,6 +737,9 @@ let commit t tk =
         (tk.log_id, tk.slot))
   in
   Oplog.persist_slot t.logs.(log_id) ~slot;
+  (match tk.key with
+  | Some k -> trace t (Trace.Write_step (Trace.W_commit, k))
+  | None -> ());
   Atomic.set tk.done_ true
 
 (* --- physical logging capture ------------------------------------------------ *)

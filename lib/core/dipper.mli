@@ -55,14 +55,19 @@ type ticket
 val layout_bytes : Config.t -> int
 (** PMEM bytes the engine needs for root + two logs + two spaces. *)
 
-val create : Platform.t -> Pmem.t -> Config.t -> hooks -> t
-(** Format a fresh store on the device (root at offset 0). *)
+val create :
+  ?obs:Dstore_obs.Obs.t -> Platform.t -> Pmem.t -> Config.t -> hooks -> t
+(** Format a fresh store on the device (root at offset 0). [obs] supplies
+    an existing observability handle (so traces survive engine re-creation
+    across crash/recover cycles); by default one is built from the config's
+    [obs_enabled] / [trace_capacity] using the platform's virtual clock. *)
 
-val recover : Platform.t -> Pmem.t -> Config.t -> hooks -> t
+val recover :
+  ?obs:Dstore_obs.Obs.t -> Platform.t -> Pmem.t -> Config.t -> hooks -> t
 (** Open after a shutdown or crash: redoes an interrupted checkpoint if the
     root says one was running, rebuilds the volatile space from the current
     shadow copies, and replays committed log records beyond the applied
-    watermark. *)
+    watermark. Emits [Recovery] trace events for each phase. *)
 
 val is_initialized : Pmem.t -> bool
 
@@ -159,6 +164,10 @@ type stats = {
 }
 
 val stats : t -> stats
+
+val obs : t -> Dstore_obs.Obs.t
+(** The engine's observability handle: metrics registry (device counters,
+    [dipper.*] views of {!stats}) and the trace ring. *)
 
 val pmem_footprint : t -> int
 (** Bytes of PMEM in active use: root, both logs, used prefixes of both

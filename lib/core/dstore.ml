@@ -3,6 +3,9 @@ open Dstore_pmem
 open Dstore_ssd
 open Dstore_memory
 open Dstore_structs
+module Obs = Dstore_obs.Obs
+module Metrics = Dstore_obs.Metrics
+module Trace = Dstore_obs.Trace
 
 exception Object_not_found of string
 
@@ -88,6 +91,13 @@ type t = {
   locks_guard : Mutex.t;
   mutable collect_breakdown : bool;
   bd : breakdown;
+  obs : Obs.t;
+  (* Per-operation end-to-end latency histograms (virtual-time ns). *)
+  h_put : Metrics.histo;
+  h_get : Metrics.histo;
+  h_del : Metrics.histo;
+  h_write : Metrics.histo;
+  h_read : Metrics.histo;
 }
 
 type ctx = { store : t; id : ctx_id; mutable live : bool }
@@ -108,6 +118,10 @@ let config t = t.cfg
 let is_initialized = Dipper.is_initialized
 
 let breakdown t = t.bd
+
+let obs t = t.obs
+
+let trace t ev = Trace.emit t.obs.Obs.trace ev
 
 let set_collect_breakdown t v = t.collect_breakdown <- v
 
@@ -198,9 +212,32 @@ let hooks platform cfg reg =
     apply = (fun space op -> apply_op platform cfg (handles_of space) op);
   }
 
+let register_breakdown_views m (bd : breakdown) =
+  let module M = Metrics in
+  M.gauge_fn m "breakdown.ops" (fun () -> bd.ops);
+  M.gauge_fn m "breakdown.lock_alloc_log_ns" (fun () -> bd.lock_alloc_log_ns);
+  M.gauge_fn m "breakdown.btree_ns" (fun () -> bd.btree_ns);
+  M.gauge_fn m "breakdown.meta_ns" (fun () -> bd.meta_ns);
+  M.gauge_fn m "breakdown.ssd_ns" (fun () -> bd.ssd_ns);
+  M.gauge_fn m "breakdown.log_flush_ns" (fun () -> bd.log_flush_ns)
+
 let build platform cfg engine ssd =
   let reg = regions_of cfg in
   let h = attach_handles cfg reg (Dipper.volatile engine) in
+  let obs = Dipper.obs engine in
+  Ssd.attach_obs ssd obs;
+  let bd =
+    {
+      ops = 0;
+      lock_alloc_log_ns = 0;
+      btree_ns = 0;
+      meta_ns = 0;
+      ssd_ns = 0;
+      log_flush_ns = 0;
+    }
+  in
+  register_breakdown_views obs.Obs.metrics bd;
+  let m = obs.Obs.metrics in
   {
     platform;
     cfg;
@@ -213,25 +250,23 @@ let build platform cfg engine ssd =
     held_locks = Hashtbl.create 64;
     locks_guard = Mutex.create ();
     collect_breakdown = false;
-    bd =
-      {
-        ops = 0;
-        lock_alloc_log_ns = 0;
-        btree_ns = 0;
-        meta_ns = 0;
-        ssd_ns = 0;
-        log_flush_ns = 0;
-      };
+    bd;
+    obs;
+    h_put = Metrics.histogram m "op.put";
+    h_get = Metrics.histogram m "op.get";
+    h_del = Metrics.histogram m "op.delete";
+    h_write = Metrics.histogram m "op.write";
+    h_read = Metrics.histogram m "op.read";
   }
 
-let create platform pm ssd cfg =
+let create ?obs platform pm ssd cfg =
   let reg = regions_of cfg in
-  let engine = Dipper.create platform pm cfg (hooks platform cfg reg) in
+  let engine = Dipper.create ?obs platform pm cfg (hooks platform cfg reg) in
   build platform cfg engine ssd
 
-let recover platform pm ssd cfg =
+let recover ?obs platform pm ssd cfg =
   let reg = regions_of cfg in
-  let engine = Dipper.recover platform pm cfg (hooks platform cfg reg) in
+  let engine = Dipper.recover ?obs platform pm cfg (hooks platform cfg reg) in
   build platform cfg engine ssd
 
 let stop t = Dipper.stop t.engine
@@ -377,9 +412,11 @@ let put_structures t key meta size extents freed_meta =
   let t6 = now t in
   t.platform.Platform.consume t.cfg.costs.meta_ns;
   Metazone.write_object t.h.zone meta ~size (to_mz extents);
+  trace t (Trace.Write_step (Trace.W_meta_update, key));
   let t7 = now t in
   t.platform.Platform.consume t.cfg.costs.btree_ns;
   ignore (Btree.insert t.h.btree key meta);
+  trace t (Trace.Write_step (Trace.W_index_update, key));
   ignore freed_meta;
   if t.collect_breakdown then begin
     t.bd.meta_ns <- t.bd.meta_ns + (t7 - t6);
@@ -402,8 +439,10 @@ let oput_logical ctx t key value size =
               (old_meta, of_mz exts)
           | None -> (-1, [])
         in
+        trace t (Trace.Write_step (Trace.W_find_old, key));
         let extents = alloc_blocks t nblocks in
         let meta = alloc_meta t in
+        trace t (Trace.Write_step (Trace.W_alloc, key));
         Logrec.Put { key; size; meta; extents; freed_meta; freed_extents })
   in
   let t5 = now t in
@@ -420,6 +459,7 @@ let oput_logical ctx t key value size =
   (* Step 8: data to the SSD. *)
   let t8 = now t in
   write_data t extents value size;
+  trace t (Trace.Write_step (Trace.W_data_write, key));
   (* Step 9: commit and flush, then release the replaced allocation. *)
   let t9 = now t in
   Dipper.commit t.engine ticket;
@@ -475,9 +515,11 @@ let oput ctx key value =
   check_ctx ctx;
   let t = ctx.store in
   let size = Bytes.length value in
-  match t.cfg.logging with
+  let t0 = now t in
+  (match t.cfg.logging with
   | Config.Logical -> oput_logical ctx t key value size
-  | Config.Physical -> oput_physical ctx t key value size
+  | Config.Physical -> oput_physical ctx t key value size);
+  Metrics.observe t.h_put (now t - t0)
 
 (* --- reads ----------------------------------------------------------------- *)
 
@@ -503,6 +545,7 @@ let read_exit t key = Readcount.exit_reader t.rc key
 let oget_into ctx key buf =
   check_ctx ctx;
   let t = ctx.store in
+  let tstart = now t in
   read_entry ctx key;
   let located =
     with_structs_read t (fun () ->
@@ -522,11 +565,13 @@ let oget_into ctx key buf =
         size
   in
   read_exit t key;
+  Metrics.observe t.h_get (now t - tstart);
   result
 
 let oget ctx key =
   check_ctx ctx;
   let t = ctx.store in
+  let tstart = now t in
   read_entry ctx key;
   let result =
     match Btree.find t.h.btree key with
@@ -539,6 +584,7 @@ let oget ctx key =
         Some buf
   in
   read_exit t key;
+  Metrics.observe t.h_get (now t - tstart);
   result
 
 let oexists ctx key =
@@ -554,6 +600,8 @@ let oexists ctx key =
 let odelete ctx key =
   check_ctx ctx;
   let t = ctx.store in
+  let tstart = now t in
+  let observe_done r = Metrics.observe t.h_del (now t - tstart); r in
   let ticket =
     Dipper.locked_append
       ?ignore_ticket:(own_lock ctx key)
@@ -568,7 +616,7 @@ let odelete ctx key =
   match Dipper.ticket_op ticket with
   | Logrec.Noop _ ->
       Dipper.commit t.engine ticket;
-      false
+      observe_done false
   | Logrec.Delete { meta; extents; _ } ->
       Dipper.wait_readers t.engine t.rc key;
       with_structs t (fun () ->
@@ -576,7 +624,7 @@ let odelete ctx key =
           ignore (Btree.delete t.h.btree key));
       Dipper.commit t.engine ticket;
       release_freed t meta extents;
-      true
+      observe_done true
   | _ -> assert false
 
 (* --- filesystem-style API ----------------------------------------------------- *)
@@ -651,6 +699,7 @@ let oread o buf ~size ~off =
   check_obj o;
   if o.mode = `Wr then invalid_arg "DStore.oread: object opened write-only";
   let t = o.octx.store in
+  let tstart = now t in
   read_entry o.octx o.name;
   let located =
     with_structs_read t (fun () ->
@@ -682,6 +731,7 @@ let oread o buf ~size ~off =
         end
   in
   read_exit t o.name;
+  Metrics.observe t.h_read (now t - tstart);
   result
 
 let owrite o buf ~size ~off =
@@ -690,6 +740,7 @@ let owrite o buf ~size ~off =
   let t = o.octx.store in
   if size = 0 then 0
   else begin
+    let tstart = now t in
     let ps = page_size t in
     let name = o.name in
     let new_end = off + size in
@@ -749,6 +800,7 @@ let owrite o buf ~size ~off =
         ~count:1
     done;
     Dipper.commit t.engine ticket;
+    Metrics.observe t.h_write (now t - tstart);
     size
   end
 

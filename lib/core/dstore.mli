@@ -39,10 +39,15 @@ exception Out_of_blocks
 
 (** {1 Environment} *)
 
-val create : Platform.t -> Pmem.t -> Ssd.t -> Config.t -> t
-(** Format a fresh store across the two devices. *)
+val create :
+  ?obs:Dstore_obs.Obs.t -> Platform.t -> Pmem.t -> Ssd.t -> Config.t -> t
+(** Format a fresh store across the two devices. [obs] supplies an
+    existing observability handle (keeps one trace/registry across
+    crash/recover cycles); by default the engine builds one from the
+    config ([obs_enabled] / [trace_capacity]). *)
 
-val recover : Platform.t -> Pmem.t -> Ssd.t -> Config.t -> t
+val recover :
+  ?obs:Dstore_obs.Obs.t -> Platform.t -> Pmem.t -> Ssd.t -> Config.t -> t
 (** Open an existing store after shutdown or crash (§3.6). *)
 
 val is_initialized : Pmem.t -> bool
@@ -143,3 +148,12 @@ type breakdown = {
 val set_collect_breakdown : t -> bool -> unit
 
 val breakdown : t -> breakdown
+
+(** {1 Observability} *)
+
+val obs : t -> Dstore_obs.Obs.t
+(** The store's observability handle (shared with the engine): metrics
+    registry with device counters ([pmem.*], [ssd.*]), engine stat views
+    ([dipper.*], [breakdown.*]) and per-operation latency histograms
+    ([op.put], [op.get], [op.delete], [op.write], [op.read]); plus the
+    write-path/checkpoint trace ring. *)

@@ -10,12 +10,22 @@ let slot_bytes = Logrec.slot_bytes
 
 let magic = 0x444C4F474C4F47 (* "DLOGLOG" *)
 
+(* Log-level registry counters; both logs of an engine share one set (the
+   series describe the engine's logging activity, not one region). *)
+type counters = {
+  c_appends : Dstore_obs.Metrics.counter;
+  c_commits : Dstore_obs.Metrics.counter;
+  c_resets : Dstore_obs.Metrics.counter;
+  c_scans : Dstore_obs.Metrics.counter;
+}
+
 type t = {
   pm : Pmem.t;
   off : int;
   slots : int;
   mutable base : int;  (* cached lsn_base *)
   mutable tail_ : int;
+  ctr : counters option;
 }
 
 let region_bytes ~slots = (slots + 1) * slot_bytes
@@ -26,13 +36,27 @@ let slot_off t s =
   assert (s >= 0 && s < t.slots);
   t.off + ((s + 1) * slot_bytes)
 
-let attach pm ~off ~slots =
+let counters_of obs =
+  let m = obs.Dstore_obs.Obs.metrics in
+  let module M = Dstore_obs.Metrics in
+  {
+    c_appends = M.counter m "oplog.records_written";
+    c_commits = M.counter m "oplog.records_committed";
+    c_resets = M.counter m "oplog.resets";
+    c_scans = M.counter m "oplog.scans";
+  }
+
+let count c f = match c with Some c -> Dstore_obs.Metrics.incr (f c) | None -> ()
+
+let attach ?obs pm ~off ~slots =
   assert (off mod slot_bytes = 0);
-  let t = { pm; off; slots; base = 0; tail_ = 0 } in
+  let ctr = Option.map counters_of obs in
+  let t = { pm; off; slots; base = 0; tail_ = 0; ctr } in
   t.base <- Pmem.get_u64 pm (hdr_off t + 8);
   t
 
 let reset t ~lsn_base =
+  count t.ctr (fun c -> c.c_resets);
   Pmem.fill t.pm t.off (region_bytes ~slots:t.slots) 0;
   Pmem.set_u64 t.pm (hdr_off t) magic;
   Pmem.set_u64 t.pm (hdr_off t + 8) lsn_base;
@@ -95,6 +119,7 @@ let record_crc t ~slot ~len_slots =
   (stored, crc)
 
 let write_record t ~slot ~lsn op =
+  count t.ctr (fun c -> c.c_appends);
   let img = build_record ~lsn op in
   let n = Bytes.length img / slot_bytes in
   assert (slot + n <= t.slots);
@@ -115,7 +140,9 @@ let flush_record t ~slot ~lsn op =
   Pmem.set_u64 t.pm (slot_off t slot) lsn;
   Pmem.persist t.pm (slot_off t slot) slot_bytes
 
-let set_commit_word t ~slot = Pmem.set_u64 t.pm (slot_off t slot + 8) 1
+let set_commit_word t ~slot =
+  count t.ctr (fun c -> c.c_commits);
+  Pmem.set_u64 t.pm (slot_off t slot + 8) 1
 
 let persist_slot t ~slot = Pmem.persist t.pm (slot_off t slot) slot_bytes
 
@@ -156,6 +183,7 @@ let probe t s =
   end
 
 let scan t =
+  count t.ctr (fun c -> c.c_scans);
   let rec go s acc =
     if s >= t.slots then List.rev acc
     else

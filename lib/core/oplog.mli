@@ -26,8 +26,11 @@ val region_bytes : slots:int -> int
 (** Device bytes needed for a log of [slots] slots (includes one header
     slot). *)
 
-val attach : Pmem.t -> off:int -> slots:int -> t
-(** Open a log region without modifying it (recovery path). *)
+val attach : ?obs:Dstore_obs.Obs.t -> Pmem.t -> off:int -> slots:int -> t
+(** Open a log region without modifying it (recovery path). With [obs],
+    appends, commits, resets and scans count on the handle's registry
+    ([oplog.records_written], [oplog.records_committed], [oplog.resets],
+    [oplog.scans]); both logs of an engine share the series. *)
 
 val reset : t -> lsn_base:int -> unit
 (** Zero every slot, set the epoch base, persist. Bulk cost is charged to

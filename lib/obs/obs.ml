@@ -1,0 +1,39 @@
+(* The per-store observability handle: one metrics registry plus one trace
+   ring, sharing an enable switch. Created by the engine (or by the caller,
+   to share one handle across crash/recover cycles) and threaded through
+   the devices and the store. *)
+
+type t = { metrics : Metrics.t; trace : Trace.t }
+
+let create ?(enabled = true) ?trace_capacity ~now () =
+  let o =
+    {
+      metrics = Metrics.create ~enabled ();
+      trace = Trace.create ?capacity:trace_capacity ~now ();
+    }
+  in
+  Trace.set_enabled o.trace enabled;
+  o
+
+let null () = create ~enabled:false ~trace_capacity:1 ~now:(fun () -> 0) ()
+
+let enabled t = Metrics.enabled t.metrics
+
+let set_enabled t v =
+  Metrics.set_enabled t.metrics v;
+  Trace.set_enabled t.trace v
+
+let reset t =
+  Metrics.reset t.metrics;
+  Trace.clear t.trace
+
+let to_json ?trace_last t =
+  Json.Obj
+    [
+      ("metrics", Metrics.to_json t.metrics);
+      ("trace", Trace.to_json ?last:trace_last t.trace);
+    ]
+
+let print_metrics ?oc t = Metrics.print ?oc t.metrics
+
+let print_trace ?oc ?last t = Trace.print ?oc ?last t.trace

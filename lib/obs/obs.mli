@@ -1,0 +1,27 @@
+(** One observability handle per store: a {!Metrics} registry and a
+    {!Trace} ring behind a shared enable switch. All state is DRAM-only;
+    nothing here may live in (or write to) the simulated PMEM. *)
+
+type t = { metrics : Metrics.t; trace : Trace.t }
+
+val create : ?enabled:bool -> ?trace_capacity:int -> now:(unit -> int) -> unit -> t
+
+val null : unit -> t
+(** A disabled handle with a constant clock — the zero-cost default when
+    no observability is wanted. *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+(** Switches both the registry and the tracer. *)
+
+val reset : t -> unit
+(** Reset metrics and clear the trace. *)
+
+val to_json : ?trace_last:int -> t -> Json.t
+(** [{"metrics": ..., "trace": [...]}]. [trace_last] limits the trace to
+    its newest entries (default: everything currently buffered). *)
+
+val print_metrics : ?oc:out_channel -> t -> unit
+
+val print_trace : ?oc:out_channel -> ?last:int -> t -> unit

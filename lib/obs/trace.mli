@@ -1,0 +1,86 @@
+(** Trace ring: a bounded, DRAM-only buffer of typed events with
+    virtual-time timestamps.
+
+    The taxonomy covers the signals the paper's claims are made of: the
+    nine write-path steps (Figure 4), the checkpoint phases (§3.5), log
+    swaps, conflict and log-full stalls, recovery phases (§3.6), and
+    crash injections. Memory is bounded by [capacity]; older events are
+    overwritten. The tracer never writes PMEM and never consumes
+    simulated time, so it cannot alter flush/fence ordering or measured
+    latencies. *)
+
+type write_step =
+  | W_lock  (** 1 — frontend lock acquired. *)
+  | W_conflict_check  (** 2 — in-flight conflict scan passed. *)
+  | W_find_old  (** 3 — old binding looked up. *)
+  | W_alloc  (** 4 — blocks + metadata page allocated. *)
+  | W_log_append  (** 5 — record appended and flushed (§3.4). *)
+  | W_meta_update  (** 6 — metadata-zone entry written. *)
+  | W_index_update  (** 7 — B-tree updated. *)
+  | W_data_write  (** 8 — data written to the SSD. *)
+  | W_commit  (** 9 — commit flag persisted. *)
+
+type ckpt_phase =
+  | C_trigger
+  | C_archive
+  | C_clone
+  | C_replay
+  | C_persist
+  | C_publish
+
+type recovery_phase = R_start | R_redo_ckpt | R_rebuild | R_replay | R_done
+
+type event =
+  | Write_step of write_step * string  (** Step and object name. *)
+  | Ckpt of ckpt_phase
+  | Log_swap of { archived : int; active : int }
+  | Conflict_wait of string
+  | Log_full_stall
+  | Recovery of recovery_phase
+  | Crash_injected
+  | Note of string
+
+type entry = { seq : int; t_ns : int; ev : event }
+
+type t
+
+val create : ?capacity:int -> now:(unit -> int) -> unit -> t
+(** [capacity] defaults to 4096 entries; [now] supplies timestamps
+    (virtual time under the simulator). *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+
+val emit : t -> event -> unit
+(** Append (overwriting the oldest entry once full). No-op when
+    disabled. *)
+
+val capacity : t -> int
+
+val emitted : t -> int
+(** Events emitted since creation or the last {!clear} — keeps counting
+    past wraparound. *)
+
+val length : t -> int
+(** Entries currently held ([min emitted capacity]). *)
+
+val to_list : t -> entry list
+(** Current contents, oldest first. *)
+
+val last : t -> int -> entry list
+(** Newest [n] entries, oldest first. *)
+
+val clear : t -> unit
+
+val step_index : write_step -> int
+(** 1–9, the paper's numbering. *)
+
+val event_label : event -> string
+
+val entry_json : entry -> Json.t
+
+val to_json : ?last:int -> t -> Json.t
+
+val print : ?oc:out_channel -> ?last:int -> t -> unit
+(** Dump the newest [last] (default 20) entries, one per line. *)

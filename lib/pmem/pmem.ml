@@ -40,6 +40,7 @@ type t = {
   dirty : (int, Bytes.t) Hashtbl.t;
   guard : Mutex.t;  (* protects [dirty] under the real platform *)
   st : stats;
+  mutable obs : Dstore_obs.Obs.t option;
 }
 
 let create platform cfg =
@@ -58,11 +59,34 @@ let create platform cfg =
         flush_calls = 0;
         fence_calls = 0;
       };
+    obs = None;
   }
 
 let size t = t.cfg.size
 
 let stats t = t.st
+
+let dirty_lines_unlocked t =
+  Mutex.lock t.guard;
+  let n = Hashtbl.length t.dirty in
+  Mutex.unlock t.guard;
+  n
+
+(* Surface the device counters as registry views. The hot path keeps its
+   plain mutable stats (always on — crash tooling depends on them); the
+   registry reads them on snapshot, so the unified export sees the device
+   without adding a single instruction to loads and stores. *)
+let attach_obs t obs =
+  t.obs <- Some obs;
+  let m = obs.Dstore_obs.Obs.metrics in
+  let module M = Dstore_obs.Metrics in
+  M.gauge_fn m "pmem.bytes_written" (fun () -> t.st.bytes_written);
+  M.gauge_fn m "pmem.bytes_flushed" (fun () -> t.st.bytes_flushed);
+  M.gauge_fn m "pmem.bytes_read_bulk" (fun () -> t.st.bytes_read_bulk);
+  M.gauge_fn m "pmem.flush_calls" (fun () -> t.st.flush_calls);
+  M.gauge_fn m "pmem.fence_calls" (fun () -> t.st.fence_calls);
+  M.gauge_fn m "pmem.lines_flushed" (fun () -> t.st.bytes_flushed / line_size);
+  M.gauge_fn m "pmem.dirty_lines" (fun () -> dirty_lines_unlocked t)
 
 (* Record undo images for every line intersecting [off, off+len) that is
    not already dirty. Must run before the store mutates [data]. *)
@@ -183,6 +207,9 @@ type crash_mode = Drop_all | Keep_all | Random of Rng.t
 let crash t mode =
   if not t.cfg.crash_model then
     invalid_arg "Pmem.crash: device created with crash_model = false";
+  (match t.obs with
+  | Some o -> Dstore_obs.Trace.emit o.Dstore_obs.Obs.trace Dstore_obs.Trace.Crash_injected
+  | None -> ());
   Mutex.lock t.guard;
   let resolve l undo =
     let base = l lsl line_shift in
@@ -204,8 +231,4 @@ let crash t mode =
   Hashtbl.reset t.dirty;
   Mutex.unlock t.guard
 
-let dirty_lines t =
-  Mutex.lock t.guard;
-  let n = Hashtbl.length t.dirty in
-  Mutex.unlock t.guard;
-  n
+let dirty_lines = dirty_lines_unlocked

@@ -126,3 +126,10 @@ type stats = {
 
 val stats : t -> stats
 (** Live counters (monotonic); sample and diff for bandwidth timelines. *)
+
+val attach_obs : t -> Dstore_obs.Obs.t -> unit
+(** Register the device's counters as callback gauges on the handle's
+    registry ([pmem.flush_calls], [pmem.fence_calls], [pmem.bytes_written],
+    [pmem.bytes_flushed], [pmem.bytes_read_bulk], [pmem.lines_flushed],
+    [pmem.dirty_lines]) and report {!crash} calls to its trace. The hot
+    accessors are unchanged; views are evaluated at snapshot time. *)

@@ -85,3 +85,12 @@ let read t ~page dst ~off ~count =
   serve t (count * t.cfg.read_page_ns)
 
 let stats t = t.st
+
+(* Registry views over the live stats record — see Pmem.attach_obs. *)
+let attach_obs t obs =
+  let m = obs.Dstore_obs.Obs.metrics in
+  let module M = Dstore_obs.Metrics in
+  M.gauge_fn m "ssd.reads" (fun () -> t.st.reads);
+  M.gauge_fn m "ssd.writes" (fun () -> t.st.writes);
+  M.gauge_fn m "ssd.bytes_read" (fun () -> t.st.bytes_read);
+  M.gauge_fn m "ssd.bytes_written" (fun () -> t.st.bytes_written)

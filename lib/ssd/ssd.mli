@@ -58,3 +58,8 @@ type stats = {
 
 val stats : t -> stats
 (** Monotonic counters; sample and diff for bandwidth timelines. *)
+
+val attach_obs : t -> Dstore_obs.Obs.t -> unit
+(** Register the device's op and byte counters as callback gauges
+    ([ssd.reads], [ssd.writes], [ssd.bytes_read], [ssd.bytes_written]) on
+    the handle's registry. *)

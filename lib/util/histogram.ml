@@ -110,5 +110,14 @@ let reset t =
   t.max_v <- 0;
   t.sum_mid <- 0.0
 
+let sub_bits t = t.sub_bits
+
+let buckets t =
+  let acc = ref [] in
+  for i = Array.length t.counts - 1 downto 0 do
+    if t.counts.(i) <> 0 then acc := (bucket_high t i, t.counts.(i)) :: !acc
+  done;
+  !acc
+
 let percentile_labels =
   [ ("p50", 50.0); ("p99", 99.0); ("p999", 99.9); ("p9999", 99.99) ]

@@ -40,5 +40,15 @@ val merge_into : dst:t -> t -> unit
 
 val reset : t -> unit
 
+val sub_bits : t -> int
+(** The [sub_bits] this histogram was created with. *)
+
+val buckets : t -> (int * int) list
+(** Non-empty buckets as [(upper_bound, count)] pairs, ascending by
+    bound. [upper_bound] is the bucket's inclusive upper edge (the value
+    {!percentile} reports for samples landing in it); counts sum to
+    {!count}. Lets exporters serialize the distribution without knowing
+    the bucketing scheme. *)
+
 val percentile_labels : (string * float) list
 (** The percentiles the paper reports: p50, p99, p999, p9999. *)

@@ -23,4 +23,7 @@ type system = {
   footprint : unit -> int * int * int;  (** (dram, pmem, ssd) bytes. *)
   pm : Pmem.t;  (** For bandwidth sampling. *)
   ssd : Ssd.t option;
+  obs : Dstore_obs.Obs.t option;
+      (** The store's observability handle, when the system has one
+          (DStore variants); baselines report [None]. *)
 }

@@ -2,6 +2,9 @@ open Dstore_platform
 open Dstore_pmem
 open Dstore_ssd
 open Dstore_util
+module Metrics = Dstore_obs.Metrics
+module Obs = Dstore_obs.Obs
+module Json = Dstore_obs.Json
 
 type sample = { t_ns : int; ops : int; ssd_bytes : int; pmem_bytes : int }
 
@@ -17,6 +20,8 @@ type result = {
   timeline : sample list;
   footprint : int * int * int;
   load_ns : int;
+  metrics : Metrics.t;
+  sys_obs : Obs.t option;
 }
 
 let pmem_traffic pm =
@@ -58,13 +63,21 @@ let run ?(seed = 42) ?timeline_bin_ns ?(load = true) ?(loaders = 8)
     Sim.run sim
   end;
   let load_ns = Sim.now sim - t_load0 in
-  (* Phase 2: measurement window. *)
+  (* Phase 2: measurement window. Each client records latencies into its
+     own private registry shard (no cross-client sharing on the hot path);
+     shards are merged into one aggregate after the window, so the
+     reported percentiles are exact over the union. *)
   let t0 = Sim.now sim in
   let t_end = t0 + duration_ns in
-  let reads = Histogram.create () and updates = Histogram.create () in
+  let agg = Metrics.create () in
+  let shards = ref [] in
   let ops_done = ref 0 in
   for _ = 1 to clients do
     let cr = Rng.split rng in
+    let shard = Metrics.create () in
+    shards := shard :: !shards;
+    let h_read = Metrics.histogram shard "client.read_ns" in
+    let h_update = Metrics.histogram shard "client.update_ns" in
     Sim.spawn sim "client" (fun () ->
         let c = sys.Kv_intf.client () in
         let g = Ycsb.gen workload cr in
@@ -81,10 +94,10 @@ let run ?(seed = 42) ?timeline_bin_ns ?(load = true) ?(loaders = 8)
           (match Ycsb.next g with
           | Ycsb.Read k ->
               ignore (c.Kv_intf.get k buf);
-              Histogram.record reads (Sim.now sim - t_op)
+              Metrics.observe h_read (Sim.now sim - t_op)
           | Ycsb.Update k ->
               c.Kv_intf.put k value;
-              Histogram.record updates (Sim.now sim - t_op));
+              Metrics.observe h_update (Sim.now sim - t_op));
           incr ops_done
         done)
   done;
@@ -119,6 +132,9 @@ let run ?(seed = 42) ?timeline_bin_ns ?(load = true) ?(loaders = 8)
   Sim.spawn sim "stopper" (fun () -> sys.Kv_intf.stop ());
   Sim.run sim;
   let footprint = sys.Kv_intf.footprint () in
+  List.iter (fun shard -> Metrics.merge_into ~dst:agg shard) !shards;
+  let reads = Metrics.histo_data (Metrics.histogram agg "client.read_ns") in
+  let updates = Metrics.histo_data (Metrics.histogram agg "client.update_ns") in
   {
     system = sys.Kv_intf.name;
     workload = workload.Ycsb.name;
@@ -131,4 +147,43 @@ let run ?(seed = 42) ?timeline_bin_ns ?(load = true) ?(loaders = 8)
     timeline = List.rev !timeline;
     footprint;
     load_ns;
+    metrics = agg;
+    sys_obs = sys.Kv_intf.obs;
   }
+
+(* --- JSON export ------------------------------------------------------------- *)
+
+let sample_json s =
+  Json.Obj
+    [
+      ("t_ns", Json.Int s.t_ns);
+      ("ops", Json.Int s.ops);
+      ("ssd_bytes", Json.Int s.ssd_bytes);
+      ("pmem_bytes", Json.Int s.pmem_bytes);
+    ]
+
+let result_json ?(trace_last = 64) r =
+  let dram, pmem, ssd = r.footprint in
+  Json.Obj
+    [
+      ("system", Json.String r.system);
+      ("workload", Json.String r.workload);
+      ("clients", Json.Int r.clients);
+      ("duration_ns", Json.Int r.duration_ns);
+      ("load_ns", Json.Int r.load_ns);
+      ("total_ops", Json.Int r.total_ops);
+      ("throughput_ops_s", Json.Float r.throughput);
+      ( "footprint",
+        Json.Obj
+          [
+            ("dram", Json.Int dram);
+            ("pmem", Json.Int pmem);
+            ("ssd", Json.Int ssd);
+          ] );
+      ("timeline", Json.List (List.map sample_json r.timeline));
+      ("client_metrics", Metrics.to_json r.metrics);
+      ( "store",
+        match r.sys_obs with
+        | Some o -> Obs.to_json ~trace_last o
+        | None -> Json.Null );
+    ]

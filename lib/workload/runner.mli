@@ -28,6 +28,11 @@ type result = {
   timeline : sample list;
   footprint : int * int * int;
   load_ns : int;  (** Virtual time of the load phase. *)
+  metrics : Dstore_obs.Metrics.t;
+      (** Aggregate of the per-client registry shards ([client.read_ns],
+          [client.update_ns]); [reads]/[updates] are views into it. *)
+  sys_obs : Dstore_obs.Obs.t option;
+      (** The system's own observability handle, when it exposes one. *)
 }
 
 val run :
@@ -48,3 +53,9 @@ val run :
     [think_ns] (default 100 us, jittered ±10%) models the YCSB client
     loop between operations — see DESIGN.md's calibration note — and is
     excluded from recorded latencies. *)
+
+val result_json : ?trace_last:int -> result -> Dstore_obs.Json.t
+(** Machine-readable results blob: identity, throughput, footprint,
+    timeline samples, the aggregated client metrics, and (when the system
+    exposes an observability handle) its full store-side metrics plus the
+    last [trace_last] (default 64) trace events. *)

@@ -92,6 +92,7 @@ let dstore ?(tweak = Fun.id) ?label platform scale : Kv_intf.system =
         (f.Dstore.dram, f.Dstore.pmem, f.Dstore.ssd));
     pm;
     ssd = Some ssd;
+    obs = Some (Dstore.obs st);
   }
 
 let dstore_store ?(tweak = Fun.id) platform scale =
@@ -139,6 +140,7 @@ let cached ?label ?(tweak = Fun.id) platform scale : Kv_intf.system =
     footprint = (fun () -> Cached_store.footprint st);
     pm;
     ssd = Some ssd;
+    obs = None;
   }
 
 let lsm ?label platform scale : Kv_intf.system =
@@ -168,6 +170,7 @@ let lsm ?label platform scale : Kv_intf.system =
     footprint = (fun () -> Lsm_store.footprint st);
     pm;
     ssd = Some ssd;
+    obs = None;
   }
 
 let lsm_no_stall ?label platform scale : Kv_intf.system =
@@ -199,6 +202,7 @@ let lsm_no_stall ?label platform scale : Kv_intf.system =
     footprint = (fun () -> Lsm_store.footprint st);
     pm;
     ssd = Some ssd;
+    obs = None;
   }
 
 let inline ?label platform scale : Kv_intf.system =
@@ -227,4 +231,5 @@ let inline ?label platform scale : Kv_intf.system =
     footprint = (fun () -> Inline_store.footprint st);
     pm;
     ssd = None;
+    obs = None;
   }

@@ -10,6 +10,7 @@ let () =
       ("ssd", Test_ssd.suite);
       ("memory", Test_memory.suite);
       ("structs", Test_structs.suite);
+      ("obs", Test_obs.suite);
       ("core", Test_core.suite);
       ("dstore", Test_dstore.suite);
       ("baselines", Test_baselines.suite);
