@@ -1,0 +1,220 @@
+(* Cmdliner front-end for the crash-consistency model checker.
+
+     dune exec bin/dstore_checker.exe -- sweep --ops 120 --seed 42
+     dune exec bin/dstore_checker.exe -- sweep --fault skip-commit --expect-violations
+     dune exec bin/dstore_checker.exe -- selftest
+
+   [sweep] explores every persistence event of a generated scenario,
+   crashing, recovering and checking at each; it exits non-zero (and
+   writes CHECK_FAIL.json) if the oracle or fsck reports a violation —
+   unless --expect-violations, which inverts the exit status (used with
+   --fault to demonstrate detection of injected protocol bugs).
+
+   [selftest] is the acceptance gate: a clean sweep must pass and each
+   fault-injected sweep must be caught. *)
+
+open Cmdliner
+open Dstore_core
+open Dstore_check
+module Obs = Dstore_obs.Obs
+module Json = Dstore_obs.Json
+
+(* Small store so checkpoints and log swaps trigger within a short
+   scenario; mirrors the crash-test fixture in test/test_dstore.ml. *)
+let check_cfg fault =
+  {
+    Config.default with
+    log_slots = 512;
+    space_bytes = 4 * 1024 * 1024;
+    meta_entries = 1024;
+    ssd_blocks = 4096;
+    checkpoint_workers = 2;
+    fault;
+  }
+
+let fault_conv =
+  let parse = function
+    | "none" -> Ok Config.No_fault
+    | "skip-commit" -> Ok Config.Skip_commit_persist
+    | "skip-flush" -> Ok Config.Skip_payload_flush
+    | s -> Error (`Msg (Printf.sprintf "unknown fault %S" s))
+  in
+  let print fmt f =
+    Format.pp_print_string fmt
+      (match f with
+      | Config.No_fault -> "none"
+      | Config.Skip_commit_persist -> "skip-commit"
+      | Config.Skip_payload_flush -> "skip-flush")
+  in
+  Arg.conv (parse, print)
+
+let run_sweep ~seed ~n_ops ~subsets ~stride ~fault ~quiet =
+  let obs = Obs.create ~now:(fun () -> 0) () in
+  let progress ~done_ ~total =
+    if (not quiet) && (done_ mod 25 = 0 || done_ = total) then
+      Printf.eprintf "\r  crash points: %d/%d%!" done_ total;
+    if done_ = total && not quiet then prerr_newline ()
+  in
+  let subset_seeds = List.init subsets (fun i -> 11 + (12 * i)) in
+  let r =
+    Explorer.sweep ~obs ~subset_seeds ~stride ~progress ~seed ~n_ops
+      (check_cfg fault)
+  in
+  Printf.printf
+    "sweep: seed=%d ops=%d events=%d (init %d) points=%d runs=%d violations=%d\n"
+    r.Explorer.seed r.Explorer.n_ops r.Explorer.total_events
+    r.Explorer.init_events r.Explorer.crash_points r.Explorer.runs
+    (List.length r.Explorer.violations);
+  List.iteri
+    (fun i v ->
+      if i < 10 then
+        Printf.printf "  [%s] event %d, %s: %s\n"
+          (Explorer.source_label v.Explorer.source)
+          v.Explorer.crash_event v.Explorer.mode v.Explorer.detail)
+    r.Explorer.violations;
+  (if List.length r.Explorer.violations > 10 then
+     Printf.printf "  ... and %d more\n" (List.length r.Explorer.violations - 10));
+  r
+
+let write_artifact path r =
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Json.pretty (Explorer.report_json r));
+      output_char oc '\n');
+  Printf.printf "violation artifact written to %s\n" path
+
+let sweep_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Scenario seed.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 120
+      & info [ "ops" ] ~docv:"N" ~doc:"Generated operations per scenario.")
+  in
+  let subsets =
+    Arg.(
+      value & opt int 3
+      & info [ "subsets" ] ~docv:"N"
+          ~doc:"Sampled adversarial eviction subsets per crash point.")
+  in
+  let stride =
+    Arg.(
+      value & opt int 1
+      & info [ "stride" ] ~docv:"K"
+          ~doc:"Sweep every K-th persistence event (1 = exhaustive).")
+  in
+  let fault =
+    Arg.(
+      value
+      & opt fault_conv Config.No_fault
+      & info [ "fault" ] ~docv:"FAULT"
+          ~doc:
+            "Injected protocol bug: $(b,none), $(b,skip-commit) (commit \
+             word never flushed) or $(b,skip-flush) (payload lines of \
+             multi-slot records never flushed).")
+  in
+  let expect =
+    Arg.(
+      value & flag
+      & info [ "expect-violations" ]
+          ~doc:"Exit 0 iff the sweep reports at least one violation.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON.")
+  in
+  let run seed ops subsets stride fault expect json =
+    let r = run_sweep ~seed ~n_ops:ops ~subsets ~stride ~fault ~quiet:false in
+    (match json with
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            output_string oc (Json.pretty (Explorer.report_json r));
+            output_char oc '\n')
+    | None -> ());
+    let violated = r.Explorer.violations <> [] in
+    if violated && not expect then write_artifact "CHECK_FAIL.json" r;
+    match (violated, expect) with
+    | false, false ->
+        print_endline "PASS: no oracle or fsck violations";
+        0
+    | true, true ->
+        print_endline "PASS: injected fault detected";
+        0
+    | true, false ->
+        print_endline "FAIL: violations on the unmutated engine";
+        1
+    | false, true ->
+        print_endline "FAIL: injected fault went undetected";
+        1
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Exhaustive crash-point sweep of one generated scenario.")
+    Term.(
+      const run $ seed $ ops $ subsets $ stride $ fault $ expect $ json)
+
+let selftest_cmd =
+  let ops =
+    Arg.(
+      value & opt int 120
+      & info [ "ops" ] ~docv:"N" ~doc:"Generated operations per scenario.")
+  in
+  let subsets =
+    Arg.(
+      value & opt int 3
+      & info [ "subsets" ] ~docv:"N" ~doc:"Eviction subsets per crash point.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Scenario seed.")
+  in
+  let run seed ops subsets =
+    let case name fault expect_violations =
+      Printf.printf "--- %s\n%!" name;
+      let r = run_sweep ~seed ~n_ops:ops ~subsets ~stride:1 ~fault ~quiet:false in
+      let violated = r.Explorer.violations <> [] in
+      if violated <> expect_violations then begin
+        write_artifact (Printf.sprintf "CHECK_FAIL_%s.json" name) r;
+        Printf.printf "FAIL: %s %s\n" name
+          (if expect_violations then "missed the injected fault"
+           else "violated on the clean engine");
+        false
+      end
+      else begin
+        Printf.printf "ok: %s\n" name;
+        true
+      end
+    in
+    let results =
+      List.map
+        (fun (name, fault, expect) -> case name fault expect)
+        [
+          ("clean", Config.No_fault, false);
+          ("skip-commit", Config.Skip_commit_persist, true);
+          ("skip-flush", Config.Skip_payload_flush, true);
+        ]
+    in
+    let ok = List.for_all Fun.id results in
+    if ok then begin
+      print_endline "SELFTEST PASS";
+      0
+    end
+    else begin
+      print_endline "SELFTEST FAIL";
+      1
+    end
+  in
+  Cmd.v
+    (Cmd.info "selftest"
+       ~doc:
+         "Acceptance gate: clean sweep passes, each injected fault is \
+          detected.")
+    Term.(const run $ seed $ ops $ subsets)
+
+let () =
+  let info =
+    Cmd.info "dstore_check" ~version:"1.0"
+      ~doc:"Crash-consistency model checker for the DStore reproduction."
+  in
+  exit (Cmd.eval' (Cmd.group info [ sweep_cmd; selftest_cmd ]))

@@ -16,6 +16,7 @@
      trace [N]         last N trace events (default 20)
      trace-clear       empty the trace ring
      footprint         DRAM/PMEM/SSD usage
+     check             structural fsck of the current store
      crash             power-loss with random cache-line loss
      recover           recover from the devices
      quit *)
@@ -109,6 +110,13 @@ let handle s line =
         (Tablefmt.bytes f.Dstore.dram)
         (Tablefmt.bytes f.Dstore.pmem)
         (Tablefmt.bytes f.Dstore.ssd)
+  | [ "check" ] ->
+      exec s (fun () ->
+          match Dstore_check.Fsck.run (Option.get s.store) with
+          | [] -> print_endline "fsck clean"
+          | bad ->
+              List.iter (fun m -> Printf.printf "VIOLATION: %s\n" m) bad;
+              Printf.printf "(%d violations)\n" (List.length bad))
   | [ "crash" ] ->
       Pmem.crash s.pm (Pmem.Random (Rng.split s.rng));
       Sim.clear_pending s.sim;
@@ -127,7 +135,7 @@ let handle s line =
   | _ ->
       print_endline
         "unknown command (put/get/del/list/checkpoint/stats/metrics/trace/\n\
-         trace-clear/footprint/crash/recover/quit)"
+         trace-clear/footprint/check/crash/recover/quit)"
 
 let () =
   let sim = Sim.create () in

@@ -1,0 +1,273 @@
+(* Deterministic crash-point explorer. See explorer.mli for semantics. *)
+
+open Dstore_platform
+open Dstore_pmem
+open Dstore_ssd
+open Dstore_core
+open Dstore_util
+module Obs = Dstore_obs.Obs
+module Metrics = Dstore_obs.Metrics
+module Trace = Dstore_obs.Trace
+module Json = Dstore_obs.Json
+
+exception Crash_point of int
+
+type source = Oracle_violation | Fsck_violation | Recovery_failure
+
+type violation = {
+  crash_event : int;
+  mode : string;  (* "drop_all" | "subset:<seed>" *)
+  source : source;
+  detail : string;
+}
+
+type report = {
+  seed : int;
+  n_ops : int;
+  total_events : int;
+  init_events : int;
+  crash_points : int;
+  runs : int;
+  violations : violation list;
+}
+
+let source_label = function
+  | Oracle_violation -> "oracle"
+  | Fsck_violation -> "fsck"
+  | Recovery_failure -> "recovery"
+
+type fixture = {
+  sim : Sim.t;
+  platform : Platform.t;
+  pm : Pmem.t;
+  ssd : Ssd.t;
+}
+
+let make_fixture (cfg : Config.t) =
+  let sim = Sim.create () in
+  let platform = Sim_platform.make sim in
+  let pm =
+    Pmem.create platform
+      {
+        Pmem.default_config with
+        size = Dipper.layout_bytes cfg;
+        crash_model = true;
+      }
+  in
+  let ssd =
+    Ssd.create platform { Ssd.default_config with pages = cfg.Config.ssd_blocks }
+  in
+  { sim; platform; pm; ssd }
+
+(* Apply one generated op to the store, mirroring it into the oracle. The
+   oracle bookkeeping does no simulated I/O, so each begin/commit pair is
+   atomic with respect to crash points. Deterministic decisions (skip a
+   write to an absent key, resolve a percentage offset) read only oracle
+   state, which is identical in the counting run and every crash run. *)
+let apply_op oracle ctx ssd locked (op : Gen.op) =
+  match op with
+  | Gen.Put { key; size; vseed } ->
+      let v = Gen.value ~vseed size in
+      Oracle.begin_put oracle key v;
+      Dstore.oput ctx key v;
+      Oracle.commit_pending oracle
+  | Gen.Delete key ->
+      Oracle.begin_delete oracle key;
+      ignore (Dstore.odelete ctx key);
+      Oracle.commit_pending oracle
+  | Gen.Get key -> ignore (Dstore.oget ctx key)
+  | Gen.Write { key; off_pct; len; vseed } -> (
+      match Oracle.committed_value oracle key with
+      | None -> () (* deterministic skip: same branch in every run *)
+      | Some old ->
+          let osz = Bytes.length old in
+          let off = min osz (osz * off_pct / 100) in
+          let data = Gen.value ~vseed len in
+          Oracle.begin_write oracle ~key ~off ~data
+            ~page_size:(Ssd.page_size ssd);
+          let o = Dstore.oopen ctx key ~create:false Dstore.Rdwr in
+          ignore (Dstore.owrite o data ~size:len ~off);
+          Dstore.oclose o;
+          Oracle.commit_pending oracle)
+  | Gen.Lock key ->
+      if not (Hashtbl.mem locked key) then begin
+        Dstore.olock ctx key;
+        Hashtbl.add locked key ()
+      end
+  | Gen.Unlock key ->
+      if Hashtbl.mem locked key then begin
+        Hashtbl.remove locked key;
+        Dstore.ounlock ctx key
+      end
+
+let run_workload oracle ctx ssd ops =
+  let locked = Hashtbl.create 8 in
+  List.iter (apply_op oracle ctx ssd locked) ops
+
+(* Counting run: execute the whole scenario with no crash, recording the
+   event index at which formatting ends (crashes during [Dstore.create]
+   are out of scope — formatting a device is not crash-atomic) and the
+   total number of persistence events. *)
+let count_events (cfg : Config.t) ops =
+  let fx = make_fixture cfg in
+  let init_events = ref 0 in
+  Sim.spawn fx.sim "count" (fun () ->
+      let st = Dstore.create fx.platform fx.pm fx.ssd cfg in
+      init_events := Pmem.persist_events fx.pm;
+      let ctx = Dstore.ds_init st in
+      run_workload (Oracle.create ()) ctx fx.ssd ops;
+      Dstore.stop st);
+  Sim.run fx.sim;
+  (!init_events, Pmem.persist_events fx.pm)
+
+(* One crash run: replay the scenario, stop the world at persistence
+   event [k], resolve dirty lines per [mode], recover, and check. *)
+let crash_run (cfg : Config.t) ops ~k ~mode ~mode_label =
+  let fx = make_fixture cfg in
+  let oracle = Oracle.create () in
+  Pmem.set_persist_hook fx.pm
+    (Some (fun n -> if n = k then raise (Crash_point n)));
+  let finished = ref false in
+  Sim.spawn fx.sim "workload" (fun () ->
+      let st = Dstore.create fx.platform fx.pm fx.ssd cfg in
+      let ctx = Dstore.ds_init st in
+      run_workload oracle ctx fx.ssd ops;
+      Dstore.stop st;
+      finished := true);
+  (try Sim.run fx.sim with Crash_point _ -> ());
+  Pmem.set_persist_hook fx.pm None;
+  if !finished then
+    (* The scenario produced fewer events than the counting run promised:
+       the replay diverged, which breaks the explorer's premise. *)
+    [
+      {
+        crash_event = k;
+        mode = mode_label;
+        source = Recovery_failure;
+        detail = "replay diverged: workload finished before crash event";
+      };
+    ]
+  else begin
+    Sim.clear_pending fx.sim;
+    Pmem.crash fx.pm mode;
+    let violations = ref [] in
+    let mk source detail = { crash_event = k; mode = mode_label; source; detail } in
+    Sim.spawn fx.sim "recovery" (fun () ->
+        match Dstore.recover fx.platform fx.pm fx.ssd cfg with
+        | st ->
+            let ctx = Dstore.ds_init st in
+            let read key = Dstore.oget ctx key in
+            let names = ref [] in
+            Dstore.iter_names st (fun n -> names := n :: !names);
+            let oracle_bad = Oracle.check oracle ~read ~names:!names in
+            let fsck_bad = Fsck.run st in
+            violations :=
+              List.map (mk Oracle_violation) oracle_bad
+              @ List.map (mk Fsck_violation) fsck_bad;
+            Dstore.stop st
+        | exception e ->
+            violations :=
+              [ mk Recovery_failure ("recover raised " ^ Printexc.to_string e) ]);
+    (try Sim.run fx.sim
+     with e ->
+       violations :=
+         mk Recovery_failure ("recovery run raised " ^ Printexc.to_string e)
+         :: !violations);
+    !violations
+  end
+
+let default_subset_seeds = [ 11; 23; 47 ]
+
+let sweep ?obs ?(subset_seeds = default_subset_seeds) ?(stride = 1)
+    ?(progress = fun ~done_:_ ~total:_ -> ()) ~seed ~n_ops (cfg : Config.t) =
+  if stride < 1 then invalid_arg "Explorer.sweep: stride < 1";
+  let ops = Gen.generate ~seed ~n:n_ops in
+  let init_events, total_events = count_events cfg ops in
+  let points = ref [] in
+  let k = ref (init_events + 1) in
+  while !k <= total_events do
+    points := !k :: !points;
+    k := !k + stride
+  done;
+  let points = List.rev !points in
+  let c_points, c_runs, c_oracle, c_fsck, note =
+    match obs with
+    | None -> (None, None, None, None, fun _ -> ())
+    | Some o ->
+        let m = o.Obs.metrics in
+        ( Some (Metrics.counter m "check.crash_points"),
+          Some (Metrics.counter m "check.runs"),
+          Some (Metrics.counter m "check.oracle_violations"),
+          Some (Metrics.counter m "check.fsck_violations"),
+          fun s -> Trace.emit o.Obs.trace (Trace.Note s) )
+  in
+  let bump = function Some c -> Metrics.incr c | None -> () in
+  note
+    (Printf.sprintf "check: sweep seed=%d ops=%d events=%d points=%d" seed n_ops
+       total_events (List.length points));
+  let runs = ref 0 in
+  let violations = ref [] in
+  let total = List.length points in
+  let done_ = ref 0 in
+  List.iter
+    (fun k ->
+      bump c_points;
+      let modes =
+        (Pmem.Drop_all, "drop_all")
+        :: List.map
+             (fun s -> (Pmem.Random (Rng.create s), Printf.sprintf "subset:%d" s))
+             subset_seeds
+      in
+      List.iter
+        (fun (mode, mode_label) ->
+          incr runs;
+          bump c_runs;
+          let bad = crash_run cfg ops ~k ~mode ~mode_label in
+          List.iter
+            (fun v ->
+              (match v.source with
+              | Oracle_violation -> bump c_oracle
+              | Fsck_violation -> bump c_fsck
+              | Recovery_failure -> bump c_oracle);
+              note
+                (Printf.sprintf "check: VIOLATION event=%d mode=%s %s: %s"
+                   v.crash_event v.mode (source_label v.source) v.detail))
+            bad;
+          violations := !violations @ bad)
+        modes;
+      incr done_;
+      progress ~done_:!done_ ~total)
+    points;
+  note
+    (Printf.sprintf "check: sweep done runs=%d violations=%d" !runs
+       (List.length !violations));
+  {
+    seed;
+    n_ops;
+    total_events;
+    init_events;
+    crash_points = List.length points;
+    runs = !runs;
+    violations = !violations;
+  }
+
+let violation_json v =
+  Json.Obj
+    [
+      ("event", Json.Int v.crash_event);
+      ("mode", Json.String v.mode);
+      ("source", Json.String (source_label v.source));
+      ("detail", Json.String v.detail);
+    ]
+
+let report_json r =
+  Json.Obj
+    [
+      ("seed", Json.Int r.seed);
+      ("ops", Json.Int r.n_ops);
+      ("total_events", Json.Int r.total_events);
+      ("init_events", Json.Int r.init_events);
+      ("crash_points", Json.Int r.crash_points);
+      ("runs", Json.Int r.runs);
+      ("violations", Json.List (List.map violation_json r.violations));
+    ]

@@ -1,0 +1,68 @@
+(** Deterministic crash-point explorer.
+
+    A scenario is [(seed, n_ops, cfg)]. The explorer first executes the
+    whole scenario once under the DES with no crash (the {e counting run})
+    to learn the total number of PMEM persistence events [E] and the event
+    index at which store formatting ends. Then, for every swept event
+    index [k] in [(init, E]], it re-executes the identical scenario from a
+    fresh device, stops the world exactly at event [k] (via the
+    {!Dstore_pmem.Pmem.set_persist_hook} callback raising out of the
+    flush/fence), resolves the dirty cache lines — once with [Drop_all]
+    (every unflushed line reverts) and once per subset seed with
+    [Random] adversarial eviction sampling — recovers, and checks the
+    recovered store with both the durability {!Oracle} and the structural
+    {!Fsck}.
+
+    Everything is deterministic: the DES schedule, the generated ops, the
+    object contents and the persistence-event numbering are functions of
+    the scenario alone, so every crash run reproduces the counting run
+    byte for byte up to event [k], and any violation is replayable from
+    [(seed, k, mode)]. *)
+
+exception Crash_point of int
+(** Raised by the installed persistence hook to stop the world. *)
+
+type source = Oracle_violation | Fsck_violation | Recovery_failure
+
+type violation = {
+  crash_event : int;  (** Persistence-event index the crash landed on. *)
+  mode : string;  (** ["drop_all"] or ["subset:<seed>"]. *)
+  source : source;
+  detail : string;
+}
+
+type report = {
+  seed : int;
+  n_ops : int;
+  total_events : int;  (** Persistence events in the full counting run. *)
+  init_events : int;  (** Events consumed by [Dstore.create] (not swept). *)
+  crash_points : int;  (** Distinct event indices swept. *)
+  runs : int;  (** Crash/recover/check cycles executed. *)
+  violations : violation list;
+}
+
+val sweep :
+  ?obs:Dstore_obs.Obs.t ->
+  ?subset_seeds:int list ->
+  ?stride:int ->
+  ?progress:(done_:int -> total:int -> unit) ->
+  seed:int ->
+  n_ops:int ->
+  Dstore_core.Config.t ->
+  report
+(** Run the sweep. [subset_seeds] (default 3 seeds) are the adversarial
+    eviction subsets sampled per crash point in addition to [Drop_all];
+    [stride] (default 1 = exhaustive) sweeps every [stride]-th event for
+    bounded CI runs; [progress] is called after each crash point. With
+    [obs], the sweep counts [check.crash_points] / [check.runs] /
+    [check.oracle_violations] / [check.fsck_violations] on the registry
+    and emits per-phase [Note] trace events (including one per
+    violation). A [cfg] with a {!Dstore_core.Config.fault} installed runs
+    the whole stack with that protocol bug — the sweep is expected to
+    report violations then. *)
+
+val source_label : source -> string
+
+val report_json : report -> Dstore_obs.Json.t
+(** The artifact a failing sweep dumps: scenario seed, event counts and
+    every violation with its event index and mode — enough to replay. *)

@@ -1,0 +1,107 @@
+(* Recovered-state structural checker. See fsck.mli for the invariant
+   list. Read-only: walks handles exposed by Dstore's verification seam. *)
+
+open Dstore_core
+open Dstore_structs
+open Dstore_memory
+
+type acc = { mutable bad : string list }
+
+let err acc fmt = Printf.ksprintf (fun s -> acc.bad <- s :: acc.bad) fmt
+
+(* Cross-consistency of one space's structures: B-tree shape, every index
+   entry resolving to a live, pool-allocated metadata entry, extent
+   geometry matching sizes, no block shared by two objects, and both
+   bitmap pools agreeing exactly with what the metadata references. *)
+let check_space acc ~tag ~(cfg : Config.t) ~page_size (i : Dstore.internals) =
+  (match Btree.check_invariants i.Dstore.i_btree with
+  | () -> ()
+  | exception Failure m -> err acc "%s: btree invariant broken: %s" tag m
+  | exception e ->
+      err acc "%s: btree invariant check raised %s" tag (Printexc.to_string e));
+  (match Space.fsck i.Dstore.i_space with
+  | [] -> ()
+  | bad -> List.iter (fun m -> err acc "%s: %s" tag m) bad);
+  let metas = Hashtbl.create 64 in
+  let block_owner = Hashtbl.create 256 in
+  let referenced_blocks = ref 0 in
+  Btree.iter i.Dstore.i_btree (fun key meta ->
+      if meta < 0 || meta >= cfg.Config.meta_entries then
+        err acc "%s: key %S -> meta id %d out of range" tag key meta
+      else begin
+        (match Hashtbl.find_opt metas meta with
+        | Some other ->
+            err acc "%s: meta id %d shared by keys %S and %S" tag meta other key
+        | None -> Hashtbl.add metas meta key);
+        if not (Metazone.is_live i.Dstore.i_zone meta) then
+          err acc "%s: key %S -> meta id %d is not live in the zone" tag key meta
+        else if not (Bitpool.is_allocated i.Dstore.i_metapool meta) then
+          err acc "%s: key %S -> meta id %d not allocated in the meta pool" tag
+            key meta
+        else begin
+          let size, extents = Metazone.read_object i.Dstore.i_zone meta in
+          let blocks = Metazone.blocks_of extents in
+          let want = (size + page_size - 1) / page_size in
+          if size < 0 then err acc "%s: key %S has negative size %d" tag key size;
+          if blocks <> want then
+            err acc "%s: key %S size %d needs %d blocks but extents hold %d" tag
+              key size want blocks;
+          referenced_blocks := !referenced_blocks + blocks;
+          List.iter
+            (fun (e : Metazone.extent) ->
+              if e.Metazone.len <= 0 then
+                err acc "%s: key %S has empty extent at %d" tag key
+                  e.Metazone.start;
+              for b = e.Metazone.start to e.Metazone.start + e.Metazone.len - 1
+              do
+                if b < 0 || b >= cfg.Config.ssd_blocks then
+                  err acc "%s: key %S references block %d out of range" tag key b
+                else begin
+                  (match Hashtbl.find_opt block_owner b with
+                  | Some other ->
+                      err acc "%s: block %d referenced by both %S and %S" tag b
+                        other key
+                  | None -> Hashtbl.add block_owner b key);
+                  if not (Bitpool.is_allocated i.Dstore.i_blockpool b) then
+                    err acc "%s: key %S references unallocated block %d" tag key
+                      b
+                end
+              done)
+            extents
+        end
+      end);
+  let live_metas = Bitpool.allocated i.Dstore.i_metapool in
+  let indexed = Btree.length i.Dstore.i_btree in
+  if live_metas <> indexed then
+    err acc "%s: meta pool has %d allocated entries but the index holds %d" tag
+      live_metas indexed;
+  let live_blocks = Bitpool.allocated i.Dstore.i_blockpool in
+  if live_blocks <> !referenced_blocks then
+    err acc "%s: block pool has %d allocated blocks but objects reference %d"
+      tag live_blocks !referenced_blocks
+
+let check_root acc (rs : Root.state) =
+  if rs.Root.current_space <> 0 && rs.Root.current_space <> 1 then
+    err acc "root: current_space %d not in {0,1}" rs.Root.current_space;
+  if rs.Root.active_log <> 0 && rs.Root.active_log <> 1 then
+    err acc "root: active_log %d not in {0,1}" rs.Root.active_log;
+  if rs.Root.ckpt_archived_log <> 0 && rs.Root.ckpt_archived_log <> 1 then
+    err acc "root: ckpt_archived_log %d not in {0,1}" rs.Root.ckpt_archived_log;
+  if rs.Root.last_applied_lsn < 0 then
+    err acc "root: negative applied watermark %d" rs.Root.last_applied_lsn
+
+let run st =
+  let acc = { bad = [] } in
+  let cfg = Dstore.config st in
+  let engine = Dstore.engine st in
+  let page_size = Dstore.page_bytes st in
+  check_root acc (Dipper.root_snapshot engine);
+  Array.iter
+    (fun log -> List.iter (fun m -> err acc "%s" m) (Oplog.fsck log))
+    (Dipper.log_handles engine);
+  check_space acc ~tag:"volatile" ~cfg ~page_size (Dstore.internals st);
+  (match Dstore.shadow_internals st with
+  | shadow -> check_space acc ~tag:"shadow" ~cfg ~page_size shadow
+  | exception e ->
+      err acc "shadow: cannot attach published space: %s" (Printexc.to_string e));
+  List.rev acc.bad

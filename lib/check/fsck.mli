@@ -1,0 +1,25 @@
+(** Recovered-state fsck: structural invariants that must hold in any
+    quiescent store, regardless of workload.
+
+    Checked invariants:
+
+    - B-tree ordering/reachability ({!Dstore_structs.Btree.check_invariants})
+      over both the volatile space and the published PMEM shadow;
+    - every index entry resolves to an in-range, live, meta-pool-allocated
+      metadata entry, and no two keys share one;
+    - extent geometry: per object, [blocks_of extents] equals
+      [ceil(size / page)]; every referenced block id is in range and
+      allocated in the block pool; no block is referenced by two objects;
+    - pool/reference exactness: allocated meta entries = indexed objects,
+      allocated blocks = referenced blocks (no leaks, no double frees);
+    - both operation logs pass {!Dstore_core.Oplog.fsck} (header magic,
+      commit words, record extents);
+    - the root's published state has in-domain fields;
+    - slab free-list sanity inside both spaces
+      ({!Dstore_memory.Space.fsck}).
+
+    Run it on a quiescent store — freshly recovered, or between operations
+    of a single-client session. Read-only. *)
+
+val run : Dstore_core.Dstore.t -> string list
+(** Human-readable violations; empty = structurally clean. *)

@@ -1,0 +1,92 @@
+open Dstore_util
+
+type op =
+  | Put of { key : string; size : int; vseed : int }
+  | Write of { key : string; off_pct : int; len : int; vseed : int }
+  | Delete of string
+  | Get of string
+  | Lock of string
+  | Unlock of string
+
+(* Deterministic object contents: the value for (vseed, size) is the same
+   in every run, which is what lets a crash replay reproduce the counting
+   run byte for byte. *)
+let value ~vseed size = Rng.bytes (Rng.create (0x5eed0000 + vseed)) size
+
+(* A small hot key set plus a couple of long names: long keys force
+   multi-slot log records, the case the reverse-order flush protocol (and
+   the Skip_payload_flush mutation) is about. *)
+let keys =
+  let long tag =
+    tag ^ "/" ^ String.concat "-" (List.init 12 (fun i -> Printf.sprintf "seg%02d" i))
+  in
+  [| "alpha"; "beta"; "gamma"; "delta"; "epsilon"; "zeta"; long "big0"; long "big1" |]
+
+let pick_key rng = keys.(Rng.int rng (Array.length keys))
+
+(* Size mix: mostly sub-page objects, some spanning several SSD pages so
+   puts and writes exercise multi-block extents. *)
+let pick_size rng =
+  match Rng.int rng 10 with
+  | 0 | 1 | 2 | 3 -> 1 + Rng.int rng 256
+  | 4 | 5 | 6 -> 256 + Rng.int rng 3840
+  | 7 | 8 -> 4096 + Rng.int rng 8192
+  | _ -> 8192 + Rng.int rng 8192
+
+let generate ~seed ~n =
+  let rng = Rng.create seed in
+  let vseed () = Rng.int rng 1_000_000 in
+  (* Track which keys are (deterministically) lock-held so the sequence
+     never double-locks or unlocks a free key. *)
+  let locked = Hashtbl.create 8 in
+  let rec op () =
+    let key = pick_key rng in
+    match Rng.int rng 100 with
+    | r when r < 35 -> Put { key; size = pick_size rng; vseed = vseed () }
+    | r when r < 55 ->
+        Write
+          {
+            key;
+            off_pct = Rng.int rng 101;
+            len = 1 + Rng.int rng 6144;
+            vseed = vseed ();
+          }
+    | r when r < 70 -> Delete key
+    | r when r < 85 -> Get key
+    | r when r < 93 ->
+        if Hashtbl.mem locked key then op ()
+        else begin
+          Hashtbl.add locked key ();
+          Lock key
+        end
+    | _ ->
+        if Hashtbl.mem locked key then begin
+          Hashtbl.remove locked key;
+          Unlock key
+        end
+        else op ()
+  in
+  let body = List.init n (fun _ -> op ()) in
+  (* Release whatever is still held so the sequence ends quiescent (no
+     in-flight records left when the counting run finishes). *)
+  let tail = Hashtbl.fold (fun k () acc -> Unlock k :: acc) locked [] in
+  body @ List.sort compare tail
+
+let pp_op = function
+  | Put { key; size; vseed } -> Printf.sprintf "put %s %d #%d" key size vseed
+  | Write { key; off_pct; len; vseed } ->
+      Printf.sprintf "write %s @%d%% %d #%d" key off_pct len vseed
+  | Delete k -> "del " ^ k
+  | Get k -> "get " ^ k
+  | Lock k -> "lock " ^ k
+  | Unlock k -> "unlock " ^ k
+
+let pp_ops ops = String.concat "; " (List.map pp_op ops)
+
+(* QCheck integration: generate (seed, ops) pairs so a failing property
+   prints the scenario seed, which is all a repro needs. *)
+let arbitrary ~n =
+  let of_seed seed = (seed, generate ~seed ~n) in
+  QCheck.make
+    ~print:(fun (seed, ops) -> Printf.sprintf "seed=%d [%s]" seed (pp_ops ops))
+    (QCheck.Gen.map of_seed (QCheck.Gen.int_bound 1_000_000))

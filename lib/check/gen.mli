@@ -1,0 +1,35 @@
+(** Deterministic op-sequence generator for the crash-point explorer.
+
+    A scenario is fully determined by [(seed, n)]: the same pair produces
+    the same operations and the same object contents in every run, which
+    is what lets the explorer re-execute a counting run and crash it at an
+    exact persistence event. *)
+
+type op =
+  | Put of { key : string; size : int; vseed : int }
+      (** Whole-object put of [value ~vseed size]. *)
+  | Write of { key : string; off_pct : int; len : int; vseed : int }
+      (** Partial in-place write; the driver resolves the offset as
+          [off_pct]% of the object's current committed size (clamped), and
+          skips the op deterministically if the key is absent. *)
+  | Delete of string
+  | Get of string
+  | Lock of string  (** Advisory [olock]; sequences never double-lock. *)
+  | Unlock of string  (** Only emitted for currently held locks. *)
+
+val value : vseed:int -> int -> Bytes.t
+(** The deterministic contents for a (seed, size) pair. *)
+
+val generate : seed:int -> n:int -> op list
+(** [n] operations drawn from a mixed put/overwrite/delete/read/lock
+    distribution over a small key set (including long keys that force
+    multi-slot log records), followed by unlocks for any still-held
+    locks. *)
+
+val pp_op : op -> string
+
+val pp_ops : op list -> string
+
+val arbitrary : n:int -> (int * op list) QCheck.arbitrary
+(** [(seed, generate ~seed ~n)] pairs for qcheck properties; the printer
+    shows the seed so failures are reproducible with one number. *)

@@ -44,6 +44,19 @@ let default_costs =
     cow_fault_ns = 8_000;
   }
 
+(** Deliberate crash-consistency protocol mutations (§3.4 ordering rules),
+    used by [dstore_check] to prove the checker catches real bugs. The
+    production configuration is always [No_fault]. *)
+type fault =
+  | No_fault
+  | Skip_commit_persist
+      (** Set the commit word but never flush it: an acknowledged op's
+          commit can be lost on power failure. *)
+  | Skip_payload_flush
+      (** Persist only a multi-slot record's LSN line, not its payload
+          continuation lines: breaks the reverse-order flush rule, so a
+          committed record can be torn. *)
+
 type t = {
   checkpoint : checkpoint_mode;
   logging : logging_mode;
@@ -66,6 +79,9 @@ type t = {
           unaffected — they are not optional instrumentation. *)
   trace_capacity : int;
       (** Trace ring size in entries (DRAM only, bounded memory). *)
+  fault : fault;
+      (** Injected protocol bug for checker validation; [No_fault] in any
+          real configuration. *)
 }
 
 let default =
@@ -83,6 +99,7 @@ let default =
     costs = default_costs;
     obs_enabled = true;
     trace_capacity = 4096;
+    fault = No_fault;
   }
 
 let pp_mode fmt t =

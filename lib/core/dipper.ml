@@ -137,6 +137,12 @@ let stats t = t.st
 
 let obs t = t.obs
 
+(* Verification seam (dstore_check): read-only access to the persistent
+   pieces a recovered-state checker must inspect. *)
+let log_handles t = Array.copy t.logs
+
+let root_snapshot t = Root.read t.root
+
 let trace t ev = Trace.emit t.obs.Obs.trace ev
 
 (* Engine statistics surface on the registry as callback gauges over the
@@ -229,6 +235,8 @@ let wrap_volatile platform fault_ns pm cow cap st (base : Mem.t) raw : Mem.t =
 let space_mem t i =
   Mem.of_pmem t.pm ~off:t.lay.space_off.(i) ~len:t.lay.space_bytes
 
+let shadow_space t = Space.attach (space_mem t t.current_space)
+
 let make_engine ?obs platform pm (cfg : Config.t) hooks root =
   let obs =
     match obs with
@@ -260,7 +268,10 @@ let make_engine ?obs platform pm (cfg : Config.t) hooks root =
   let st = fresh_stats () in
   register_stat_views obs.Obs.metrics st;
   let logs =
-    Array.map (fun off -> Oplog.attach ~obs pm ~off ~slots:cfg.log_slots) lay.log_off
+    Array.map
+      (fun off ->
+        Oplog.attach ~obs ~fault:cfg.Config.fault pm ~off ~slots:cfg.log_slots)
+      lay.log_off
   in
   ( {
       platform;

@@ -78,6 +78,21 @@ val platform : t -> Platform.t
 
 val config : t -> Config.t
 
+(** {1 Verification seam (dstore_check)}
+
+    Read-only access to the persistent pieces a recovered-state checker
+    must inspect; no engine state is modified. *)
+
+val log_handles : t -> Oplog.t array
+(** Both oplog handles, index 0 and 1 of the layout. *)
+
+val root_snapshot : t -> Root.state
+(** The root bank currently selected on the device. *)
+
+val shadow_space : t -> Space.t
+(** A fresh handle on the published PMEM shadow space (the checkpoint
+    target the root's [current_space] selects). *)
+
 (** {1 The write path (paper Figure 4)} *)
 
 val wait_readers : t -> Dstore_structs.Readcount.t -> string -> unit

@@ -115,6 +115,31 @@ let engine t = t.engine
 
 let config t = t.cfg
 
+(* Verification seam (dstore_check): structure handles over the volatile
+   space and over the published PMEM shadow, so a checker can walk the
+   index, metadata zone and bitmap pools of a recovered store. *)
+type internals = {
+  i_space : Space.t;
+  i_btree : Btree.t;
+  i_zone : Metazone.t;
+  i_blockpool : Bitpool.t;
+  i_metapool : Bitpool.t;
+}
+
+let internals_of (h : handles) =
+  {
+    i_space = h.hspace;
+    i_btree = h.btree;
+    i_zone = h.zone;
+    i_blockpool = h.blockpool;
+    i_metapool = h.metapool;
+  }
+
+let internals t = internals_of t.h
+
+let shadow_internals t =
+  internals_of (attach_handles t.cfg t.reg (Dipper.shadow_space t.engine))
+
 let is_initialized = Dipper.is_initialized
 
 let breakdown t = t.bd
@@ -319,6 +344,8 @@ let with_structs_read t f =
 (* --- data plane helpers ------------------------------------------------------ *)
 
 let page_size t = Ssd.page_size t.ssd
+
+let page_bytes = page_size
 
 let blocks_for t size = (size + page_size t - 1) / page_size t
 

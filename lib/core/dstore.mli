@@ -128,6 +128,28 @@ val engine : t -> Dipper.t
 
 val config : t -> Config.t
 
+(** {1 Verification seam (dstore_check)} *)
+
+(** Structure handles over one space, for read-only integrity checking.
+    Walking these mutates nothing. *)
+type internals = {
+  i_space : Dstore_memory.Space.t;
+  i_btree : Dstore_structs.Btree.t;
+  i_zone : Dstore_structs.Metazone.t;
+  i_blockpool : Dstore_structs.Bitpool.t;
+  i_metapool : Dstore_structs.Bitpool.t;
+}
+
+val internals : t -> internals
+(** Handles over the volatile (DRAM) system space. *)
+
+val shadow_internals : t -> internals
+(** Fresh handles over the published PMEM shadow space — the state a
+    crash right now would recover from (before log replay). *)
+
+val page_bytes : t -> int
+(** The SSD page size the store allocates blocks in. *)
+
 type footprint = { dram : int; pmem : int; ssd : int }
 
 val footprint : t -> footprint

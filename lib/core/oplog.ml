@@ -26,6 +26,7 @@ type t = {
   mutable base : int;  (* cached lsn_base *)
   mutable tail_ : int;
   ctr : counters option;
+  fault : Config.fault;  (* injected protocol bug; No_fault in production *)
 }
 
 let region_bytes ~slots = (slots + 1) * slot_bytes
@@ -48,10 +49,10 @@ let counters_of obs =
 
 let count c f = match c with Some c -> Dstore_obs.Metrics.incr (f c) | None -> ()
 
-let attach ?obs pm ~off ~slots =
+let attach ?obs ?(fault = Config.No_fault) pm ~off ~slots =
   assert (off mod slot_bytes = 0);
   let ctr = Option.map counters_of obs in
-  let t = { pm; off; slots; base = 0; tail_ = 0; ctr } in
+  let t = { pm; off; slots; base = 0; tail_ = 0; ctr; fault } in
   t.base <- Pmem.get_u64 pm (hdr_off t + 8);
   t
 
@@ -131,10 +132,11 @@ let write_record t ~slot ~lsn op =
 
 let flush_record t ~slot ~lsn op =
   let n = Logrec.slots_needed op in
+  let skip_payload = t.fault = Config.Skip_payload_flush in
   (* 1. Persist every line except the first. *)
-  if n > 1 then
+  if n > 1 && not skip_payload then
     Pmem.flush t.pm (slot_off t slot + slot_bytes) ((n - 1) * slot_bytes);
-  if n > 1 then Pmem.fence t.pm;
+  if n > 1 && not skip_payload then Pmem.fence t.pm;
   (* 2. Write the LSN last, then persist its line: the record becomes
      valid only once this line is durable. *)
   Pmem.set_u64 t.pm (slot_off t slot) lsn;
@@ -144,7 +146,9 @@ let set_commit_word t ~slot =
   count t.ctr (fun c -> c.c_commits);
   Pmem.set_u64 t.pm (slot_off t slot + 8) 1
 
-let persist_slot t ~slot = Pmem.persist t.pm (slot_off t slot) slot_bytes
+let persist_slot t ~slot =
+  if t.fault <> Config.Skip_commit_persist then
+    Pmem.persist t.pm (slot_off t slot) slot_bytes
 
 let commit_record t ~slot =
   set_commit_word t ~slot;
@@ -206,3 +210,30 @@ let read_op t ~slot =
   match probe t slot with
   | Some (e, _) -> e.op
   | None -> invalid_arg "Oplog.read_op: no valid record at slot"
+
+(* Structural self-check over the persistent region. Only properties that
+   must hold in ANY reachable durable state are checked: header magic and
+   base, and for every slot that probes as a valid record, sane commit
+   word and in-range extent. Invalid slots are fine — a torn append leaves
+   garbage that scan skips by design. *)
+let fsck t =
+  let bad = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> bad := s :: !bad) fmt in
+  let m = Pmem.get_u64 t.pm (hdr_off t) in
+  if m <> magic then err "oplog@%d: bad magic %#x" t.off m;
+  let base = Pmem.get_u64 t.pm (hdr_off t + 8) in
+  if base < 0 then err "oplog@%d: negative lsn base %d" t.off base;
+  let rec go s =
+    if s < t.slots then
+      match probe t s with
+      | Some (e, len) ->
+          let commit = Pmem.get_u64 t.pm (slot_off t s + 8) in
+          if commit <> 0 && commit <> 1 then
+            err "oplog@%d slot %d: commit word %d not in {0,1}" t.off s commit;
+          if e.slot + len > t.slots then
+            err "oplog@%d slot %d: record overruns region" t.off s;
+          go (s + len)
+      | None -> go (s + 1)
+  in
+  go 0;
+  List.rev !bad

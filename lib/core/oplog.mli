@@ -26,11 +26,19 @@ val region_bytes : slots:int -> int
 (** Device bytes needed for a log of [slots] slots (includes one header
     slot). *)
 
-val attach : ?obs:Dstore_obs.Obs.t -> Pmem.t -> off:int -> slots:int -> t
+val attach :
+  ?obs:Dstore_obs.Obs.t ->
+  ?fault:Config.fault ->
+  Pmem.t ->
+  off:int ->
+  slots:int ->
+  t
 (** Open a log region without modifying it (recovery path). With [obs],
     appends, commits, resets and scans count on the handle's registry
     ([oplog.records_written], [oplog.records_committed], [oplog.resets],
-    [oplog.scans]); both logs of an engine share the series. *)
+    [oplog.scans]); both logs of an engine share the series. [fault]
+    (default [No_fault]) injects a deliberate protocol bug for checker
+    validation — see {!Config.fault}. *)
 
 val reset : t -> lsn_base:int -> unit
 (** Zero every slot, set the epoch base, persist. Bulk cost is charged to
@@ -82,3 +90,10 @@ val recover_tail : t -> unit
 
 val read_op : t -> slot:int -> Logrec.op
 (** Decode the record at [slot] (must be valid). *)
+
+val fsck : t -> string list
+(** Structural check of the persistent region: header magic and LSN base,
+    and for every slot that validates as a record, a sane commit word and
+    in-bounds extent. Returns human-readable violations (empty = clean).
+    Slots that fail validation are not errors — torn appends are expected
+    durable states. *)

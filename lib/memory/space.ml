@@ -164,3 +164,50 @@ let free_list_bytes t =
   done;
   Mutex.unlock t.guard;
   !total
+
+(* Structural self-check. Unlike free_list_bytes this walk is bounded and
+   cycle-safe, so it terminates on arbitrarily corrupted bytes. *)
+let fsck t =
+  let bad = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> bad := s :: !bad) fmt in
+  let m = t.mem.Mem.get_u64 off_magic in
+  if m <> magic then err "space: bad magic %#x" m;
+  let size = t.mem.Mem.get_u64 off_size in
+  if size <> t.mem.Mem.size then
+    err "space: header size %d <> region size %d" size t.mem.Mem.size;
+  let used = t.mem.Mem.get_u64 off_used in
+  let heap_base = t.mem.Mem.get_u64 off_heap_base in
+  if not (header_bytes <= heap_base && heap_base <= used && used <= t.mem.Mem.size)
+  then
+    err "space: bounds violated (header=%d heap_base=%d used=%d size=%d)"
+      header_bytes heap_base used t.mem.Mem.size;
+  (* Every free-list node must lie inside the heap, be 16-aligned, and the
+     lists must be acyclic. Bound the walk by the worst-case node count. *)
+  let max_nodes = ((t.mem.Mem.size - header_bytes) / 16) + 1 in
+  for c = min_class to max_class do
+    let seen = Hashtbl.create 16 in
+    let p = ref (t.mem.Mem.get_u64 (head_off c)) in
+    let steps = ref 0 in
+    let stop = ref false in
+    while !p <> 0 && not !stop do
+      incr steps;
+      if !steps > max_nodes then begin
+        err "space: free list class %d longer than heap capacity" c;
+        stop := true
+      end
+      else if Hashtbl.mem seen !p then begin
+        err "space: free list class %d has a cycle at %d" c !p;
+        stop := true
+      end
+      else if !p < heap_base || !p >= used || !p land 15 <> 0 then begin
+        err "space: free list class %d node %d outside heap [%d,%d) or unaligned"
+          c !p heap_base used;
+        stop := true
+      end
+      else begin
+        Hashtbl.add seen !p ();
+        p := t.mem.Mem.get_u64 !p
+      end
+    done
+  done;
+  List.rev !bad

@@ -73,3 +73,9 @@ val copy_into : t -> Mem.t -> t
 
 val free_list_bytes : t -> int
 (** Bytes sitting on free lists (diagnostics / footprint accounting). *)
+
+val fsck : t -> string list
+(** Structural self-check: header magic and bounds, and a bounded,
+    cycle-safe walk of every slab free list verifying each node lies
+    16-aligned inside the heap. Returns human-readable violations
+    (empty = clean). Read-only. *)

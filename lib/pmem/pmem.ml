@@ -41,6 +41,8 @@ type t = {
   guard : Mutex.t;  (* protects [dirty] under the real platform *)
   st : stats;
   mutable obs : Dstore_obs.Obs.t option;
+  mutable persist_events : int;
+  mutable persist_hook : (int -> unit) option;
 }
 
 let create platform cfg =
@@ -60,9 +62,24 @@ let create platform cfg =
         fence_calls = 0;
       };
     obs = None;
+    persist_events = 0;
+    persist_hook = None;
   }
 
 let size t = t.cfg.size
+
+let persist_events t = t.persist_events
+
+let set_persist_hook t hook = t.persist_hook <- hook
+
+(* One persistence event = one flush or fence reaching the device. The
+   counter is a plain increment (allocation-free, deterministic under the
+   DES); the optional callback lets crash harnesses stop the world at an
+   exact event index — it may raise, which aborts the persisting call. *)
+let persist_event t =
+  let n = t.persist_events + 1 in
+  t.persist_events <- n;
+  match t.persist_hook with Some f -> f n | None -> ()
 
 let stats t = t.st
 
@@ -181,6 +198,7 @@ let flush t off len =
     end;
     t.st.flush_calls <- t.st.flush_calls + 1;
     t.st.bytes_flushed <- t.st.bytes_flushed + (nlines * line_size);
+    persist_event t;
     (* First line pays full writeback latency; the rest pipeline at device
        write bandwidth. *)
     let cost =
@@ -192,6 +210,7 @@ let flush t off len =
 
 let fence t =
   t.st.fence_calls <- t.st.fence_calls + 1;
+  persist_event t;
   t.platform.consume t.cfg.fence_ns
 
 let persist t off len =

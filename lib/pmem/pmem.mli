@@ -97,6 +97,23 @@ val bulk_read_cost : t -> int -> unit
 (** Charge the calling thread for a bandwidth-limited sequential read of
     [len] bytes (used by recovery when copying PMEM into DRAM). *)
 
+(** {1 Persistence-event hook}
+
+    Every flush of a non-empty range and every fence is one {e persistence
+    event}. The counter is a single field increment (allocation-free) and
+    is deterministic across identical DES runs, so a crash-point explorer
+    can count events in one run and stop the world at an exact index in a
+    replay. *)
+
+val persist_events : t -> int
+(** Monotonic count of persistence events since {!create}. *)
+
+val set_persist_hook : t -> (int -> unit) option -> unit
+(** Install (or clear) a callback invoked with the new event count on
+    every persistence event, before the device charges latency. The hook
+    may raise to abort the run at that exact event — the raised exception
+    propagates out of the [flush]/[fence] call. *)
+
 (** {1 Crash injection} *)
 
 type crash_mode =

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Crash-consistency smoke: run the checker's acceptance gate.
+#
+# A clean sweep (no injected fault) must report zero violations, and each
+# deliberately broken engine (skip-commit, skip-flush) must be caught.
+# Extra arguments are forwarded to `dstore_checker selftest`, e.g.
+#
+#   smoke/check.sh --ops 60 --subsets 1     # quicker pass
+#
+# Equivalent dune alias: `dune build @torture`.
+set -eu
+cd "$(dirname "$0")/.."
+exec dune exec bin/dstore_checker.exe -- selftest --ops 120 --subsets 3 "$@"

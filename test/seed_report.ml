@@ -1,0 +1,22 @@
+(* Seed-on-failure reporting for randomized properties.
+
+   QCheck shrinks and prints the counterexample value, but what you want
+   at 2 a.m. is the exact scenario seed and a command that replays it.
+   Wrap a property body with [attempt]: when the body returns false or
+   raises, the seed and a one-line repro land on stderr before QCheck's
+   own report. *)
+
+let note ~test ~seed ~repro =
+  Printf.eprintf "\n[seed-on-failure] %s failed with seed %d\n" test seed;
+  if repro <> "" then Printf.eprintf "[seed-on-failure] repro: %s\n" repro;
+  flush stderr
+
+let attempt ~test ~seed ?(repro = "") run =
+  match run () with
+  | true -> true
+  | false ->
+      note ~test ~seed ~repro;
+      false
+  | exception e ->
+      note ~test ~seed ~repro;
+      raise e

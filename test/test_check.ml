@@ -1,0 +1,442 @@
+(* Tests for the crash-consistency model checker (lib/check): the Pmem
+   persistence-event hook, the durability oracle, the recovered-state
+   fsck, and bounded explorer sweeps — including the mutation switches
+   that prove the checker detects injected protocol bugs. *)
+
+open Dstore_platform
+open Dstore_pmem
+open Dstore_ssd
+open Dstore_core
+open Dstore_check
+open Dstore_util
+open Alcotest
+
+(* Small store so checkpoints trigger inside short scenarios; same shape
+   as the crash fixtures in test_dstore.ml and bin/dstore_checker.ml. *)
+let small_cfg fault =
+  {
+    Config.default with
+    log_slots = 512;
+    space_bytes = 4 * 1024 * 1024;
+    meta_entries = 1024;
+    ssd_blocks = 4096;
+    checkpoint_workers = 2;
+    fault;
+  }
+
+type fx = { sim : Sim.t; p : Platform.t; pm : Pmem.t; ssd : Ssd.t }
+
+let fixture ?(fault = Config.No_fault) () =
+  let cfg = small_cfg fault in
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let pm =
+    Pmem.create p
+      { Pmem.default_config with size = Dipper.layout_bytes cfg; crash_model = true }
+  in
+  let ssd = Ssd.create p { Ssd.default_config with pages = cfg.Config.ssd_blocks } in
+  ({ sim; p; pm; ssd }, cfg)
+
+(* Run a small fixed workload and return the device's event counter. *)
+let run_small_workload () =
+  let fx, cfg = fixture () in
+  Sim.spawn fx.sim "w" (fun () ->
+      let st = Dstore.create fx.p fx.pm fx.ssd cfg in
+      let ctx = Dstore.ds_init st in
+      for i = 0 to 20 do
+        Dstore.oput ctx (Printf.sprintf "k%d" (i mod 7)) (Bytes.make (50 + i) 'x')
+      done;
+      ignore (Dstore.odelete ctx "k3");
+      Dstore.stop st);
+  Sim.run fx.sim;
+  Pmem.persist_events fx.pm
+
+(* --- Pmem persistence-event hook -------------------------------------- *)
+
+let test_hook_counts_flush_and_fence () =
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let pm = Pmem.create p { Pmem.default_config with size = 4096 } in
+  let calls = ref [] in
+  Pmem.set_persist_hook pm (Some (fun n -> calls := n :: !calls));
+  Sim.spawn sim "w" (fun () ->
+      check int "starts at zero" 0 (Pmem.persist_events pm);
+      Pmem.set_u64 pm 0 42;
+      Pmem.flush pm 0 8;
+      check int "flush counts" 1 (Pmem.persist_events pm);
+      Pmem.fence pm;
+      check int "fence counts" 2 (Pmem.persist_events pm);
+      Pmem.flush pm 0 0;
+      check int "empty flush does not count" 2 (Pmem.persist_events pm);
+      Pmem.set_u64 pm 64 1;
+      Pmem.persist pm 64 8;
+      check int "persist counts flush+fence" 4 (Pmem.persist_events pm));
+  Sim.run sim;
+  check (list int) "hook saw every event, in order" [ 1; 2; 3; 4 ]
+    (List.rev !calls);
+  Pmem.set_persist_hook pm None;
+  Sim.spawn sim "w2" (fun () -> Pmem.persist pm 0 8);
+  Sim.run sim;
+  check int "cleared hook still counts" 6 (Pmem.persist_events pm)
+
+let test_hook_deterministic_across_runs () =
+  let a = run_small_workload () in
+  let b = run_small_workload () in
+  check bool "events happened" true (a > 0);
+  check int "identical runs, identical event counts" a b
+
+let test_hook_raise_aborts_at_event () =
+  let exception Stop in
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let pm = Pmem.create p { Pmem.default_config with size = 4096 } in
+  Pmem.set_persist_hook pm (Some (fun n -> if n = 3 then raise Stop));
+  Sim.spawn sim "w" (fun () ->
+      for i = 0 to 9 do
+        Pmem.set_u64 pm (i * 64) i;
+        Pmem.persist pm (i * 64) 8
+      done);
+  (match Sim.run sim with
+  | () -> fail "expected the hook to abort the run"
+  | exception Stop -> ());
+  check int "stopped exactly at event 3" 3 (Pmem.persist_events pm)
+
+(* --- Oracle ------------------------------------------------------------ *)
+
+let bytes_of = Bytes.of_string
+
+let test_oracle_committed_exact () =
+  let o = Oracle.create () in
+  Oracle.begin_put o "a" (bytes_of "hello");
+  Oracle.commit_pending o;
+  check (list string) "matching state passes" []
+    (Oracle.check o ~read:(fun _ -> Some (bytes_of "hello")) ~names:[ "a" ]);
+  check bool "wrong value fails" true
+    (Oracle.check o ~read:(fun _ -> Some (bytes_of "other")) ~names:[ "a" ]
+    <> []);
+  check bool "missing acked key fails" true
+    (Oracle.check o ~read:(fun _ -> None) ~names:[] <> [])
+
+let test_oracle_pending_put_atomic () =
+  let o = Oracle.create () in
+  Oracle.begin_put o "a" (bytes_of "v1");
+  Oracle.commit_pending o;
+  Oracle.begin_put o "a" (bytes_of "v2");
+  let ok v = Oracle.check o ~read:(fun _ -> v) ~names:[ "a" ] = [] in
+  check bool "old value acceptable" true (ok (Some (bytes_of "v1")));
+  check bool "new value acceptable" true (ok (Some (bytes_of "v2")));
+  check bool "mix rejected" false (ok (Some (bytes_of "v3")));
+  check bool "absent rejected" false
+    (Oracle.check o ~read:(fun _ -> None) ~names:[] = [])
+
+let test_oracle_pending_delete () =
+  let o = Oracle.create () in
+  Oracle.begin_put o "a" (bytes_of "v1");
+  Oracle.commit_pending o;
+  Oracle.begin_delete o "a";
+  let ok v = Oracle.check o ~read:(fun _ -> v) ~names:[] = [] in
+  check bool "still present acceptable" true (ok (Some (bytes_of "v1")));
+  check bool "gone acceptable" true (ok None);
+  check bool "other value rejected" false (ok (Some (bytes_of "x")))
+
+let test_oracle_pending_write_page_prefix () =
+  (* 2-page object (ps=4), write crossing the page boundary: acceptable
+     states are page-prefixes of the spliced image, never a suffix. *)
+  let o = Oracle.create () in
+  let old = bytes_of "aaaabbbb" in
+  Oracle.begin_put o "a" old;
+  Oracle.commit_pending o;
+  Oracle.begin_write o ~key:"a" ~off:2 ~data:(bytes_of "XXXX") ~page_size:4;
+  let ok v = Oracle.check o ~read:(fun _ -> Some (bytes_of v)) ~names:[ "a" ] = [] in
+  check bool "no page written" true (ok "aaaabbbb");
+  check bool "first page written" true (ok "aaXXbbbb");
+  check bool "both pages written" true (ok "aaXXXXbb");
+  check bool "suffix-only write rejected" false (ok "aaaaXXbb");
+  check bool "foreign bytes rejected" false (ok "zzzzzzzz")
+
+let test_oracle_pending_write_extension () =
+  let o = Oracle.create () in
+  let old = bytes_of "aaaa" in
+  Oracle.begin_put o "a" old;
+  Oracle.commit_pending o;
+  (* Write at the end: extends from 4 to 8 bytes. Uncommitted, the old
+     metadata caps the size; committed, the full image is visible. *)
+  Oracle.begin_write o ~key:"a" ~off:4 ~data:(bytes_of "BBBB") ~page_size:4;
+  let ok v = Oracle.check o ~read:(fun _ -> Some (bytes_of v)) ~names:[ "a" ] = [] in
+  check bool "old size acceptable" true (ok "aaaa");
+  check bool "committed extension acceptable" true (ok "aaaaBBBB");
+  check bool "half extension rejected" false (ok "aaaaBB")
+
+let test_oracle_phantom () =
+  let o = Oracle.create () in
+  Oracle.begin_put o "a" (bytes_of "v");
+  Oracle.commit_pending o;
+  check bool "unknown name flagged" true
+    (Oracle.check o
+       ~read:(fun k -> if k = "a" then Some (bytes_of "v") else None)
+       ~names:[ "a"; "ghost" ]
+    <> [])
+
+(* --- Fsck -------------------------------------------------------------- *)
+
+(* Build a live store, run [mutate] on it inside the simulation, then
+   fsck. *)
+let fsck_after mutate =
+  let fx, cfg = fixture () in
+  let out = ref [] in
+  Sim.spawn fx.sim "w" (fun () ->
+      let st = Dstore.create fx.p fx.pm fx.ssd cfg in
+      let ctx = Dstore.ds_init st in
+      Dstore.oput ctx "a" (Bytes.make 100 'a');
+      Dstore.oput ctx "b" (Bytes.make 9000 'b');
+      Dstore.oput ctx "c" (Bytes.make 5000 'c');
+      ignore (Dstore.odelete ctx "c");
+      Dstore.checkpoint_now st;
+      Dstore.oput ctx "d" (Bytes.make 300 'd');
+      mutate st;
+      out := Fsck.run st;
+      Dstore.stop st);
+  Sim.run fx.sim;
+  !out
+
+let test_fsck_clean () =
+  check (list string) "healthy store is clean" [] (fsck_after (fun _ -> ()))
+
+let test_fsck_detects_freed_referenced_block () =
+  let bad =
+    fsck_after (fun st ->
+        let i = Dstore.internals st in
+        (* Free a block some object references: pool/reference mismatch. *)
+        let meta =
+          match Dstore_structs.Btree.find i.Dstore.i_btree "b" with
+          | Some m -> m
+          | None -> fail "object b missing"
+        in
+        let _, extents = Dstore_structs.Metazone.read_object i.Dstore.i_zone meta in
+        let b = (List.hd extents).Dstore_structs.Metazone.start in
+        Dstore_structs.Bitpool.free i.Dstore.i_blockpool b)
+  in
+  check bool "freed referenced block detected" true (bad <> [])
+
+let test_fsck_detects_dangling_index_entry () =
+  let bad =
+    fsck_after (fun st ->
+        let i = Dstore.internals st in
+        (* Point the index at a metadata entry that is not live. *)
+        ignore (Dstore_structs.Btree.insert i.Dstore.i_btree "ghost" 999))
+  in
+  check bool "dangling index entry detected" true (bad <> [])
+
+let test_fsck_detects_leaked_meta () =
+  let bad =
+    fsck_after (fun st ->
+        let i = Dstore.internals st in
+        (* Allocate a meta id nothing references: leak. *)
+        Dstore_structs.Bitpool.set_allocated i.Dstore.i_metapool 900)
+  in
+  check bool "leaked meta entry detected" true (bad <> [])
+
+(* --- Oplog scan hardening ---------------------------------------------- *)
+
+(* Randomly corrupted slots — payload bit flips, stale-epoch LSNs,
+   truncated tails — must never surface as valid records: every scanned
+   (lsn, op) pair must be one the test wrote, and records whose slots were
+   corrupted must be dropped. *)
+let prop_oplog_corrupted_slots_never_valid =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"oplog: corrupted slots are never accepted"
+       ~count:80
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         Seed_report.attempt ~test:"oplog corrupted slots" ~seed
+           ~repro:
+             (Printf.sprintf
+                "dune exec test/test_main.exe -- test check  # seed %d" seed)
+         @@ fun () ->
+         let sim = Sim.create () in
+         let p = Sim_platform.make sim in
+         let slots = 128 in
+         let pm =
+           Pmem.create p
+             {
+               Pmem.default_config with
+               size = Oplog.region_bytes ~slots + 64;
+             }
+         in
+         let ok = ref false in
+         Sim.spawn sim "w" (fun () ->
+             let r = Rng.create seed in
+             let log = Oplog.attach pm ~off:0 ~slots in
+             Oplog.reset log ~lsn_base:1000;
+             (* Fill with a mix of 1-slot and multi-slot records, all
+                flushed and committed. *)
+             let written = ref [] in
+             (try
+                while true do
+                  let key =
+                    if Rng.bool r then Printf.sprintf "key%d" (Rng.int r 100)
+                    else String.make (40 + Rng.int r 60) 'k'
+                  in
+                  let op = Logrec.Noop { key } in
+                  match Oplog.reserve log (Logrec.slots_needed op) with
+                  | None -> raise Exit
+                  | Some (slot, lsn) ->
+                      Oplog.write_record log ~slot ~lsn op;
+                      Oplog.flush_record log ~slot ~lsn op;
+                      Oplog.commit_record log ~slot;
+                      written :=
+                        (slot, Logrec.slots_needed op, lsn, op) :: !written
+                done
+              with Exit -> ());
+             let recs = List.rev !written in
+             let slot_bytes = Logrec.slot_bytes in
+             let record_of_slot s =
+               List.find_opt (fun (s0, n, _, _) -> s >= s0 && s < s0 + n) recs
+               |> function
+               | Some (_, _, lsn, _) -> Some lsn
+               | None -> None
+             in
+             let corrupted_lsns = ref [] in
+             let corrupt_slot s =
+               match record_of_slot s with
+               | None -> ()
+               | Some lsn ->
+                   corrupted_lsns := lsn :: !corrupted_lsns;
+                   let slot_off = (s + 1) * slot_bytes in
+                   (match Rng.int r 3 with
+                   | 0 ->
+                       (* Bit flip in the payload region (past the header
+                          fields of slot 0; anywhere in continuations). *)
+                       let lo = 24 and hi = slot_bytes in
+                       let off = slot_off + lo + Rng.int r (hi - lo) in
+                       let bit = 1 lsl Rng.int r 8 in
+                       Pmem.set_u8 pm off (Pmem.get_u8 pm off lxor bit)
+                   | 1 ->
+                       (* Stale-epoch LSN: valid-looking but from another
+                          log generation. *)
+                       Pmem.set_u64 pm slot_off (1_000_000 + Rng.int r 1000)
+                   | _ ->
+                       (* Truncated tail: the slot never made it. *)
+                       Pmem.fill pm slot_off slot_bytes 0)
+             in
+             let tail = Oplog.tail log in
+             for _ = 0 to 5 + Rng.int r 10 do
+               corrupt_slot (Rng.int r (max 1 tail))
+             done;
+             let scanned = Oplog.scan log in
+             let valid_set =
+               List.filter
+                 (fun (_, _, lsn, _) -> not (List.mem lsn !corrupted_lsns))
+                 recs
+             in
+             let subset_ok =
+               List.for_all
+                 (fun e ->
+                   List.exists
+                     (fun (_, _, lsn, op) ->
+                       lsn = e.Oplog.lsn && op = e.Oplog.op)
+                     valid_set)
+                 scanned
+             in
+             let dropped_ok =
+               List.for_all
+                 (fun lsn ->
+                   not (List.exists (fun e -> e.Oplog.lsn = lsn) scanned))
+                 !corrupted_lsns
+             in
+             ok := subset_ok && dropped_ok);
+         Sim.run sim;
+         !ok))
+
+(* --- Explorer sweeps --------------------------------------------------- *)
+
+let sweep ~fault ~seed ~n_ops ~stride =
+  Explorer.sweep ~subset_seeds:[ 11 ] ~stride ~seed ~n_ops (small_cfg fault)
+
+(* Bounded exhaustive sweep on the unmutated engine: every persistence
+   event of a mixed put/overwrite/delete scenario, drop-all plus one
+   sampled eviction subset per point, zero violations. *)
+let test_sweep_clean () =
+  let r = sweep ~fault:Config.No_fault ~seed:7 ~n_ops:60 ~stride:1 in
+  check bool "enough crash points" true (r.Explorer.crash_points >= 100);
+  check int "total = init + points (stride 1)" r.Explorer.total_events
+    (r.Explorer.init_events + r.Explorer.crash_points);
+  (match r.Explorer.violations with
+  | [] -> ()
+  | v :: _ ->
+      fail
+        (Printf.sprintf "clean engine violated at event %d (%s): %s"
+           v.Explorer.crash_event v.Explorer.mode v.Explorer.detail));
+  check bool "runs = 2x points" true (r.Explorer.runs = 2 * r.Explorer.crash_points)
+
+let test_sweep_detects_skip_commit () =
+  let r = sweep ~fault:Config.Skip_commit_persist ~seed:7 ~n_ops:40 ~stride:1 in
+  check bool "skipped commit persist detected" true (r.Explorer.violations <> [])
+
+let test_sweep_detects_skip_payload_flush () =
+  let r = sweep ~fault:Config.Skip_payload_flush ~seed:42 ~n_ops:40 ~stride:1 in
+  check bool "skipped payload flush detected" true (r.Explorer.violations <> [])
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_sweep_obs_export () =
+  let obs =
+    Dstore_obs.Obs.create ~trace_capacity:256 ~now:(fun () -> 0) ()
+  in
+  let r =
+    Explorer.sweep ~obs ~subset_seeds:[ 11 ] ~stride:8 ~seed:7 ~n_ops:25
+      (small_cfg Config.No_fault)
+  in
+  let m = obs.Dstore_obs.Obs.metrics in
+  let v name = Option.value (Dstore_obs.Metrics.value m name) ~default:(-1) in
+  check int "crash points counted" r.Explorer.crash_points
+    (v "check.crash_points");
+  check int "runs counted" r.Explorer.runs (v "check.runs");
+  check int "no oracle violations" 0 (v "check.oracle_violations");
+  check int "no fsck violations" 0 (v "check.fsck_violations");
+  check bool "per-phase trace notes emitted" true
+    (List.exists
+       (fun e ->
+         match e.Dstore_obs.Trace.ev with
+         | Dstore_obs.Trace.Note s -> contains s "check:"
+         | _ -> false)
+       (Dstore_obs.Trace.to_list obs.Dstore_obs.Obs.trace));
+  (* The failure artifact: the report serializes with the scenario seed
+     and every violation's event index. *)
+  let j = Dstore_obs.Json.to_string (Explorer.report_json r) in
+  check bool "report json has seed" true (contains j "\"seed\":7")
+
+let suite =
+  [
+    ("pmem hook counts flush+fence", `Quick, test_hook_counts_flush_and_fence);
+    ( "pmem hook deterministic across runs",
+      `Quick,
+      test_hook_deterministic_across_runs );
+    ("pmem hook raise aborts at event", `Quick, test_hook_raise_aborts_at_event);
+    ("oracle: committed state exact", `Quick, test_oracle_committed_exact);
+    ("oracle: pending put atomic", `Quick, test_oracle_pending_put_atomic);
+    ("oracle: pending delete", `Quick, test_oracle_pending_delete);
+    ( "oracle: pending write page prefix",
+      `Quick,
+      test_oracle_pending_write_page_prefix );
+    ( "oracle: pending write extension",
+      `Quick,
+      test_oracle_pending_write_extension );
+    ("oracle: phantom keys", `Quick, test_oracle_phantom);
+    ("fsck: clean store", `Quick, test_fsck_clean);
+    ( "fsck: freed referenced block",
+      `Quick,
+      test_fsck_detects_freed_referenced_block );
+    ("fsck: dangling index entry", `Quick, test_fsck_detects_dangling_index_entry);
+    ("fsck: leaked meta entry", `Quick, test_fsck_detects_leaked_meta);
+    prop_oplog_corrupted_slots_never_valid;
+    ("explorer: bounded exhaustive sweep clean", `Slow, test_sweep_clean);
+    ("explorer: detects skipped commit persist", `Slow, test_sweep_detects_skip_commit);
+    ( "explorer: detects skipped payload flush",
+      `Slow,
+      test_sweep_detects_skip_payload_flush );
+    ("explorer: obs export + report json", `Quick, test_sweep_obs_export);
+  ]

@@ -304,6 +304,11 @@ let prop_oplog_random_crash_valid_prefix =
        ~count:60
        QCheck.(int_range 0 100_000)
        (fun seed ->
+         Seed_report.attempt ~test:"oplog random-crash valid prefix" ~seed
+           ~repro:
+             (Printf.sprintf
+                "dune exec test/test_main.exe -- test core  # seed %d" seed)
+         @@ fun () ->
          with_sim (fun p _ ->
              let r = Rng.create seed in
              let pm, log = fresh_log ~slots:128 p in
@@ -390,6 +395,11 @@ let prop_root_publish_crash =
        ~count:60
        QCheck.(int_range 0 100_000)
        (fun seed ->
+         Seed_report.attempt ~test:"root publish crash" ~seed
+           ~repro:
+             (Printf.sprintf
+                "dune exec test/test_main.exe -- test core  # seed %d" seed)
+         @@ fun () ->
          with_sim (fun p _ ->
              let r = Rng.create seed in
              let pm = pmem p 8192 in

@@ -722,6 +722,14 @@ let prop_crash_recovery_observational_equivalence =
        ~count:25
        QCheck.(pair (int_range 0 1_000_000) (int_range 100_000 30_000_000))
        (fun (seed, crash_at) ->
+         Seed_report.attempt ~test:"crash-recovery observational equivalence"
+           ~seed
+           ~repro:
+             (Printf.sprintf
+                "dune exec test/test_main.exe -- test dstore  # seed %d \
+                 crash_at %d"
+                seed crash_at)
+         @@ fun () ->
          let cfg = { small_cfg with log_slots = 96 } in
          let fx = fixture ~cfg () in
          let module M = Map.Make (String) in

@@ -12,6 +12,7 @@ let () =
       ("structs", Test_structs.suite);
       ("obs", Test_obs.suite);
       ("core", Test_core.suite);
+      ("check", Test_check.suite);
       ("dstore", Test_dstore.suite);
       ("baselines", Test_baselines.suite);
       ("workload", Test_workload.suite);
