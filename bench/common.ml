@@ -11,6 +11,8 @@ type opts = {
   fig7_window_ns : int;  (* paper: 60 s *)
   recovery_objects : int;  (* paper: 2 M *)
   seed : int;
+  shards : int;  (* focus shard count for the sharding experiment *)
+  stagger : bool;  (* staggered checkpoint scheduling in the cluster *)
 }
 
 let default_opts =
@@ -21,6 +23,8 @@ let default_opts =
     fig7_window_ns = 15_000_000_000;
     recovery_objects = 50_000;
     seed = 42;
+    shards = 4;
+    stagger = true;
   }
 
 let scale_of opts = { Systems.default_scale with objects = opts.objects }

@@ -124,8 +124,8 @@ let sweep_threshold opts =
                     stalls := (Dipper.stats (Dstore.engine st)).Dipper.log_full_stalls;
                     Dstore.stop st);
                 footprint = (fun () -> (0, 0, 0));
-                pm;
-                ssd = Some ssd;
+                pms = [ pm ];
+                ssds = [ ssd ];
                 obs = Some (Dstore.obs st);
               }
             in

@@ -27,6 +27,7 @@ let experiments : (string * string * (Common.opts -> unit)) list =
     ("table5", "achievable SLO summary", Exp_table5.run);
     ("ablation", "DIPPER design-knob ablations (workers/log size/threshold)", Exp_ablation.run);
     ("micro", "real-time software-path microbenchmarks", Exp_micro.run);
+    ("shard", "sharded cluster scaling + staggered checkpoints", Exp_shard.run);
   ]
 
 let usage () =
@@ -41,6 +42,8 @@ let usage () =
   print_endline "  --seconds N    figure-7 window in seconds (default 15)";
   print_endline "  --window-ms N  latency-experiment window (default 2000)";
   print_endline "  --recovery-objects N  table-4 population (default 50000)";
+  print_endline "  --shards N     focus shard count for the shard experiment (default 4)";
+  print_endline "  --no-stagger   disable staggered checkpoint scheduling";
   print_endline "  --seed N"
 
 let () =
@@ -65,6 +68,12 @@ let () =
         parse rest
     | "--seed" :: v :: rest ->
         opts := { !opts with Common.seed = int_of_string v };
+        parse rest
+    | "--shards" :: v :: rest ->
+        opts := { !opts with Common.shards = int_of_string v };
+        parse rest
+    | "--no-stagger" :: rest ->
+        opts := { !opts with Common.stagger = false };
         parse rest
     | ("--help" | "-h") :: _ ->
         usage ();

@@ -47,7 +47,21 @@ let opts_term =
       & opt int Common.default_opts.Common.seed
       & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic simulation seed.")
   in
-  let make clients objects seconds window_ms recovery_objects seed =
+  let shards =
+    Arg.(
+      value
+      & opt int Common.default_opts.Common.shards
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Focus shard count for the sharding experiment.")
+  in
+  let no_stagger =
+    Arg.(
+      value & flag
+      & info [ "no-stagger" ]
+          ~doc:"Disable staggered checkpoint scheduling in the cluster.")
+  in
+  let make clients objects seconds window_ms recovery_objects seed shards
+      no_stagger =
     {
       Common.clients;
       objects;
@@ -55,11 +69,13 @@ let opts_term =
       fig7_window_ns = seconds * 1_000_000_000;
       recovery_objects;
       seed;
+      shards;
+      stagger = not no_stagger;
     }
   in
   Term.(
     const make $ clients $ objects $ seconds $ window_ms $ recovery_objects
-    $ seed)
+    $ seed $ shards $ no_stagger)
 
 let experiments =
   [
@@ -75,6 +91,9 @@ let experiments =
     ("table5", "Achievable SLO summary (Table 5)", Exp_table5.run);
     ("ablation", "DIPPER design-knob ablations", Exp_ablation.run);
     ("micro", "Real-time software-path microbenchmarks", Exp_micro.run);
+    ( "shard",
+      "Sharded cluster scaling and staggered checkpoints",
+      Exp_shard.run );
   ]
 
 let cmd_of (name, doc, f) =

@@ -155,6 +155,154 @@ let sweep_cmd =
     Term.(
       const run $ seed $ ops $ subsets $ stride $ fault $ expect $ json)
 
+(* Per-shard configuration for the cluster sweep: an even smaller log than
+   [check_cfg] so each shard (seeing only ~1/N of the ops) still
+   checkpoints inside a short scenario — the sweep must land crash points
+   mid-checkpoint on the target shard. *)
+let cluster_cfg fault =
+  {
+    Config.default with
+    log_slots = 64;
+    space_bytes = 4 * 1024 * 1024;
+    meta_entries = 1024;
+    ssd_blocks = 2048;
+    checkpoint_workers = 2;
+    fault;
+  }
+
+let cluster_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Scenario seed.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 80
+      & info [ "ops" ] ~docv:"N" ~doc:"Generated operations per scenario.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"N" ~doc:"Shards in the cluster.")
+  in
+  let target =
+    Arg.(
+      value & opt int 0
+      & info [ "target" ] ~docv:"I"
+          ~doc:"Shard whose persistence events index the crash points.")
+  in
+  let subsets =
+    Arg.(
+      value & opt int 1
+      & info [ "subsets" ] ~docv:"N"
+          ~doc:"Sampled adversarial eviction subsets per crash point.")
+  in
+  let stride =
+    Arg.(
+      value & opt int 1
+      & info [ "stride" ] ~docv:"K"
+          ~doc:"Sweep every K-th persistence event (1 = exhaustive).")
+  in
+  let no_stagger =
+    Arg.(
+      value & flag
+      & info [ "no-stagger" ]
+          ~doc:"Disable staggered checkpoint scheduling for the sweep.")
+  in
+  let fault =
+    Arg.(
+      value
+      & opt fault_conv Config.No_fault
+      & info [ "fault" ] ~docv:"FAULT"
+          ~doc:
+            "Injected protocol bug on every shard: $(b,none), \
+             $(b,skip-commit) or $(b,skip-flush).")
+  in
+  let expect =
+    Arg.(
+      value & flag
+      & info [ "expect-violations" ]
+          ~doc:"Exit 0 iff the sweep reports at least one violation.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON.")
+  in
+  let run seed ops shards target subsets stride no_stagger fault expect json =
+    let obs = Obs.create ~now:(fun () -> 0) () in
+    let progress ~done_ ~total =
+      if done_ mod 25 = 0 || done_ = total then
+        Printf.eprintf "\r  crash points: %d/%d%!" done_ total;
+      if done_ = total then prerr_newline ()
+    in
+    let subset_seeds = List.init subsets (fun i -> 11 + (12 * i)) in
+    let policy =
+      if no_stagger then Dstore_shard.Cluster.no_stagger
+      else Dstore_shard.Cluster.staggered
+    in
+    let r =
+      Cluster_explorer.sweep ~obs ~subset_seeds ~stride ~progress ~policy
+        ~target_shard:target ~shards ~seed ~n_ops:ops (cluster_cfg fault)
+    in
+    Printf.printf
+      "cluster sweep: seed=%d ops=%d shards=%d target=%d events=%d (init %d) \
+       points=%d (mid-ckpt %d) runs=%d violations=%d\n"
+      r.Cluster_explorer.seed r.Cluster_explorer.n_ops r.Cluster_explorer.shards
+      r.Cluster_explorer.target_shard r.Cluster_explorer.total_events
+      r.Cluster_explorer.init_events r.Cluster_explorer.crash_points
+      r.Cluster_explorer.mid_ckpt_points r.Cluster_explorer.runs
+      (List.length r.Cluster_explorer.violations);
+    List.iteri
+      (fun i v ->
+        if i < 10 then
+          Printf.printf "  [%s] event %d, %s: %s\n"
+            (Explorer.source_label v.Explorer.source)
+            v.Explorer.crash_event v.Explorer.mode v.Explorer.detail)
+      r.Cluster_explorer.violations;
+    (if List.length r.Cluster_explorer.violations > 10 then
+       Printf.printf "  ... and %d more\n"
+         (List.length r.Cluster_explorer.violations - 10));
+    (match json with
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            output_string oc (Json.pretty (Cluster_explorer.report_json r));
+            output_char oc '\n')
+    | None -> ());
+    let violated = r.Cluster_explorer.violations <> [] in
+    (if violated && not expect then
+       Out_channel.with_open_text "CHECK_SHARD_FAIL.json" (fun oc ->
+           output_string oc (Json.pretty (Cluster_explorer.report_json r));
+           output_char oc '\n';
+           Printf.printf "violation artifact written to CHECK_SHARD_FAIL.json\n"));
+    if r.Cluster_explorer.mid_ckpt_points = 0 && not expect then
+      print_endline
+        "warning: no crash point landed mid-checkpoint on the target shard \
+         (scenario too small?)";
+    match (violated, expect) with
+    | false, false ->
+        print_endline "PASS: no oracle or fsck violations across the cluster";
+        0
+    | true, true ->
+        print_endline "PASS: injected fault detected";
+        0
+    | true, false ->
+        print_endline "FAIL: violations on the unmutated cluster";
+        1
+    | false, true ->
+        print_endline "FAIL: injected fault went undetected";
+        1
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Whole-cluster crash-point sweep: crash one shard mid-checkpoint, \
+          power-fail the rest, recover all shards, check oracle + per-shard \
+          fsck.")
+    Term.(
+      const run $ seed $ ops $ shards $ target $ subsets $ stride $ no_stagger
+      $ fault $ expect $ json)
+
 let selftest_cmd =
   let ops =
     Arg.(
@@ -217,4 +365,4 @@ let () =
     Cmd.info "dstore_check" ~version:"1.0"
       ~doc:"Crash-consistency model checker for the DStore reproduction."
   in
-  exit (Cmd.eval' (Cmd.group info [ sweep_cmd; selftest_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ sweep_cmd; cluster_cmd; selftest_cmd ]))

@@ -1,30 +1,40 @@
-(* Interactive DStore shell on simulated devices: drive the Table 2 API,
-   force checkpoints, crash the PMEM device, and recover — all from a
-   command stream. Useful for poking at crash consistency by hand.
+(* Interactive DStore shell on simulated devices: drive the Table 2 API
+   against a (possibly sharded) cluster, force checkpoints, power-fail the
+   whole machine, and recover — all from a command stream. Useful for
+   poking at crash consistency by hand.
 
      dune exec bin/dstore_cli.exe
+     dune exec bin/dstore_cli.exe -- --shards 4
      echo "put k hello\nget k\ncrash\nrecover\nget k\nquit" | dune exec bin/dstore_cli.exe
 
+   Flags:
+     --shards N        shards in the cluster (default 1)
+     --stagger         staggered checkpoint scheduling (default)
+     --no-stagger      let every shard checkpoint whenever its log says so
+
    Commands:
-     put KEY VALUE     store an object
+     put KEY VALUE     store an object (routed to its owning shard)
      get KEY           fetch an object
      del KEY           delete an object
-     list              object names in order
-     checkpoint        force a checkpoint
-     stats             engine statistics
-     metrics           full metrics registry (counters/gauges/histograms)
-     trace [N]         last N trace events (default 20)
-     trace-clear       empty the trace ring
-     footprint         DRAM/PMEM/SSD usage
-     check             structural fsck of the current store
-     crash             power-loss with random cache-line loss
-     recover           recover from the devices
+     list              object names in global order
+     checkpoint        force a checkpoint on every shard
+     shards            per-shard status: log fill, checkpoint state, footprint
+     stats             engine statistics summed across shards
+     metrics           aggregate metrics registry (shard<i>.* namespaced)
+     trace [N]         last N cluster trace events (default 20)
+     trace-shard I [N] last N trace events of shard I's store
+     trace-clear       empty the cluster trace ring
+     footprint         DRAM/PMEM/SSD usage summed across shards
+     check             structural fsck of every shard + root verification
+     crash             whole-machine power loss with random cache-line loss
+     recover           recover every shard from the devices
      quit *)
 
 open Dstore_platform
 open Dstore_pmem
 open Dstore_ssd
 open Dstore_core
+open Dstore_shard
 open Dstore_util
 module Obs = Dstore_obs.Obs
 module Metrics = Dstore_obs.Metrics
@@ -42,13 +52,20 @@ let cfg =
 type session = {
   sim : Sim.t;
   platform : Platform.t;
-  pm : Pmem.t;
-  ssd : Ssd.t;
+  nodes : Cluster.node array;
+  policy : Cluster.policy;
   obs : Obs.t;  (* session-owned: the trace survives crash/recover *)
-  mutable store : Dstore.t option;
-  mutable ctx : Dstore.ctx option;
+  mutable cluster : Cluster.t option;
+  mutable ctx : Cluster.ctx option;
   rng : Rng.t;
 }
+
+(* A single-shard shell shares the session handle with the store itself,
+   so `trace` keeps showing the write-path steps across crash/recover
+   exactly as the unsharded shell did; multi-shard stores keep their own
+   rings (see `trace-shard`). *)
+let shard_obs s i =
+  if Array.length s.nodes = 1 && i = 0 then Some s.obs else None
 
 (* Run one store operation inside the simulator and drain it. *)
 let exec s f =
@@ -57,113 +74,230 @@ let exec s f =
 
 let ctx s = Option.get s.ctx
 
+let cluster s = Option.get s.cluster
+
 let handle s line =
   match String.split_on_char ' ' (String.trim line) with
   | [ "" ] -> ()
   | [ "put"; key; value ] ->
-      exec s (fun () -> Dstore.oput (ctx s) key (Bytes.of_string value));
-      Printf.printf "ok (t=%d ns)\n" (Sim.now s.sim)
+      exec s (fun () -> Cluster.oput (ctx s) key (Bytes.of_string value));
+      Printf.printf "ok (shard %d, t=%d ns)\n"
+        (Cluster.shard_of (cluster s) key)
+        (Sim.now s.sim)
   | "put" :: key :: rest when rest <> [] ->
       let value = String.concat " " rest in
-      exec s (fun () -> Dstore.oput (ctx s) key (Bytes.of_string value));
-      Printf.printf "ok (t=%d ns)\n" (Sim.now s.sim)
+      exec s (fun () -> Cluster.oput (ctx s) key (Bytes.of_string value));
+      Printf.printf "ok (shard %d, t=%d ns)\n"
+        (Cluster.shard_of (cluster s) key)
+        (Sim.now s.sim)
   | [ "get"; key ] ->
       exec s (fun () ->
-          match Dstore.oget (ctx s) key with
+          match Cluster.oget (ctx s) key with
           | Some v -> Printf.printf "%S\n" (Bytes.to_string v)
           | None -> print_endline "(not found)")
   | [ "del"; key ] ->
       exec s (fun () ->
           Printf.printf "%s\n"
-            (if Dstore.odelete (ctx s) key then "deleted" else "(not found)"))
+            (if Cluster.odelete (ctx s) key then "deleted" else "(not found)"))
   | [ "list" ] ->
-      exec s (fun () ->
-          Dstore.iter_names (Option.get s.store) print_endline);
-      Printf.printf "(%d objects)\n" (Dstore.object_count (Option.get s.store))
+      exec s (fun () -> Cluster.iter_names (cluster s) print_endline);
+      Printf.printf "(%d objects on %d shards)\n"
+        (Cluster.object_count (cluster s))
+        (Cluster.shard_count (cluster s))
   | [ "checkpoint" ] ->
-      exec s (fun () -> Dstore.checkpoint_now (Option.get s.store));
-      print_endline "checkpoint complete"
+      exec s (fun () -> Cluster.checkpoint_now (cluster s));
+      print_endline "checkpoint complete (all shards)"
+  | [ "shards" ] ->
+      let c = cluster s in
+      let t =
+        Tablefmt.create
+          [ "shard"; "log fill"; "ckpt"; "objects"; "dram"; "pmem"; "ssd" ]
+      in
+      for i = 0 to Cluster.shard_count c - 1 do
+        let st = Cluster.shard_store c i in
+        let f = Dstore.footprint st in
+        Tablefmt.row t
+          [
+            string_of_int i;
+            Printf.sprintf "%3.0f%%" (100.0 *. Cluster.log_fill c i);
+            (if Cluster.is_checkpoint_running c i then "running" else "idle");
+            string_of_int (Dstore.object_count st);
+            Tablefmt.bytes f.Dstore.dram;
+            Tablefmt.bytes f.Dstore.pmem;
+            Tablefmt.bytes f.Dstore.ssd;
+          ]
+      done;
+      Tablefmt.print t;
+      Printf.printf "checkpoints active now: %d (peak concurrent: %d)\n"
+        (Cluster.active_checkpoints c)
+        (Cluster.peak_concurrent_checkpoints c)
   | [ "stats" ] ->
-      (* Read through the registry: the dipper.* series are live views of
-         the engine's stats record. *)
-      let m = s.obs.Obs.metrics in
-      let v name = Option.value (Metrics.value m name) ~default:0 in
+      let c = cluster s in
+      let sum f =
+        let acc = ref 0 in
+        for i = 0 to Cluster.shard_count c - 1 do
+          acc := !acc + f (Dipper.stats (Dstore.engine (Cluster.shard_store c i)))
+        done;
+        !acc
+      in
       Printf.printf
         "records appended: %d, checkpoints: %d, replayed: %d, moved: %d,\n\
          conflict waits: %d, log-full stalls: %d\n"
-        (v "dipper.records_appended")
-        (v "dipper.checkpoints")
-        (v "dipper.records_replayed")
-        (v "dipper.records_moved")
-        (v "dipper.conflict_waits")
-        (v "dipper.log_full_stalls")
-  | [ "metrics" ] -> Obs.print_metrics s.obs
+        (sum (fun st -> st.Dipper.records_appended))
+        (sum (fun st -> st.Dipper.checkpoints))
+        (sum (fun st -> st.Dipper.records_replayed))
+        (sum (fun st -> st.Dipper.records_moved))
+        (sum (fun st -> st.Dipper.conflict_waits))
+        (sum (fun st -> st.Dipper.log_full_stalls))
+  | [ "metrics" ] -> Metrics.print (Cluster.aggregate_metrics (cluster s))
   | [ "trace" ] -> Obs.print_trace ~last:20 s.obs
   | [ "trace"; n ] when int_of_string_opt n <> None ->
       Obs.print_trace ~last:(int_of_string n) s.obs
+  | "trace-shard" :: i :: rest
+    when int_of_string_opt i <> None
+         && (rest = [] || List.for_all (fun x -> int_of_string_opt x <> None) rest)
+    ->
+      let c = cluster s in
+      let i = int_of_string i in
+      if i < 0 || i >= Cluster.shard_count c then
+        print_endline "(no such shard)"
+      else
+        let last = match rest with [ n ] -> int_of_string n | _ -> 20 in
+        Obs.print_trace ~last (Dstore.obs (Cluster.shard_store c i))
   | [ "trace-clear" ] ->
       Trace.clear s.obs.Obs.trace;
       print_endline "trace cleared"
   | [ "footprint" ] ->
-      let f = Dstore.footprint (Option.get s.store) in
+      let f = Cluster.footprint (cluster s) in
       Printf.printf "dram=%s pmem=%s ssd=%s\n"
         (Tablefmt.bytes f.Dstore.dram)
         (Tablefmt.bytes f.Dstore.pmem)
         (Tablefmt.bytes f.Dstore.ssd)
   | [ "check" ] ->
       exec s (fun () ->
-          match Dstore_check.Fsck.run (Option.get s.store) with
-          | [] -> print_endline "fsck clean"
+          let c = cluster s in
+          let bad = ref (Cluster.verify_roots c) in
+          for i = 0 to Cluster.shard_count c - 1 do
+            bad :=
+              !bad
+              @ List.map
+                  (Printf.sprintf "shard%d: %s" i)
+                  (Dstore_check.Fsck.run (Cluster.shard_store c i))
+          done;
+          match !bad with
+          | [] -> print_endline "fsck clean (all shards)"
           | bad ->
               List.iter (fun m -> Printf.printf "VIOLATION: %s\n" m) bad;
               Printf.printf "(%d violations)\n" (List.length bad))
   | [ "crash" ] ->
-      Pmem.crash s.pm (Pmem.Random (Rng.split s.rng));
+      Cluster.crash (cluster s) (fun _ -> Pmem.Random (Rng.split s.rng));
       Sim.clear_pending s.sim;
-      s.store <- None;
+      s.cluster <- None;
       s.ctx <- None;
-      print_endline "CRASH: volatile state gone, unflushed lines torn"
+      print_endline
+        "CRASH: volatile state gone on every shard, unflushed lines torn"
   | [ "recover" ] ->
       exec s (fun () ->
-          let st = Dstore.recover ~obs:s.obs s.platform s.pm s.ssd cfg in
-          s.store <- Some st;
-          s.ctx <- Some (Dstore.ds_init st);
-          let es = Dipper.stats (Dstore.engine st) in
-          Printf.printf "recovered: %d objects, replayed %d records\n"
-            (Dstore.object_count st) es.Dipper.recovery_replayed_records)
+          let c =
+            Cluster.recover ~obs:s.obs ~shard_obs:(shard_obs s)
+              ~policy:s.policy s.platform cfg s.nodes
+          in
+          s.cluster <- Some c;
+          s.ctx <- Some (Cluster.ds_init c);
+          let replayed = ref 0 in
+          for i = 0 to Cluster.shard_count c - 1 do
+            replayed :=
+              !replayed
+              + (Dipper.stats (Dstore.engine (Cluster.shard_store c i)))
+                  .Dipper.recovery_replayed_records
+          done;
+          Printf.printf "recovered: %d objects on %d shards, replayed %d records\n"
+            (Cluster.object_count c) (Cluster.shard_count c) !replayed)
   | [ "quit" ] | [ "exit" ] -> raise Exit
   | _ ->
       print_endline
-        "unknown command (put/get/del/list/checkpoint/stats/metrics/trace/\n\
-         trace-clear/footprint/check/crash/recover/quit)"
+        "unknown command (put/get/del/list/checkpoint/shards/stats/metrics/\n\
+         trace/trace-shard/trace-clear/footprint/check/crash/recover/quit)"
+
+let parse_args () =
+  let shards = ref 1 and stagger = ref true in
+  let rec go = function
+    | [] -> ()
+    | "--shards" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 ->
+            shards := v;
+            go rest
+        | _ ->
+            prerr_endline "--shards expects a positive integer";
+            exit 2)
+    | "--stagger" :: rest ->
+        stagger := true;
+        go rest
+    | "--no-stagger" :: rest ->
+        stagger := false;
+        go rest
+    | a :: _ ->
+        Printf.eprintf "unknown argument %s (try --shards N, --no-stagger)\n" a;
+        exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!shards, !stagger)
 
 let () =
+  let n_shards, stagger = parse_args () in
   let sim = Sim.create () in
   let platform = Sim_platform.make sim in
-  let pm =
-    Pmem.create platform
-      { Pmem.default_config with size = Dipper.layout_bytes cfg; crash_model = true }
+  let bw = Pmem.Bw.create () in
+  let nodes =
+    Array.init n_shards (fun _ ->
+        {
+          Cluster.pm =
+            Pmem.create platform
+              {
+                Pmem.default_config with
+                size = Dipper.layout_bytes cfg;
+                crash_model = true;
+                share = Some bw;
+              };
+          ssd = Ssd.create platform { Ssd.default_config with pages = 16384 };
+        })
   in
-  let ssd = Ssd.create platform { Ssd.default_config with pages = 16384 } in
+  let policy = if stagger then Cluster.staggered else Cluster.no_stagger in
   let obs =
     Obs.create ~trace_capacity:cfg.Config.trace_capacity
       ~now:(fun () -> platform.Platform.now ())
       ()
   in
   let s =
-    { sim; platform; pm; ssd; obs; store = None; ctx = None; rng = Rng.create 7 }
+    {
+      sim;
+      platform;
+      nodes;
+      policy;
+      obs;
+      cluster = None;
+      ctx = None;
+      rng = Rng.create 7;
+    }
   in
   exec s (fun () ->
-      let st = Dstore.create ~obs platform pm ssd cfg in
-      s.store <- Some st;
-      s.ctx <- Some (Dstore.ds_init st));
-  print_endline "dstore shell ready (simulated devices; 'quit' to exit)";
+      let c =
+        Cluster.create ~obs ~shard_obs:(shard_obs s) ~policy platform cfg
+          s.nodes
+      in
+      s.cluster <- Some c;
+      s.ctx <- Some (Cluster.ds_init c));
+  Printf.printf
+    "dstore shell ready (%d shard%s on simulated devices; 'quit' to exit)\n"
+    n_shards
+    (if n_shards = 1 then "" else "s");
   (try
      while true do
        print_string "dstore> ";
        (match In_channel.input_line stdin with
        | Some line -> (
-           match s.store with
+           match s.cluster with
            | None
              when not
                     (List.mem (String.trim line)

@@ -1,0 +1,324 @@
+(* Cluster crash-point explorer. See cluster_explorer.mli for semantics. *)
+
+open Dstore_platform
+open Dstore_pmem
+open Dstore_ssd
+open Dstore_core
+open Dstore_shard
+open Dstore_util
+module Obs = Dstore_obs.Obs
+module Metrics = Dstore_obs.Metrics
+module Trace = Dstore_obs.Trace
+module Json = Dstore_obs.Json
+
+type report = {
+  seed : int;
+  n_ops : int;
+  shards : int;
+  target_shard : int;
+  total_events : int;
+  init_events : int;
+  crash_points : int;
+  mid_ckpt_points : int;
+  runs : int;
+  violations : Explorer.violation list;
+}
+
+type fixture = {
+  sim : Sim.t;
+  platform : Platform.t;
+  nodes : Cluster.node array;
+}
+
+(* Every shard shares one PMEM bandwidth domain, as the cluster builders
+   do: crash points must land in the same interleavings production sees. *)
+let make_fixture (cfg : Config.t) ~shards =
+  let sim = Sim.create () in
+  let platform = Sim_platform.make sim in
+  let bw = Pmem.Bw.create () in
+  let nodes =
+    Array.init shards (fun _ ->
+        {
+          Cluster.pm =
+            Pmem.create platform
+              {
+                Pmem.default_config with
+                size = Dipper.layout_bytes cfg;
+                crash_model = true;
+                share = Some bw;
+              };
+          ssd =
+            Ssd.create platform
+              { Ssd.default_config with pages = cfg.Config.ssd_blocks };
+        })
+  in
+  { sim; platform; nodes }
+
+(* Mirror of Explorer.apply_op over cluster routing: the oracle tracks the
+   global keyspace; the cluster sends each op to its owning shard. *)
+let apply_op oracle ctx page_size locked (op : Gen.op) =
+  match op with
+  | Gen.Put { key; size; vseed } ->
+      let v = Gen.value ~vseed size in
+      Oracle.begin_put oracle key v;
+      Cluster.oput ctx key v;
+      Oracle.commit_pending oracle
+  | Gen.Delete key ->
+      Oracle.begin_delete oracle key;
+      ignore (Cluster.odelete ctx key);
+      Oracle.commit_pending oracle
+  | Gen.Get key -> ignore (Cluster.oget ctx key)
+  | Gen.Write { key; off_pct; len; vseed } -> (
+      match Oracle.committed_value oracle key with
+      | None -> ()
+      | Some old ->
+          let osz = Bytes.length old in
+          let off = min osz (osz * off_pct / 100) in
+          let data = Gen.value ~vseed len in
+          Oracle.begin_write oracle ~key ~off ~data ~page_size;
+          let o = Cluster.oopen ctx key ~create:false Dstore.Rdwr in
+          ignore (Cluster.owrite o data ~size:len ~off);
+          Cluster.oclose o;
+          Oracle.commit_pending oracle)
+  | Gen.Lock key ->
+      if not (Hashtbl.mem locked key) then begin
+        Cluster.olock ctx key;
+        Hashtbl.add locked key ()
+      end
+  | Gen.Unlock key ->
+      if Hashtbl.mem locked key then begin
+        Hashtbl.remove locked key;
+        Cluster.ounlock ctx key
+      end
+
+let run_workload oracle ctx page_size ops =
+  let locked = Hashtbl.create 8 in
+  List.iter (apply_op oracle ctx page_size locked) ops
+
+(* Crash-mode specs are seeds, not Rng handles: each crash run derives a
+   fresh, per-shard deterministic mode so no mutable generator state leaks
+   between shards or runs. *)
+type mode_spec = Drop | Subset of int
+
+let mode_label = function
+  | Drop -> "drop_all"
+  | Subset s -> Printf.sprintf "subset:%d" s
+
+let mode_for spec ~target j =
+  match spec with
+  | Drop -> Pmem.Drop_all
+  | Subset s ->
+      if j = target then Pmem.Random (Rng.create s)
+      else Pmem.Random (Rng.create (s + (131 * (j + 1))))
+
+let count_events (cfg : Config.t) ~shards ~policy ~target ops =
+  let fx = make_fixture cfg ~shards in
+  let tpm = fx.nodes.(target).Cluster.pm in
+  let init_events = ref 0 in
+  Sim.spawn fx.sim "count" (fun () ->
+      let c = Cluster.create ~policy fx.platform cfg fx.nodes in
+      init_events := Pmem.persist_events tpm;
+      let ctx = Cluster.ds_init c in
+      run_workload (Oracle.create ()) ctx
+        (Ssd.page_size fx.nodes.(0).Cluster.ssd)
+        ops;
+      Cluster.stop c);
+  Sim.run fx.sim;
+  (!init_events, Pmem.persist_events tpm)
+
+(* One crash run: stop the world when the target shard's device hits
+   persistence event [k], power-fail every shard, recover the whole
+   cluster, and check. Returns whether the crash landed inside the target
+   shard's checkpoint, plus any violations. *)
+let crash_run (cfg : Config.t) ~shards ~policy ~target ops ~k ~spec =
+  let fx = make_fixture cfg ~shards in
+  let oracle = Oracle.create () in
+  let tpm = fx.nodes.(target).Cluster.pm in
+  let cluster = ref None in
+  let mid_ckpt = ref false in
+  let label = mode_label spec in
+  Pmem.set_persist_hook tpm
+    (Some
+       (fun n ->
+         if n = k then begin
+           (match !cluster with
+           | Some c -> mid_ckpt := Cluster.is_checkpoint_running c target
+           | None -> ());
+           raise (Explorer.Crash_point n)
+         end));
+  let finished = ref false in
+  Sim.spawn fx.sim "workload" (fun () ->
+      let c = Cluster.create ~policy fx.platform cfg fx.nodes in
+      cluster := Some c;
+      let ctx = Cluster.ds_init c in
+      run_workload oracle ctx (Ssd.page_size fx.nodes.(0).Cluster.ssd) ops;
+      Cluster.stop c;
+      finished := true);
+  (try Sim.run fx.sim with Explorer.Crash_point _ -> ());
+  Pmem.set_persist_hook tpm None;
+  let mk source detail =
+    { Explorer.crash_event = k; mode = label; source; detail }
+  in
+  if !finished then
+    ( false,
+      [
+        mk Explorer.Recovery_failure
+          "replay diverged: workload finished before crash event";
+      ] )
+  else begin
+    Sim.clear_pending fx.sim;
+    Array.iteri
+      (fun j (nd : Cluster.node) ->
+        Pmem.crash nd.Cluster.pm (mode_for spec ~target j))
+      fx.nodes;
+    let violations = ref [] in
+    Sim.spawn fx.sim "recovery" (fun () ->
+        match Cluster.recover ~policy fx.platform cfg fx.nodes with
+        | c ->
+            let ctx = Cluster.ds_init c in
+            let read key = Cluster.oget ctx key in
+            let names = ref [] in
+            Cluster.iter_names c (fun n -> names := n :: !names);
+            let oracle_bad = Oracle.check oracle ~read ~names:!names in
+            let fsck_bad =
+              List.concat
+                (List.init shards (fun i ->
+                     List.map
+                       (Printf.sprintf "shard%d: %s" i)
+                       (Fsck.run (Cluster.shard_store c i))))
+            in
+            violations :=
+              List.map (mk Explorer.Oracle_violation) oracle_bad
+              @ List.map (mk Explorer.Fsck_violation) fsck_bad;
+            Cluster.stop c
+        | exception e ->
+            violations :=
+              [
+                mk Explorer.Recovery_failure
+                  ("recover raised " ^ Printexc.to_string e);
+              ]);
+    (try Sim.run fx.sim
+     with e ->
+       violations :=
+         mk Explorer.Recovery_failure
+           ("recovery run raised " ^ Printexc.to_string e)
+         :: !violations);
+    (!mid_ckpt, !violations)
+  end
+
+let default_subset_seeds = [ 11; 23 ]
+
+let sweep ?obs ?(subset_seeds = default_subset_seeds) ?(stride = 1)
+    ?(progress = fun ~done_:_ ~total:_ -> ()) ?(policy = Cluster.staggered)
+    ?(target_shard = 0) ~shards ~seed ~n_ops (cfg : Config.t) =
+  if stride < 1 then invalid_arg "Cluster_explorer.sweep: stride < 1";
+  if shards < 1 then invalid_arg "Cluster_explorer.sweep: shards < 1";
+  if target_shard < 0 || target_shard >= shards then
+    invalid_arg "Cluster_explorer.sweep: target_shard out of range";
+  let ops = Gen.generate ~seed ~n:n_ops in
+  let init_events, total_events =
+    count_events cfg ~shards ~policy ~target:target_shard ops
+  in
+  let points = ref [] in
+  let k = ref (init_events + 1) in
+  while !k <= total_events do
+    points := !k :: !points;
+    k := !k + stride
+  done;
+  let points = List.rev !points in
+  let c_points, c_runs, c_oracle, c_fsck, note =
+    match obs with
+    | None -> (None, None, None, None, fun _ -> ())
+    | Some o ->
+        let m = o.Obs.metrics in
+        ( Some (Metrics.counter m "check.cluster_crash_points"),
+          Some (Metrics.counter m "check.cluster_runs"),
+          Some (Metrics.counter m "check.cluster_oracle_violations"),
+          Some (Metrics.counter m "check.cluster_fsck_violations"),
+          fun s -> Trace.emit o.Obs.trace (Trace.Note s) )
+  in
+  let bump = function Some c -> Metrics.incr c | None -> () in
+  note
+    (Printf.sprintf
+       "check: cluster sweep seed=%d ops=%d shards=%d target=%d events=%d \
+        points=%d"
+       seed n_ops shards target_shard total_events (List.length points));
+  let runs = ref 0 in
+  let mid_ckpt_points = ref 0 in
+  let violations = ref [] in
+  let total = List.length points in
+  let done_ = ref 0 in
+  List.iter
+    (fun k ->
+      bump c_points;
+      let specs = Drop :: List.map (fun s -> Subset s) subset_seeds in
+      let mid_at_k = ref false in
+      List.iter
+        (fun spec ->
+          incr runs;
+          bump c_runs;
+          let mid, bad =
+            crash_run cfg ~shards ~policy ~target:target_shard ops ~k ~spec
+          in
+          if mid then mid_at_k := true;
+          List.iter
+            (fun (v : Explorer.violation) ->
+              (match v.Explorer.source with
+              | Explorer.Oracle_violation -> bump c_oracle
+              | Explorer.Fsck_violation -> bump c_fsck
+              | Explorer.Recovery_failure -> bump c_oracle);
+              note
+                (Printf.sprintf "check: CLUSTER VIOLATION event=%d mode=%s %s: %s"
+                   v.Explorer.crash_event v.Explorer.mode
+                   (Explorer.source_label v.Explorer.source) v.Explorer.detail))
+            bad;
+          violations := !violations @ bad)
+        specs;
+      if !mid_at_k then incr mid_ckpt_points;
+      incr done_;
+      progress ~done_:!done_ ~total)
+    points;
+  note
+    (Printf.sprintf
+       "check: cluster sweep done runs=%d mid_ckpt_points=%d violations=%d"
+       !runs !mid_ckpt_points
+       (List.length !violations));
+  {
+    seed;
+    n_ops;
+    shards;
+    target_shard;
+    total_events;
+    init_events;
+    crash_points = List.length points;
+    mid_ckpt_points = !mid_ckpt_points;
+    runs = !runs;
+    violations = !violations;
+  }
+
+let report_json r =
+  Json.Obj
+    [
+      ("seed", Json.Int r.seed);
+      ("ops", Json.Int r.n_ops);
+      ("shards", Json.Int r.shards);
+      ("target_shard", Json.Int r.target_shard);
+      ("total_events", Json.Int r.total_events);
+      ("init_events", Json.Int r.init_events);
+      ("crash_points", Json.Int r.crash_points);
+      ("mid_ckpt_points", Json.Int r.mid_ckpt_points);
+      ("runs", Json.Int r.runs);
+      ( "violations",
+        Json.List
+          (List.map
+             (fun (v : Explorer.violation) ->
+               Json.Obj
+                 [
+                   ("event", Json.Int v.Explorer.crash_event);
+                   ("mode", Json.String v.Explorer.mode);
+                   ( "source",
+                     Json.String (Explorer.source_label v.Explorer.source) );
+                   ("detail", Json.String v.Explorer.detail);
+                 ])
+             r.violations) );
+    ]

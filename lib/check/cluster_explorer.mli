@@ -1,0 +1,60 @@
+(** Crash-point explorer for the sharded cluster.
+
+    Same discipline as {!Explorer}, lifted to a {!Dstore_shard.Cluster}:
+    a scenario is [(seed, n_ops, shards, cfg)]. The counting run executes
+    the whole scenario crash-free and counts persistence events on the
+    {e target shard}'s PMEM device; every crash run then re-executes the
+    identical scenario, stops the world when the target shard hits event
+    [k] (whole-machine power failure — the other shards halt mid-whatever
+    they were doing), resolves every shard's dirty lines (the target with
+    the swept mode, the others with per-shard derived modes), recovers the
+    {e whole} cluster via {!Dstore_shard.Cluster.recover} (which re-runs
+    interrupted checkpoints, replays logs, and verifies every shard's
+    root), and checks the result with the durability {!Oracle} (reads go
+    through cluster routing) plus a structural {!Fsck} of every shard.
+
+    Because the target shard's checkpoint manager emits persistence
+    events too, the sweep lands crash points inside that shard's
+    checkpoints; the report counts them ([mid_ckpt_points]) so a gate can
+    assert the mid-checkpoint regime was actually exercised.
+
+    Violations reuse {!Explorer.violation}; [detail] strings from fsck are
+    prefixed with the shard index. *)
+
+type report = {
+  seed : int;
+  n_ops : int;
+  shards : int;
+  target_shard : int;  (** The shard whose events index crash points. *)
+  total_events : int;  (** Target-shard events in the counting run. *)
+  init_events : int;  (** Events consumed by cluster creation (not swept). *)
+  crash_points : int;
+  mid_ckpt_points : int;
+      (** Crash points that landed while the target shard's checkpoint was
+          executing. *)
+  runs : int;
+  violations : Explorer.violation list;
+}
+
+val sweep :
+  ?obs:Dstore_obs.Obs.t ->
+  ?subset_seeds:int list ->
+  ?stride:int ->
+  ?progress:(done_:int -> total:int -> unit) ->
+  ?policy:Dstore_shard.Cluster.policy ->
+  ?target_shard:int ->
+  shards:int ->
+  seed:int ->
+  n_ops:int ->
+  Dstore_core.Config.t ->
+  report
+(** Run the cluster sweep. [cfg] is the per-shard configuration (use a
+    small log so shards checkpoint during the scenario). [policy]
+    (default {!Dstore_shard.Cluster.staggered}) applies to the counting
+    run, every crash run, and every recovery identically, keeping the DES
+    schedule reproducible. Other parameters as {!Explorer.sweep}; with
+    [obs] the counters are [check.cluster_crash_points] /
+    [check.cluster_runs] / [check.cluster_oracle_violations] /
+    [check.cluster_fsck_violations]. *)
+
+val report_json : report -> Dstore_obs.Json.t

@@ -120,6 +120,7 @@ type t = {
   cond_done : Platform.cond;  (* checkpoint_now waits here *)
   mutable ckpt_needed : bool;
   mutable ckpt_running : bool;
+  mutable ckpt_gate : (unit -> unit) -> unit;
   mutable stopping : bool;
   cow : cow;
   cap : capture;
@@ -295,6 +296,7 @@ let make_engine ?obs platform pm (cfg : Config.t) hooks root =
       cond_done = platform.Platform.new_cond ();
       ckpt_needed = false;
       ckpt_running = false;
+      ckpt_gate = (fun run -> run ());
       stopping = false;
       cow;
       cap;
@@ -513,7 +515,7 @@ let manager_loop t () =
     in
     if not should_run then continue_ := false
     else begin
-      do_checkpoint t;
+      t.ckpt_gate (fun () -> do_checkpoint t);
       Platform.with_lock t.lock (fun () ->
           t.ckpt_running <- false;
           t.cond_done.Platform.broadcast ();
@@ -778,6 +780,16 @@ let checkpoint_now t =
         done)
 
 let is_checkpoint_running t = t.ckpt_running
+
+(* Cluster seam: the shard layer wraps checkpoint execution to bound how
+   many engines run one concurrently and to emit cluster-level trace
+   notes. The gate runs on the engine's manager thread; it must call the
+   thunk exactly once. *)
+let set_ckpt_gate t gate = t.ckpt_gate <- gate
+
+let log_fill t =
+  let log = t.logs.(t.active_log) in
+  float_of_int (Oplog.tail log) /. float_of_int (max 1 (Oplog.capacity log))
 
 let checkpoints_quiesced t =
   Platform.with_lock t.lock (fun () -> not (t.ckpt_needed || t.ckpt_running))

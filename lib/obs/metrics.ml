@@ -125,20 +125,30 @@ let reset t =
 
 (* Fold [src] into [dst]: counters add, gauges take the source value,
    histograms merge. Callback gauges are live views over their owner's
-   state and do not transfer. Missing instruments are created in [dst]. *)
-let merge_into ~dst src =
+   state and do not transfer unless [materialize] freezes them into plain
+   gauges (a cluster folding per-shard registries into one aggregate wants
+   the values, not closures over dead stores). [prefix] namespaces every
+   instrument on the [dst] side, so same-name series from different shards
+   land as distinct entries instead of clobbering each other. Missing
+   instruments are created in [dst]. *)
+let merge_into ?(prefix = "") ?(materialize = false) ~dst src =
   let items =
     with_guard src (fun () ->
         Hashtbl.fold (fun name instr acc -> (name, instr) :: acc) src.instruments [])
   in
   List.iter
     (fun (name, instr) ->
+      let name = prefix ^ name in
       match instr with
       | Counter c -> add (counter dst name) c.c
       | Gauge g ->
           let d = gauge dst name in
           if !(d.g_on) then d.g <- g.g
-      | Fn _ -> ()
+      | Fn f ->
+          if materialize then begin
+            let d = gauge dst name in
+            if !(d.g_on) then d.g <- f ()
+          end
       | Histo h ->
           let d = histogram ~sub_bits:(Histogram.sub_bits h.h) dst name in
           Histogram.merge_into ~dst:d.h h.h)

@@ -83,10 +83,14 @@ val reset : t -> unit
 (** Zero counters and gauges, reset histograms. Callback gauges are
     views and are unaffected. *)
 
-val merge_into : dst:t -> t -> unit
+val merge_into : ?prefix:string -> ?materialize:bool -> dst:t -> t -> unit
 (** Fold a shard into an aggregate: counters add, gauges copy, histograms
-    merge; instruments missing from [dst] are created. Callback gauges do
-    not transfer. *)
+    merge; instruments missing from [dst] are created. [prefix] (default
+    [""]) is prepended to every instrument name on the [dst] side, so
+    per-shard registries merge as ["shard0.op.put"], ["shard1.op.put"], …
+    without clobbering each other. Callback gauges do not transfer unless
+    [materialize] (default [false]) is set, in which case their current
+    values are frozen into plain gauges in [dst]. *)
 
 (** {1 Exporters} *)
 

@@ -5,6 +5,20 @@ let line_size = 64
 
 let line_shift = 6
 
+(* A transfer of at least this many lines (4 KB) occupies the shared
+   bandwidth domain for its duration; smaller flushes only sample it. *)
+let bulk_lines = 64
+
+module Bw = struct
+  type t = { mutable active : int; mutable peak : int }
+
+  let create () = { active = 0; peak = 0 }
+
+  let active d = d.active
+
+  let peak d = d.peak
+end
+
 type stats = {
   mutable bytes_written : int;
   mutable bytes_flushed : int;
@@ -20,6 +34,7 @@ type config = {
   read_bw : float;
   write_bw : float;
   crash_model : bool;
+  share : Bw.t option;
 }
 
 let default_config =
@@ -30,6 +45,7 @@ let default_config =
     read_bw = 30.0;
     write_bw = 10.0;
     crash_model = true;
+    share = None;
   }
 
 type t = {
@@ -82,6 +98,27 @@ let persist_event t =
   match t.persist_hook with Some f -> f n | None -> ()
 
 let stats t = t.st
+
+(* Charge [cost] against the shared bandwidth domain, if any. Every
+   concurrent transfer in the domain divides the DIMM bandwidth evenly, so
+   a transfer overlapping [n] others takes (n+1)x as long. Bulk transfers
+   (checkpoint clones, persist sweeps) register as active for their whole
+   duration; single-line-ish flushes only sample the current load — they
+   are too short to meaningfully slow a bulk peer down, but they do get
+   slowed down by one. Guarded with [Fun.protect] because the DES can
+   abort the wait (crash harness stopping the world). *)
+let consume_shared t ~bulk cost =
+  match t.cfg.share with
+  | None -> t.platform.consume cost
+  | Some d ->
+      if bulk then begin
+        d.Bw.active <- d.Bw.active + 1;
+        if d.Bw.active > d.Bw.peak then d.Bw.peak <- d.Bw.active;
+        Fun.protect
+          ~finally:(fun () -> d.Bw.active <- d.Bw.active - 1)
+          (fun () -> t.platform.consume (cost * d.Bw.active))
+      end
+      else t.platform.consume (cost * (1 + d.Bw.active))
 
 let dirty_lines_unlocked t =
   Mutex.lock t.guard;
@@ -205,7 +242,7 @@ let flush t off len =
       t.cfg.flush_ns
       + int_of_float (float_of_int ((nlines - 1) * line_size) /. t.cfg.write_bw)
     in
-    t.platform.consume cost
+    consume_shared t ~bulk:(nlines >= bulk_lines) cost
   end
 
 let fence t =
@@ -219,7 +256,9 @@ let persist t off len =
 
 let bulk_read_cost t len =
   t.st.bytes_read_bulk <- t.st.bytes_read_bulk + len;
-  t.platform.consume (int_of_float (float_of_int len /. t.cfg.read_bw))
+  consume_shared t
+    ~bulk:(len >= bulk_lines * line_size)
+    (int_of_float (float_of_int len /. t.cfg.read_bw))
 
 type crash_mode = Drop_all | Keep_all | Random of Rng.t
 

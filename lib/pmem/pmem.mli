@@ -26,6 +26,25 @@ open Dstore_platform
 
 type t
 
+(** Shared DIMM bandwidth domain. Several devices created with the same
+    [Bw.t] in [config.share] model shards backed by distinct namespaces on
+    the same physical DIMMs: each concurrent bulk transfer (checkpoint
+    clone reads, shadow-space persist sweeps — anything ≥ 4 KB) divides the
+    bandwidth evenly, so overlapping checkpoints slow each other {e and}
+    every frontend log flush down by the domain's load factor. This is what
+    makes unstaggered cluster checkpoints visible as a tail spike. *)
+module Bw : sig
+  type t
+
+  val create : unit -> t
+
+  val active : t -> int
+  (** Bulk transfers currently in flight in the domain. *)
+
+  val peak : t -> int
+  (** High-water mark of {!active} since {!create}. *)
+end
+
 type config = {
   size : int;  (** Device capacity in bytes. *)
   flush_ns : int;  (** Latency of a single-line writeback. *)
@@ -35,6 +54,9 @@ type config = {
   crash_model : bool;
       (** Track dirty-line undo images so {!crash} works. Disable for pure
           performance runs to skip the bookkeeping. *)
+  share : Bw.t option;
+      (** Shared bandwidth domain, or [None] (default) for a dedicated
+          device whose transfers never contend. *)
 }
 
 val default_config : config

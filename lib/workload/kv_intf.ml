@@ -21,8 +21,9 @@ type system = {
   checkpoint_now : (unit -> unit) option;
   stop : unit -> unit;  (** Quiesce background machinery. *)
   footprint : unit -> int * int * int;  (** (dram, pmem, ssd) bytes. *)
-  pm : Pmem.t;  (** For bandwidth sampling. *)
-  ssd : Ssd.t option;
+  pms : Pmem.t list;  (** All PMEM devices, for bandwidth sampling (one per
+                          shard for clustered systems). *)
+  ssds : Ssd.t list;
   obs : Dstore_obs.Obs.t option;
       (** The store's observability handle, when the system has one
           (DStore variants); baselines report [None]. *)

@@ -24,15 +24,19 @@ type result = {
   sys_obs : Obs.t option;
 }
 
-let pmem_traffic pm =
-  let st = Pmem.stats pm in
-  st.Pmem.bytes_flushed + st.Pmem.bytes_read_bulk
+let pmem_traffic pms =
+  List.fold_left
+    (fun acc pm ->
+      let st = Pmem.stats pm in
+      acc + st.Pmem.bytes_flushed + st.Pmem.bytes_read_bulk)
+    0 pms
 
-let ssd_traffic = function
-  | None -> 0
-  | Some ssd ->
+let ssd_traffic ssds =
+  List.fold_left
+    (fun acc ssd ->
       let st = Ssd.stats ssd in
-      st.Ssd.bytes_read + st.Ssd.bytes_written
+      acc + st.Ssd.bytes_read + st.Ssd.bytes_written)
+    0 ssds
 
 let run ?(seed = 42) ?timeline_bin_ns ?(load = true) ?(loaders = 8)
     ?(think_ns = 100_000) ~build ~(workload : Ycsb.t) ~clients ~duration_ns ()
@@ -107,12 +111,12 @@ let run ?(seed = 42) ?timeline_bin_ns ?(load = true) ?(loaders = 8)
   | Some bin ->
       Sim.spawn sim "sampler" (fun () ->
           let last_ops = ref 0 in
-          let last_ssd = ref (ssd_traffic sys.Kv_intf.ssd) in
-          let last_pm = ref (pmem_traffic sys.Kv_intf.pm) in
+          let last_ssd = ref (ssd_traffic sys.Kv_intf.ssds) in
+          let last_pm = ref (pmem_traffic sys.Kv_intf.pms) in
           while Sim.now sim < t_end do
             Sim.wait sim (min bin (t_end - Sim.now sim));
-            let o = !ops_done and s = ssd_traffic sys.Kv_intf.ssd in
-            let m = pmem_traffic sys.Kv_intf.pm in
+            let o = !ops_done and s = ssd_traffic sys.Kv_intf.ssds in
+            let m = pmem_traffic sys.Kv_intf.pms in
             timeline :=
               {
                 t_ns = Sim.now sim - t0;

@@ -90,8 +90,8 @@ let dstore ?(tweak = Fun.id) ?label platform scale : Kv_intf.system =
       (fun () ->
         let f = Dstore.footprint st in
         (f.Dstore.dram, f.Dstore.pmem, f.Dstore.ssd));
-    pm;
-    ssd = Some ssd;
+    pms = [ pm ];
+    ssds = [ ssd ];
     obs = Some (Dstore.obs st);
   }
 
@@ -138,8 +138,8 @@ let cached ?label ?(tweak = Fun.id) platform scale : Kv_intf.system =
     checkpoint_now = Some (fun () -> Cached_store.checkpoint_now st);
     stop = (fun () -> Cached_store.stop st);
     footprint = (fun () -> Cached_store.footprint st);
-    pm;
-    ssd = Some ssd;
+    pms = [ pm ];
+    ssds = [ ssd ];
     obs = None;
   }
 
@@ -168,8 +168,8 @@ let lsm ?label platform scale : Kv_intf.system =
     checkpoint_now = None;
     stop = (fun () -> Lsm_store.stop st);
     footprint = (fun () -> Lsm_store.footprint st);
-    pm;
-    ssd = Some ssd;
+    pms = [ pm ];
+    ssds = [ ssd ];
     obs = None;
   }
 
@@ -200,9 +200,70 @@ let lsm_no_stall ?label platform scale : Kv_intf.system =
     checkpoint_now = None;
     stop = (fun () -> Lsm_store.stop st);
     footprint = (fun () -> Lsm_store.footprint st);
-    pm;
-    ssd = Some ssd;
+    pms = [ pm ];
+    ssds = [ ssd ];
     obs = None;
+  }
+
+(* A hash-partitioned cluster of DStore shards. Device sizing divides the
+   scale across shards (each shard owns 1/N of the objects and SSD pages,
+   with its own channels — adding a shard adds hardware, the scale-out
+   premise), while every shard's PMEM shares one bandwidth domain: the
+   shards model distinct namespaces on the same DIMMs, which is what makes
+   coinciding checkpoints globally visible. *)
+let sharded ?(shards = 4) ?(stagger = true) ?label platform scale :
+    Kv_intf.system =
+  let open Dstore_shard in
+  let per =
+    {
+      scale with
+      objects = max 1 (scale.objects / shards);
+      ssd_pages = max 1024 (scale.ssd_pages / shards);
+    }
+  in
+  let cfg = dstore_config per in
+  let bw = Pmem.Bw.create () in
+  let nodes =
+    Array.init shards (fun _ ->
+        let pm =
+          Pmem.create platform
+            {
+              Pmem.default_config with
+              size = Dipper.layout_bytes cfg;
+              crash_model = scale.crash_model;
+              share = Some bw;
+            }
+        in
+        { Cluster.pm; ssd = make_ssd platform per })
+  in
+  let policy = if stagger then Cluster.staggered else Cluster.no_stagger in
+  let c = Cluster.create ~policy platform cfg nodes in
+  let name =
+    match label with
+    | Some l -> l
+    | None ->
+        Printf.sprintf "DStore x%d%s" shards
+          (if stagger then " (staggered)" else " (unstaggered)")
+  in
+  {
+    Kv_intf.name;
+    client =
+      (fun () ->
+        let ctx = Cluster.ds_init c in
+        {
+          Kv_intf.put = (fun k v -> Cluster.oput ctx k v);
+          get = (fun k buf -> Cluster.oget_into ctx k buf);
+          delete = (fun k -> ignore (Cluster.odelete ctx k));
+        });
+    checkpoint_now = Some (fun () -> Cluster.checkpoint_now c);
+    stop = (fun () -> Cluster.stop c);
+    footprint =
+      (fun () ->
+        let f = Cluster.footprint c in
+        (f.Dstore.dram, f.Dstore.pmem, f.Dstore.ssd));
+    pms = Array.to_list (Array.map (fun (nd : Cluster.node) -> nd.Cluster.pm) nodes);
+    ssds = Array.to_list (Array.map (fun (nd : Cluster.node) -> nd.Cluster.ssd) nodes);
+    obs = Some (Cluster.obs c);
   }
 
 let inline ?label platform scale : Kv_intf.system =
@@ -229,7 +290,7 @@ let inline ?label platform scale : Kv_intf.system =
     checkpoint_now = None;
     stop = (fun () -> Inline_store.stop st);
     footprint = (fun () -> Inline_store.footprint st);
-    pm;
-    ssd = None;
+    pms = [ pm ];
+    ssds = [];
     obs = None;
   }

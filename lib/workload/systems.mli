@@ -64,3 +64,14 @@ val lsm_no_stall : ?label:string -> Platform.t -> scale -> Kv_intf.system
 
 val inline : ?label:string -> Platform.t -> scale -> Kv_intf.system
 (** The MongoDB-PMSE-like uncached inline-persistence baseline. *)
+
+val sharded :
+  ?shards:int -> ?stagger:bool -> ?label:string -> Platform.t -> scale ->
+  Kv_intf.system
+(** A {!Dstore_shard.Cluster} of [shards] (default 4) independent DStore
+    instances behind the uniform interface. The scale is divided across
+    shards (objects, SSD pages — each shard keeps its own channels), and
+    every shard's PMEM shares one {!Pmem.Bw} bandwidth domain so
+    concurrent checkpoints contend as they would on real DIMMs. [stagger]
+    (default [true]) selects {!Dstore_shard.Cluster.staggered} checkpoint
+    scheduling; [false] lets all shards checkpoint at once. *)

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Sharded-cluster crash smoke: power-fail a multi-shard cluster at every
+# persistence event of one shard — many of the crash points land inside
+# that shard's checkpoint — then recover the whole cluster, replay the
+# durability oracle over cluster reads, and fsck every shard. Zero
+# violations expected. Extra arguments are forwarded to
+# `dstore_checker cluster`, e.g.
+#
+#   smoke/shard.sh --shards 4 --subsets 2   # wider pass
+#
+# Equivalent dune alias: `dune build @torture`.
+set -eu
+cd "$(dirname "$0")/.."
+exec dune exec bin/dstore_checker.exe -- cluster --ops 80 --shards 2 --subsets 1 "$@"

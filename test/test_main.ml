@@ -16,4 +16,5 @@ let () =
       ("dstore", Test_dstore.suite);
       ("baselines", Test_baselines.suite);
       ("workload", Test_workload.suite);
+      ("shard", Test_shard.suite);
     ]
