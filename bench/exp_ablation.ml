@@ -144,8 +144,106 @@ let sweep_threshold opts =
   note "a late trigger risks log-full stalls (writers waiting for the";
   note "archive); an early one checkpoints more — DIPPER tolerates both."
 
+(* Shadow-clone strategy: wholesale Full copies vs dirty-page-tracked
+   Delta clones, on the Figure 1 write-only workload with a small log —
+   the paper's high-checkpoint-frequency regime, where a checkpoint that
+   outlives the log's headroom stalls writers (the coupling that puts
+   clone time in the client tail). Delta should cut the bytes each
+   checkpoint copies by well over half and pull the tail down with it. *)
+let sweep_clone_mode opts =
+  Printf.printf "\n  -- checkpoint clone mode: Full vs Delta --\n";
+  let wl = Ycsb.write_only ~records:opts.objects () in
+  let t =
+    Tablefmt.create
+      [
+        "clone"; "ckpts"; "full/delta"; "cloned (MB)"; "skipped (MB)";
+        "clone ns/ckpt"; "stalls"; "p50 (us)"; "p9999 (us)";
+      ]
+  in
+  List.iter
+    (fun (label, mode) ->
+      let stats = ref None in
+      let r =
+        Runner.run ~seed:opts.seed
+          ~build:(fun p ->
+            let st, pm, ssd, _ =
+              Systems.dstore_store
+                ~tweak:(fun c ->
+                  { c with Config.ckpt_clone = mode; log_slots = 128 })
+                p (scale_of opts)
+            in
+            {
+              Kv_intf.name = "DStore";
+              client =
+                (fun () ->
+                  let ctx = Dstore.ds_init st in
+                  {
+                    Kv_intf.put = (fun k v -> Dstore.oput ctx k v);
+                    get = (fun k buf -> Dstore.oget_into ctx k buf);
+                    delete = (fun k -> ignore (Dstore.odelete ctx k));
+                  });
+              checkpoint_now = Some (fun () -> Dstore.checkpoint_now st);
+              stop =
+                (fun () ->
+                  let s = Dipper.stats (Dstore.engine st) in
+                  stats :=
+                    Some
+                      ( s.Dipper.checkpoints,
+                        s.Dipper.ckpt_full_clones,
+                        s.Dipper.ckpt_delta_clones,
+                        s.Dipper.ckpt_bytes_cloned,
+                        s.Dipper.ckpt_bytes_skipped,
+                        s.Dipper.ckpt_clone_ns,
+                        s.Dipper.log_full_stalls );
+                  Dstore.stop st);
+              footprint = (fun () -> (0, 0, 0));
+              pms = [ pm ];
+              ssds = [ ssd ];
+              obs = Some (Dstore.obs st);
+            })
+          ~workload:wl ~clients:opts.clients ~duration_ns:opts.window_ns ()
+      in
+      let ckpts, fulls, deltas, cloned, skipped, clone_ns, stalls =
+        Option.value !stats ~default:(0, 0, 0, 0, 0, 0, 0)
+      in
+      let mb v = Tablefmt.f1 (float_of_int v /. 1e6) in
+      Tablefmt.row t
+        [
+          label;
+          string_of_int ckpts;
+          Printf.sprintf "%d/%d" fulls deltas;
+          mb cloned;
+          mb skipped;
+          Tablefmt.ns_i (clone_ns / max 1 ckpts);
+          string_of_int stalls;
+          Tablefmt.f1 (us r.Runner.updates 50.0);
+          Tablefmt.f1 (us r.Runner.updates 99.99);
+        ];
+      record_json
+        (Dstore_obs.Json.Obj
+           [
+             ("experiment", Dstore_obs.Json.String "clone_mode");
+             ("clone", Dstore_obs.Json.String label);
+             ("checkpoints", Dstore_obs.Json.Int ckpts);
+             ("full_clones", Dstore_obs.Json.Int fulls);
+             ("delta_clones", Dstore_obs.Json.Int deltas);
+             ("ckpt_bytes_cloned", Dstore_obs.Json.Int cloned);
+             ("ckpt_bytes_skipped", Dstore_obs.Json.Int skipped);
+             ("ckpt_clone_ns", Dstore_obs.Json.Int clone_ns);
+             ("log_full_stalls", Dstore_obs.Json.Int stalls);
+             ( "p50_us",
+               Dstore_obs.Json.Float (us r.Runner.updates 50.0) );
+             ( "p9999_us",
+               Dstore_obs.Json.Float (us r.Runner.updates 99.99) );
+           ]))
+    [ ("full", Config.Full); ("delta", Config.Delta) ];
+  Tablefmt.print t;
+  note "a Delta clone copies only the pages the previous replay dirtied";
+  note "plus the grown prefix; the first checkpoint is always Full."
+
 let run opts =
   hdr "Ablations: DIPPER design knobs (beyond the paper's Figure 9)";
   sweep_workers opts;
   sweep_log_size opts;
-  sweep_threshold opts
+  sweep_threshold opts;
+  sweep_clone_mode opts

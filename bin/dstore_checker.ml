@@ -20,11 +20,15 @@ module Obs = Dstore_obs.Obs
 module Json = Dstore_obs.Json
 
 (* Small store so checkpoints and log swaps trigger within a short
-   scenario; mirrors the crash-test fixture in test/test_dstore.ml. *)
-let check_cfg fault =
+   scenario; mirrors the crash-test fixture in test/test_dstore.ml.
+   [log_slots] is adjustable per case: the skip-dirty selftest needs a log
+   small enough that several checkpoints fire, because a delta clone only
+   consumes a dirty set recorded by the *previous* checkpoint's replay. *)
+let check_cfg ?(log_slots = 512) ~clone fault =
   {
     Config.default with
-    log_slots = 512;
+    log_slots;
+    ckpt_clone = clone;
     space_bytes = 4 * 1024 * 1024;
     meta_entries = 1024;
     ssd_blocks = 4096;
@@ -37,6 +41,7 @@ let fault_conv =
     | "none" -> Ok Config.No_fault
     | "skip-commit" -> Ok Config.Skip_commit_persist
     | "skip-flush" -> Ok Config.Skip_payload_flush
+    | "skip-dirty" -> Ok Config.Skip_dirty_track
     | s -> Error (`Msg (Printf.sprintf "unknown fault %S" s))
   in
   let print fmt f =
@@ -44,11 +49,33 @@ let fault_conv =
       (match f with
       | Config.No_fault -> "none"
       | Config.Skip_commit_persist -> "skip-commit"
-      | Config.Skip_payload_flush -> "skip-flush")
+      | Config.Skip_payload_flush -> "skip-flush"
+      | Config.Skip_dirty_track -> "skip-dirty")
   in
   Arg.conv (parse, print)
 
-let run_sweep ~seed ~n_ops ~subsets ~stride ~fault ~quiet =
+let clone_conv =
+  let parse = function
+    | "full" -> Ok Config.Full
+    | "delta" -> Ok Config.Delta
+    | s -> Error (`Msg (Printf.sprintf "unknown clone mode %S" s))
+  in
+  let print fmt c =
+    Format.pp_print_string fmt
+      (match c with Config.Full -> "full" | Config.Delta -> "delta")
+  in
+  Arg.conv (parse, print)
+
+let clone_arg =
+  Arg.(
+    value
+    & opt clone_conv Config.Delta
+    & info [ "clone" ] ~docv:"MODE"
+        ~doc:
+          "Checkpoint clone strategy swept: $(b,delta) (incremental, the \
+           default) or $(b,full) (wholesale ablation baseline).")
+
+let run_sweep ?log_slots ~seed ~n_ops ~subsets ~stride ~clone ~fault ~quiet () =
   let obs = Obs.create ~now:(fun () -> 0) () in
   let progress ~done_ ~total =
     if (not quiet) && (done_ mod 25 = 0 || done_ = total) then
@@ -58,7 +85,7 @@ let run_sweep ~seed ~n_ops ~subsets ~stride ~fault ~quiet =
   let subset_seeds = List.init subsets (fun i -> 11 + (12 * i)) in
   let r =
     Explorer.sweep ~obs ~subset_seeds ~stride ~progress ~seed ~n_ops
-      (check_cfg fault)
+      (check_cfg ?log_slots ~clone fault)
   in
   Printf.printf
     "sweep: seed=%d ops=%d events=%d (init %d) points=%d runs=%d violations=%d\n"
@@ -125,8 +152,16 @@ let sweep_cmd =
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON.")
   in
-  let run seed ops subsets stride fault expect json =
-    let r = run_sweep ~seed ~n_ops:ops ~subsets ~stride ~fault ~quiet:false in
+  let log_slots =
+    Arg.(
+      value & opt int 512
+      & info [ "log-slots" ] ~docv:"N" ~doc:"Log capacity of the scenario store.")
+  in
+  let run seed ops subsets stride clone log_slots fault expect json =
+    let r =
+      run_sweep ~log_slots ~seed ~n_ops:ops ~subsets ~stride ~clone ~fault
+        ~quiet:false ()
+    in
     (match json with
     | Some path ->
         Out_channel.with_open_text path (fun oc ->
@@ -153,16 +188,18 @@ let sweep_cmd =
     (Cmd.info "sweep"
        ~doc:"Exhaustive crash-point sweep of one generated scenario.")
     Term.(
-      const run $ seed $ ops $ subsets $ stride $ fault $ expect $ json)
+      const run $ seed $ ops $ subsets $ stride $ clone_arg $ log_slots $ fault
+      $ expect $ json)
 
 (* Per-shard configuration for the cluster sweep: an even smaller log than
    [check_cfg] so each shard (seeing only ~1/N of the ops) still
    checkpoints inside a short scenario — the sweep must land crash points
    mid-checkpoint on the target shard. *)
-let cluster_cfg fault =
+let cluster_cfg ~clone fault =
   {
     Config.default with
     log_slots = 64;
+    ckpt_clone = clone;
     space_bytes = 4 * 1024 * 1024;
     meta_entries = 1024;
     ssd_blocks = 2048;
@@ -229,7 +266,8 @@ let cluster_cmd =
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON.")
   in
-  let run seed ops shards target subsets stride no_stagger fault expect json =
+  let run seed ops shards target subsets stride no_stagger clone fault expect
+      json =
     let obs = Obs.create ~now:(fun () -> 0) () in
     let progress ~done_ ~total =
       if done_ mod 25 = 0 || done_ = total then
@@ -243,7 +281,7 @@ let cluster_cmd =
     in
     let r =
       Cluster_explorer.sweep ~obs ~subset_seeds ~stride ~progress ~policy
-        ~target_shard:target ~shards ~seed ~n_ops:ops (cluster_cfg fault)
+        ~target_shard:target ~shards ~seed ~n_ops:ops (cluster_cfg ~clone fault)
     in
     Printf.printf
       "cluster sweep: seed=%d ops=%d shards=%d target=%d events=%d (init %d) \
@@ -301,7 +339,7 @@ let cluster_cmd =
           fsck.")
     Term.(
       const run $ seed $ ops $ shards $ target $ subsets $ stride $ no_stagger
-      $ fault $ expect $ json)
+      $ clone_arg $ fault $ expect $ json)
 
 let selftest_cmd =
   let ops =
@@ -318,9 +356,12 @@ let selftest_cmd =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Scenario seed.")
   in
   let run seed ops subsets =
-    let case name fault expect_violations =
+    let case name ?log_slots ~clone fault expect_violations =
       Printf.printf "--- %s\n%!" name;
-      let r = run_sweep ~seed ~n_ops:ops ~subsets ~stride:1 ~fault ~quiet:false in
+      let r =
+        run_sweep ?log_slots ~seed ~n_ops:ops ~subsets ~stride:1 ~clone ~fault
+          ~quiet:false ()
+      in
       let violated = r.Explorer.violations <> [] in
       if violated <> expect_violations then begin
         write_artifact (Printf.sprintf "CHECK_FAIL_%s.json" name) r;
@@ -336,11 +377,23 @@ let selftest_cmd =
     in
     let results =
       List.map
-        (fun (name, fault, expect) -> case name fault expect)
+        (fun run -> run ())
         [
-          ("clean", Config.No_fault, false);
-          ("skip-commit", Config.Skip_commit_persist, true);
-          ("skip-flush", Config.Skip_payload_flush, true);
+          (fun () -> case "clean" ~clone:Config.Delta Config.No_fault false);
+          (fun () ->
+            case "clean-fullclone" ~clone:Config.Full Config.No_fault false);
+          (fun () ->
+            case "skip-commit" ~clone:Config.Delta Config.Skip_commit_persist
+              true);
+          (fun () ->
+            case "skip-flush" ~clone:Config.Delta Config.Skip_payload_flush
+              true);
+          (* A 96-slot log checkpoints every ~30 ops, so the scenario runs
+             several delta clones — the second one is the first that can
+             miss the untracked dirt. *)
+          (fun () ->
+            case "skip-dirty" ~log_slots:96 ~clone:Config.Delta
+              Config.Skip_dirty_track true);
         ]
     in
     let ok = List.for_all Fun.id results in

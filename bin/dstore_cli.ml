@@ -18,6 +18,8 @@
      del KEY           delete an object
      list              object names in global order
      checkpoint        force a checkpoint on every shard
+     ckpt              force a checkpoint and print per-shard clone mode,
+                       bytes copied vs skipped, and per-phase timings
      shards            per-shard status: log fill, checkpoint state, footprint
      stats             engine statistics summed across shards
      metrics           aggregate metrics registry (shard<i>.* namespaced)
@@ -107,6 +109,48 @@ let handle s line =
   | [ "checkpoint" ] ->
       exec s (fun () -> Cluster.checkpoint_now (cluster s));
       print_endline "checkpoint complete (all shards)"
+  | [ "ckpt" ] ->
+      (* Force one checkpoint and report what the clone phase actually did,
+         per shard, by diffing engine stats around it. *)
+      let c = cluster s in
+      let n = Cluster.shard_count c in
+      (* [Dipper.stats] exposes the live mutable record, so copy the fields
+         of interest out before diffing. *)
+      let snap () =
+        Array.init n (fun i ->
+            let st = Dipper.stats (Dstore.engine (Cluster.shard_store c i)) in
+            [|
+              st.Dipper.ckpt_delta_clones; st.Dipper.ckpt_full_clones;
+              st.Dipper.ckpt_bytes_cloned; st.Dipper.ckpt_bytes_skipped;
+              st.Dipper.ckpt_archive_ns; st.Dipper.ckpt_clone_ns;
+              st.Dipper.ckpt_replay_ns; st.Dipper.ckpt_persist_ns;
+              st.Dipper.ckpt_publish_ns;
+            |])
+      in
+      let before = snap () in
+      exec s (fun () -> Cluster.checkpoint_now c);
+      let after = snap () in
+      let t =
+        Tablefmt.create
+          [ "shard"; "clone"; "copied"; "skipped"; "archive"; "clone ns";
+            "replay"; "persist"; "publish" ]
+      in
+      for i = 0 to n - 1 do
+        let d j = after.(i).(j) - before.(i).(j) in
+        let mode =
+          if d 0 > 0 then "delta" else if d 1 > 0 then "full" else "-"
+        in
+        let ns j = Printf.sprintf "%d ns" (d j) in
+        Tablefmt.row t
+          [
+            string_of_int i;
+            mode;
+            Tablefmt.bytes (d 2);
+            Tablefmt.bytes (d 3);
+            ns 4; ns 5; ns 6; ns 7; ns 8;
+          ]
+      done;
+      Tablefmt.print t
   | [ "shards" ] ->
       let c = cluster s in
       let t =
@@ -216,8 +260,9 @@ let handle s line =
   | [ "quit" ] | [ "exit" ] -> raise Exit
   | _ ->
       print_endline
-        "unknown command (put/get/del/list/checkpoint/shards/stats/metrics/\n\
-         trace/trace-shard/trace-clear/footprint/check/crash/recover/quit)"
+        "unknown command (put/get/del/list/checkpoint/ckpt/shards/stats/\n\
+         metrics/trace/trace-shard/trace-clear/footprint/check/crash/recover/\n\
+         quit)"
 
 let parse_args () =
   let shards = ref 1 and stagger = ref true in

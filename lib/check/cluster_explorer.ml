@@ -123,8 +123,16 @@ let count_events (cfg : Config.t) ~shards ~policy ~target ops =
         (Ssd.page_size fx.nodes.(0).Cluster.ssd)
         ops;
       Cluster.stop c);
-  Sim.run fx.sim;
-  (!init_events, Pmem.persist_events tpm)
+  (* As in Explorer.count_events: a fault that corrupts the live engine can
+     make this no-crash run raise — surface it as a detection, and sweep
+     the events counted before the failure. *)
+  let failure =
+    try
+      Sim.run fx.sim;
+      None
+    with e -> Some (Printexc.to_string e)
+  in
+  (!init_events, Pmem.persist_events tpm, failure)
 
 (* One crash run: stop the world when the target shard's device hits
    persistence event [k], power-fail every shard, recover the whole
@@ -216,7 +224,7 @@ let sweep ?obs ?(subset_seeds = default_subset_seeds) ?(stride = 1)
   if target_shard < 0 || target_shard >= shards then
     invalid_arg "Cluster_explorer.sweep: target_shard out of range";
   let ops = Gen.generate ~seed ~n:n_ops in
-  let init_events, total_events =
+  let init_events, total_events, baseline_failure =
     count_events cfg ~shards ~policy ~target:target_shard ops
   in
   let points = ref [] in
@@ -245,7 +253,20 @@ let sweep ?obs ?(subset_seeds = default_subset_seeds) ?(stride = 1)
        seed n_ops shards target_shard total_events (List.length points));
   let runs = ref 0 in
   let mid_ckpt_points = ref 0 in
-  let violations = ref [] in
+  let violations =
+    ref
+      (match baseline_failure with
+      | None -> []
+      | Some msg ->
+          [
+            {
+              Explorer.crash_event = total_events;
+              mode = "none";
+              source = Explorer.Recovery_failure;
+              detail = "baseline (no-crash) run raised " ^ msg;
+            };
+          ])
+  in
   let total = List.length points in
   let done_ = ref 0 in
   List.iter

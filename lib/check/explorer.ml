@@ -107,7 +107,12 @@ let run_workload oracle ctx ssd ops =
 (* Counting run: execute the whole scenario with no crash, recording the
    event index at which formatting ends (crashes during [Dstore.create]
    are out of scope — formatting a device is not crash-atomic) and the
-   total number of persistence events. *)
+   total number of persistence events. A fault can corrupt the engine
+   badly enough that this no-crash run itself raises (e.g. untracked delta
+   dirt feeding a broken half back into the next replay); that is itself a
+   detection, so report it instead of letting it kill the sweep — every
+   event counted before the failure is still a valid crash point, because
+   a crash run stops the world strictly before reaching it. *)
 let count_events (cfg : Config.t) ops =
   let fx = make_fixture cfg in
   let init_events = ref 0 in
@@ -117,8 +122,13 @@ let count_events (cfg : Config.t) ops =
       let ctx = Dstore.ds_init st in
       run_workload (Oracle.create ()) ctx fx.ssd ops;
       Dstore.stop st);
-  Sim.run fx.sim;
-  (!init_events, Pmem.persist_events fx.pm)
+  let failure =
+    try
+      Sim.run fx.sim;
+      None
+    with e -> Some (Printexc.to_string e)
+  in
+  (!init_events, Pmem.persist_events fx.pm, failure)
 
 (* One crash run: replay the scenario, stop the world at persistence
    event [k], resolve dirty lines per [mode], recover, and check. *)
@@ -182,7 +192,7 @@ let sweep ?obs ?(subset_seeds = default_subset_seeds) ?(stride = 1)
     ?(progress = fun ~done_:_ ~total:_ -> ()) ~seed ~n_ops (cfg : Config.t) =
   if stride < 1 then invalid_arg "Explorer.sweep: stride < 1";
   let ops = Gen.generate ~seed ~n:n_ops in
-  let init_events, total_events = count_events cfg ops in
+  let init_events, total_events, baseline_failure = count_events cfg ops in
   let points = ref [] in
   let k = ref (init_events + 1) in
   while !k <= total_events do
@@ -206,7 +216,20 @@ let sweep ?obs ?(subset_seeds = default_subset_seeds) ?(stride = 1)
     (Printf.sprintf "check: sweep seed=%d ops=%d events=%d points=%d" seed n_ops
        total_events (List.length points));
   let runs = ref 0 in
-  let violations = ref [] in
+  let violations =
+    ref
+      (match baseline_failure with
+      | None -> []
+      | Some msg ->
+          [
+            {
+              crash_event = total_events;
+              mode = "none";
+              source = Recovery_failure;
+              detail = "baseline (no-crash) run raised " ^ msg;
+            };
+          ])
+  in
   let total = List.length points in
   let done_ = ref 0 in
   List.iter

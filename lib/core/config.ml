@@ -21,6 +21,17 @@ type logging_mode =
       (** ARIES-style physical redo images, as used by DudeTM/NV-HTM —
           the Figure 9 naïve baseline. *)
 
+(** How a DIPPER checkpoint materializes the target PMEM half before
+    replaying the archived log onto it. Only meaningful under [Dipper]
+    checkpoints. *)
+type clone_mode =
+  | Full  (** Wholesale copy of the source's used prefix — O(store size). *)
+  | Delta
+      (** Incremental: copy only the 4 KB pages the previous checkpoint's
+          replay dirtied in the source half, plus the grown part of the
+          used prefix. The dirty sets are volatile, so the first checkpoint
+          of a process (fresh or recovered) falls back to a full copy. *)
+
 (** Modeled CPU costs, charged via [Platform.consume] at protocol level
     (device costs are charged by the devices themselves). Calibrated from
     the paper's Table 3. *)
@@ -56,9 +67,18 @@ type fault =
       (** Persist only a multi-slot record's LSN line, not its payload
           continuation lines: breaks the reverse-order flush rule, so a
           committed record can be torn. *)
+  | Skip_dirty_track
+      (** Disable replay dirty-page tracking under [Delta] clones: the next
+          incremental clone copies only the grown prefix and misses the
+          previous replay's structure updates, so a stale half is fed back
+          into the pipeline — published state goes wrong, and the delta
+          persist pass misses the replay's cache lines. *)
 
 type t = {
   checkpoint : checkpoint_mode;
+  ckpt_clone : clone_mode;
+      (** Shadow-clone strategy for [Dipper] checkpoints; [Full] is the
+          ablation baseline. *)
   logging : logging_mode;
   oe : bool;
       (** Observational equivalence: when false, index/metadata updates run
@@ -87,6 +107,7 @@ type t = {
 let default =
   {
     checkpoint = Dipper;
+    ckpt_clone = Delta;
     logging = Logical;
     oe = true;
     log_slots = 8192;
@@ -103,10 +124,13 @@ let default =
   }
 
 let pp_mode fmt t =
-  Format.fprintf fmt "%s+%s%s"
+  Format.fprintf fmt "%s+%s%s%s"
     (match t.logging with Logical -> "logical" | Physical -> "physical")
     (match t.checkpoint with
     | Dipper -> "dipper"
     | Cow -> "cow"
     | No_checkpoint -> "nockpt")
+    (match (t.checkpoint, t.ckpt_clone) with
+    | Dipper, Full -> "+fullclone"
+    | _ -> "")
     (if t.oe then "+oe" else "")

@@ -25,7 +25,15 @@ type ticket = {
 type stats = {
   mutable checkpoints : int;
   mutable ckpt_total_ns : int;
+  mutable ckpt_archive_ns : int;
+  mutable ckpt_clone_ns : int;
+  mutable ckpt_replay_ns : int;
+  mutable ckpt_persist_ns : int;
+  mutable ckpt_publish_ns : int;
   mutable ckpt_bytes_cloned : int;
+  mutable ckpt_bytes_skipped : int;
+  mutable ckpt_full_clones : int;
+  mutable ckpt_delta_clones : int;
   mutable log_full_stalls : int;
   mutable conflict_waits : int;
   mutable records_appended : int;
@@ -42,7 +50,15 @@ let fresh_stats () =
   {
     checkpoints = 0;
     ckpt_total_ns = 0;
+    ckpt_archive_ns = 0;
+    ckpt_clone_ns = 0;
+    ckpt_replay_ns = 0;
+    ckpt_persist_ns = 0;
+    ckpt_publish_ns = 0;
     ckpt_bytes_cloned = 0;
+    ckpt_bytes_skipped = 0;
+    ckpt_full_clones = 0;
+    ckpt_delta_clones = 0;
     log_full_stalls = 0;
     conflict_waits = 0;
     records_appended = 0;
@@ -99,6 +115,17 @@ type cow = {
 
 type capture = { mutable buf : (int * string) list; mutable on : bool }
 
+(* --- delta-clone dirty epochs -------------------------------------------- *)
+
+(* One volatile dirty set per PMEM half: [pages] flags the 4 KB pages the
+   last checkpoint replay wrote while that half was the clone target.
+   Consumed by the *next* checkpoint, whose clone source this half has
+   become: source and (new) target then differ by exactly these pages plus
+   the grown used prefix. [valid] is false until a replay has completed
+   with tracking on — fresh engine, recovered engine, aborted checkpoint —
+   and an invalid set forces a full clone. *)
+type delta = { mutable valid : bool; pages : Bytes.t }
+
 type t = {
   platform : Platform.t;
   pm : Pmem.t;
@@ -124,6 +151,7 @@ type t = {
   mutable stopping : bool;
   cow : cow;
   cap : capture;
+  deltas : delta array;  (* one dirty epoch per PMEM half *)
   st : stats;
   obs : Obs.t;
 }
@@ -154,7 +182,15 @@ let register_stat_views m (st : stats) =
   let module M = Metrics in
   M.gauge_fn m "dipper.checkpoints" (fun () -> st.checkpoints);
   M.gauge_fn m "dipper.ckpt_total_ns" (fun () -> st.ckpt_total_ns);
+  M.gauge_fn m "dipper.ckpt_archive_ns" (fun () -> st.ckpt_archive_ns);
+  M.gauge_fn m "dipper.ckpt_clone_ns" (fun () -> st.ckpt_clone_ns);
+  M.gauge_fn m "dipper.ckpt_replay_ns" (fun () -> st.ckpt_replay_ns);
+  M.gauge_fn m "dipper.ckpt_persist_ns" (fun () -> st.ckpt_persist_ns);
+  M.gauge_fn m "dipper.ckpt_publish_ns" (fun () -> st.ckpt_publish_ns);
   M.gauge_fn m "dipper.ckpt_bytes_cloned" (fun () -> st.ckpt_bytes_cloned);
+  M.gauge_fn m "dipper.ckpt_bytes_skipped" (fun () -> st.ckpt_bytes_skipped);
+  M.gauge_fn m "dipper.ckpt_full_clones" (fun () -> st.ckpt_full_clones);
+  M.gauge_fn m "dipper.ckpt_delta_clones" (fun () -> st.ckpt_delta_clones);
   M.gauge_fn m "dipper.log_full_stalls" (fun () -> st.log_full_stalls);
   M.gauge_fn m "dipper.conflict_waits" (fun () -> st.conflict_waits);
   M.gauge_fn m "dipper.records_appended" (fun () -> st.records_appended);
@@ -266,6 +302,10 @@ let make_engine ?obs platform pm (cfg : Config.t) hooks root =
     }
   in
   let cap = { buf = []; on = false } in
+  let space_pages = lay.space_bytes / page_bytes in
+  let deltas =
+    Array.init 2 (fun _ -> { valid = false; pages = Bytes.make space_pages '\000' })
+  in
   let st = fresh_stats () in
   register_stat_views obs.Obs.metrics st;
   let logs =
@@ -300,6 +340,7 @@ let make_engine ?obs platform pm (cfg : Config.t) hooks root =
       stopping = false;
       cow;
       cap;
+      deltas;
       st;
       obs;
     },
@@ -419,14 +460,94 @@ let replay_pool t shadow entries =
         done)
   end
 
-(* Clone the current shadow space into the other PMEM half, charging
-   bandwidth costs, and return it attached. *)
-let clone_shadow t ~target =
+let space_used_raw t i =
+  (* Read the Space header fields directly; an unformatted half counts 0. *)
+  let off = t.lay.space_off.(i) in
+  let magic = Pmem.get_u64 t.pm off in
+  if magic = 0 then 0 else Pmem.get_u64 t.pm (off + 16)
+
+(* Clone the current shadow space into the other PMEM half wholesale,
+   charging bandwidth costs, and return it attached. *)
+let clone_full t ~target =
   let src = Space.attach (space_mem t t.current_space) in
   let n = Space.used_bytes src in
   Pmem.bulk_read_cost t.pm n;
   t.st.ckpt_bytes_cloned <- t.st.ckpt_bytes_cloned + n;
+  t.st.ckpt_full_clones <- t.st.ckpt_full_clones + 1;
   Space.copy_into src (space_mem t target)
+
+let space_pages t = t.lay.space_bytes / page_bytes
+
+(* Flag every page intersecting [0, upto) in [set]. *)
+let mark_prefix set ~upto =
+  if upto > 0 then Bytes.fill set 0 (((upto - 1) / page_bytes) + 1) '\001'
+
+(* Delta clone: copy into [target] only the pages the previous checkpoint's
+   replay dirtied in the source half (its dirty epoch) plus the grown used
+   prefix. Falls back to a full copy whenever the epoch can't vouch for the
+   target — no completed tracked replay since this process started (dirty
+   sets are volatile), or a target half that isn't a formatted space with a
+   sane used prefix. Either way [copyset] ends up flagging every page this
+   clone wrote, which is what the persist phase must flush. *)
+let clone_delta t ~target ~copyset =
+  let src_epoch = t.deltas.(t.current_space) in
+  let tgt_used = space_used_raw t target in
+  let src = Space.attach (space_mem t t.current_space) in
+  let src_used = Space.used_bytes src in
+  if
+    (not src_epoch.valid)
+    || tgt_used < Space.header_bytes
+    || tgt_used > src_used
+  then begin
+    let shadow = clone_full t ~target in
+    mark_prefix copyset ~upto:src_used;
+    shadow
+  end
+  else begin
+    let is_dirty p = Bytes.get src_epoch.pages p = '\001' in
+    let on_page p = Bytes.set copyset p '\001' in
+    let shadow, copied =
+      Pmem.with_bulk t.pm (fun () ->
+          let shadow, copied =
+            Space.copy_delta src (space_mem t target) ~page_bytes ~is_dirty
+              ~on_page
+          in
+          Pmem.bulk_read_cost t.pm copied;
+          (shadow, copied))
+    in
+    t.st.ckpt_bytes_cloned <- t.st.ckpt_bytes_cloned + copied;
+    t.st.ckpt_bytes_skipped <- t.st.ckpt_bytes_skipped + max 0 (src_used - copied);
+    t.st.ckpt_delta_clones <- t.st.ckpt_delta_clones + 1;
+    shadow
+  end
+
+(* Persist exactly the pages this checkpoint wrote in the target half —
+   the cloned pages plus the pages the replay dirtied — as coalesced runs
+   under one bulk registration, then a single fence. The union covers
+   every byte stored into the half since its last publish, so this is the
+   delta analogue of [Space.persist_used]. *)
+let persist_delta t ~target ~copyset shadow =
+  let epoch = t.deltas.(target) in
+  let used = Space.used_bytes shadow in
+  let npages = min (space_pages t) ((used + page_bytes - 1) / page_bytes) in
+  let base = t.lay.space_off.(target) in
+  let written p =
+    Bytes.get copyset p = '\001' || Bytes.get epoch.pages p = '\001'
+  in
+  Pmem.with_bulk t.pm (fun () ->
+      let p = ref 0 in
+      while !p < npages do
+        if written !p then begin
+          let q = ref !p in
+          while !q + 1 < npages && written (!q + 1) do incr q done;
+          let off = !p * page_bytes in
+          let len = min (((!q + 1) * page_bytes) - off) (t.lay.space_bytes - off) in
+          Pmem.flush t.pm (base + off) len;
+          p := !q + 1
+        end
+        else incr p
+      done);
+  Pmem.fence t.pm
 
 let finish_checkpoint t ~target ~arch =
   Platform.with_lock t.lock (fun () ->
@@ -435,28 +556,80 @@ let finish_checkpoint t ~target ~arch =
         Oplog.lsn_base t.logs.(arch) + Oplog.capacity t.logs.(arch) - 1;
       Root.publish t.root (root_state t ~in_progress:false ~archived:arch))
 
-(* One full DIPPER checkpoint cycle (§3.5). *)
+(* One full DIPPER checkpoint cycle (§3.5), phase-timed. Under delta
+   clones the replay runs over a write-tracking view of the target half:
+   the recorded pages become that half's dirty epoch, consumed when it
+   turns into the clone source next checkpoint. Tracking stays on even
+   when this clone fell back to a full copy — any clone leaves target ==
+   source, which is all the next delta needs. The epoch is only marked
+   valid after the persist pass, so an aborted checkpoint (crash harness)
+   leaves it invalid and the redo falls back to a full clone. *)
 let dipper_checkpoint t =
+  let now () = t.platform.Platform.now () in
+  let t0 = now () in
   let standby = 1 - t.active_log in
   Oplog.reset t.logs.(standby) ~lsn_base:t.next_base;
   t.next_base <- t.next_base + t.cfg.log_slots;
   let arch = Platform.with_lock t.lock (fun () -> swap_logs t) in
   trace t (Trace.Ckpt Trace.C_archive);
+  let t1 = now () in
+  t.st.ckpt_archive_ns <- t.st.ckpt_archive_ns + (t1 - t0);
   let target = 1 - t.current_space in
   trace t (Trace.Ckpt Trace.C_clone);
-  let shadow = clone_shadow t ~target in
+  let delta_cfg = t.cfg.Config.ckpt_clone = Config.Delta in
+  let copyset =
+    if delta_cfg then Bytes.make (space_pages t) '\000' else Bytes.empty
+  in
+  let shadow =
+    if not delta_cfg then clone_full t ~target
+    else begin
+      let (_ : Space.t) = clone_delta t ~target ~copyset in
+      (* Start the target's next dirty epoch and replay through a tracked
+         view of the half, so every structure write lands in it. *)
+      let epoch = t.deltas.(target) in
+      Bytes.fill epoch.pages 0 (Bytes.length epoch.pages) '\000';
+      epoch.valid <- false;
+      let mark off len =
+        let first = off / page_bytes and last = (off + len - 1) / page_bytes in
+        for p = first to min last (Bytes.length epoch.pages - 1) do
+          Bytes.set epoch.pages p '\001'
+        done
+      in
+      let note =
+        (* Skip_dirty_track loses the replay's dirt entirely: the next delta
+           clone publishes a half missing this checkpoint's structure
+           updates — the bug class the checker must catch. *)
+        if t.cfg.Config.fault = Config.Skip_dirty_track then fun _ _ -> ()
+        else mark
+      in
+      Space.attach (Mem.tracked (space_mem t target) ~note)
+    end
+  in
   let entries = committed_entries t.logs.(arch) ~above:t.last_applied in
   trace t (Trace.Ckpt Trace.C_replay);
+  let t2 = now () in
+  t.st.ckpt_clone_ns <- t.st.ckpt_clone_ns + (t2 - t1);
   replay_pool t shadow entries;
   trace t (Trace.Ckpt Trace.C_persist);
-  Space.persist_used shadow;
+  let t3 = now () in
+  t.st.ckpt_replay_ns <- t.st.ckpt_replay_ns + (t3 - t2);
+  if delta_cfg then begin
+    persist_delta t ~target ~copyset shadow;
+    t.deltas.(target).valid <- true
+  end
+  else Space.persist_used shadow;
+  let t4 = now () in
+  t.st.ckpt_persist_ns <- t.st.ckpt_persist_ns + (t4 - t3);
   finish_checkpoint t ~target ~arch;
-  trace t (Trace.Ckpt Trace.C_publish)
+  trace t (Trace.Ckpt Trace.C_publish);
+  t.st.ckpt_publish_ns <- t.st.ckpt_publish_ns + (now () - t4)
 
 (* One CoW checkpoint cycle (§4.5): snapshot the volatile space by page
    copy instead of log replay. The archived log is still swapped out (its
    effects are contained in the snapshot). *)
 let cow_checkpoint t =
+  let now () = t.platform.Platform.now () in
+  let t0 = now () in
   let standby = 1 - t.active_log in
   Oplog.reset t.logs.(standby) ~lsn_base:t.next_base;
   t.next_base <- t.next_base + t.cfg.log_slots;
@@ -477,7 +650,11 @@ let cow_checkpoint t =
         t.cow.active <- true;
         arch)
   in
-  (* Background copier: walk pages; clients racing us absorb faults. *)
+  let t1 = now () in
+  t.st.ckpt_archive_ns <- t.st.ckpt_archive_ns + (t1 - t0);
+  (* Background copier: walk pages; clients racing us absorb faults. The
+     copier persists each page as it goes, so the whole copy loop counts
+     as the clone+persist phases combined; it is booked under clone. *)
   for p = 0 to t.cow.marked_pages - 1 do
     if Bytes.get t.cow.ro p = '\001' then
       cow_fault t.platform t.cfg.Config.costs.cow_fault_ns t.pm t.cow
@@ -485,8 +662,11 @@ let cow_checkpoint t =
   done;
   t.cow.active <- false;
   trace t (Trace.Ckpt Trace.C_persist);
+  let t2 = now () in
+  t.st.ckpt_clone_ns <- t.st.ckpt_clone_ns + (t2 - t1);
   finish_checkpoint t ~target ~arch;
-  trace t (Trace.Ckpt Trace.C_publish)
+  trace t (Trace.Ckpt Trace.C_publish);
+  t.st.ckpt_publish_ns <- t.st.ckpt_publish_ns + (now () - t2)
 
 let do_checkpoint t =
   let t0 = t.platform.Platform.now () in
@@ -571,7 +751,8 @@ let recover ?obs platform pm cfg hooks =
     trace t (Trace.Recovery Trace.R_redo_ckpt);
     let arch = rs.Root.ckpt_archived_log in
     let target = 1 - t.current_space in
-    let shadow = clone_shadow t ~target in
+    (* Always a full clone: the dirty epochs died with the crash. *)
+    let shadow = clone_full t ~target in
     let entries = committed_entries t.logs.(arch) ~above:t.last_applied in
     List.iter (fun e -> t.hooks.prepare shadow e.Oplog.op) entries;
     List.iter
@@ -795,12 +976,6 @@ let checkpoints_quiesced t =
   Platform.with_lock t.lock (fun () -> not (t.ckpt_needed || t.ckpt_running))
 
 (* --- footprint ------------------------------------------------------------ *)
-
-let space_used_raw t i =
-  (* Read the Space header fields directly; an unformatted half counts 0. *)
-  let off = t.lay.space_off.(i) in
-  let magic = Pmem.get_u64 t.pm off in
-  if magic = 0 then 0 else Pmem.get_u64 t.pm (off + 16)
 
 let pmem_footprint t =
   Root.bytes + (2 * t.lay.log_bytes) + space_used_raw t 0 + space_used_raw t 1

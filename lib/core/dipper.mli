@@ -176,7 +176,19 @@ val stop : t -> unit
 type stats = {
   mutable checkpoints : int;
   mutable ckpt_total_ns : int;  (** Wall (virtual) time inside checkpoints. *)
-  mutable ckpt_bytes_cloned : int;
+  mutable ckpt_archive_ns : int;  (** Log reset + swap + root publish. *)
+  mutable ckpt_clone_ns : int;  (** Shadow clone (full or delta). *)
+  mutable ckpt_replay_ns : int;  (** Archived-log replay onto the shadow. *)
+  mutable ckpt_persist_ns : int;  (** End-of-checkpoint durability pass. *)
+  mutable ckpt_publish_ns : int;  (** Root flip making the shadow current. *)
+  mutable ckpt_bytes_cloned : int;  (** Bytes actually copied into targets. *)
+  mutable ckpt_bytes_skipped : int;
+      (** Bytes of the used prefix a delta clone did {e not} copy — the
+          incremental win over a full clone. *)
+  mutable ckpt_full_clones : int;
+      (** Wholesale clones: every clone under [Config.Full], plus delta
+          fallbacks (first checkpoint, post-recovery, unformatted target). *)
+  mutable ckpt_delta_clones : int;  (** Dirty-page incremental clones. *)
   mutable log_full_stalls : int;  (** Writers that waited for log space. *)
   mutable conflict_waits : int;
   mutable records_appended : int;

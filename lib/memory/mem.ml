@@ -95,6 +95,60 @@ let sub t ~off ~len =
     is_persistent = t.is_persistent;
   }
 
+(* Write-tracking view: every mutating access reports its byte range to
+   [note] before being forwarded to [base]. Reads and [persist] pass
+   through untouched, so wrapping costs nothing on the read path. *)
+let tracked base ~note =
+  {
+    base with
+    set_u8 = (fun o v -> note o 1; base.set_u8 o v);
+    set_u16 = (fun o v -> note o 2; base.set_u16 o v);
+    set_u32 = (fun o v -> note o 4; base.set_u32 o v);
+    set_u64 = (fun o v -> note o 8; base.set_u64 o v);
+    blit_from_bytes =
+      (fun b ~src ~dst ~len -> note dst len; base.blit_from_bytes b ~src ~dst ~len);
+    blit_within =
+      (fun ~src ~dst ~len -> note dst len; base.blit_within ~src ~dst ~len);
+    fill = (fun off len v -> note off len; base.fill off len v);
+  }
+
+let copy_chunk = 1 lsl 20
+
+(* Copy every page [p] with [is_dirty p] from [src] into the same offset of
+   [dst], coalescing adjacent dirty pages into single runs (bounce-buffered
+   in <= 1 MB chunks, like Space.copy_into). Only pages starting below
+   [limit] are candidates; the final run is clipped to the arena size.
+   Returns the bytes copied. *)
+let copy_pages ~src ~dst ~page_bytes ~is_dirty ~limit =
+  if page_bytes <= 0 then invalid_arg "Mem.copy_pages: page_bytes <= 0";
+  let limit = min limit (min src.size dst.size) in
+  let npages = (limit + page_bytes - 1) / page_bytes in
+  let buf = Bytes.create (min copy_chunk (max page_bytes src.size)) in
+  let copy_run off len =
+    let pos = ref 0 in
+    while !pos < len do
+      let l = min (Bytes.length buf) (len - !pos) in
+      src.blit_to_bytes ~src:(off + !pos) buf ~dst:0 ~len:l;
+      dst.blit_from_bytes buf ~src:0 ~dst:(off + !pos) ~len:l;
+      pos := !pos + l
+    done
+  in
+  let copied = ref 0 in
+  let p = ref 0 in
+  while !p < npages do
+    if is_dirty !p then begin
+      let q = ref !p in
+      while !q + 1 < npages && is_dirty (!q + 1) do incr q done;
+      let off = !p * page_bytes in
+      let len = min (((!q + 1) * page_bytes) - off) (src.size - off) in
+      copy_run off len;
+      copied := !copied + len;
+      p := !q + 1
+    end
+    else incr p
+  done;
+  !copied
+
 let read_string t ~off ~len =
   let b = Bytes.create len in
   t.blit_to_bytes ~src:off b ~dst:0 ~len;

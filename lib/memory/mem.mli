@@ -43,6 +43,23 @@ val of_pmem : Dstore_pmem.Pmem.t -> off:int -> len:int -> t
 val sub : t -> off:int -> len:int -> t
 (** Narrow an arena to a sub-range (offsets re-based to 0). *)
 
+val tracked : t -> note:(int -> int -> unit) -> t
+(** Write-tracking view: every mutating access calls [note off len] before
+    forwarding to the underlying arena; reads and [persist] pass through.
+    This is how DIPPER's delta checkpoints capture, at page granularity,
+    which parts of a shadow space a log replay dirtied — the structures
+    (B-tree, bitmap pools, metadata zone) all write through the space's
+    [Mem.t], so wrapping here covers them without touching their code. *)
+
+val copy_pages :
+  src:t -> dst:t -> page_bytes:int -> is_dirty:(int -> bool) -> limit:int -> int
+(** Copy every page [p] (of [page_bytes]) with [is_dirty p] from [src] to
+    the same offset in [dst], coalescing adjacent dirty pages into single
+    runs. Only pages starting below [limit] are candidates; runs are
+    clipped to the arena size. Returns bytes copied. [is_dirty] may be
+    called more than once per page. Device time is not charged (same
+    contract as {!Space.copy_into}). *)
+
 val read_string : t -> off:int -> len:int -> string
 
 val write_string : t -> off:int -> string -> unit

@@ -151,6 +151,35 @@ let copy_into src dst_mem =
   done;
   attach dst_mem
 
+(* Incremental variant of [copy_into] for ping-pong checkpoint targets.
+   Precondition (the delta invariant): [dst] is a formatted space that was
+   byte-identical to [src] up to [dst]'s recorded used prefix, except for
+   the pages [is_dirty] selects. Copies those pages plus every page
+   intersecting the grown part of the prefix [dst.used, src.used) — the
+   latter unconditionally, because bytes above [dst]'s old high-water mark
+   were never cloned and hold unrelated garbage. The result is
+   byte-identical to a full [copy_into] over the whole used prefix. *)
+let copy_delta src dst_mem ~page_bytes ~is_dirty ~on_page =
+  if dst_mem.Mem.get_u64 off_magic <> magic then
+    invalid_arg "Space.copy_delta: target is not a formatted space";
+  let old_used = dst_mem.Mem.get_u64 off_used in
+  let new_used = used src in
+  if new_used > dst_mem.Mem.size then raise Out_of_space;
+  if old_used < header_bytes || old_used > new_used then
+    invalid_arg "Space.copy_delta: target used prefix out of range";
+  let growth_from = old_used / page_bytes in
+  let grown = new_used > old_used in
+  let select p =
+    let d = is_dirty p || (grown && p >= growth_from) in
+    if d then on_page p;
+    d
+  in
+  let n =
+    Mem.copy_pages ~src:src.mem ~dst:dst_mem ~page_bytes ~is_dirty:select
+      ~limit:new_used
+  in
+  (attach dst_mem, n)
+
 let free_list_bytes t =
   Mutex.lock t.guard;
   let total = ref 0 in

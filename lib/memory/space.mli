@@ -71,6 +71,26 @@ val copy_into : t -> Mem.t -> t
     and attaches it. Device time must be charged separately by the caller
     (the checkpoint engine knows which devices are involved). *)
 
+val copy_delta :
+  t ->
+  Mem.t ->
+  page_bytes:int ->
+  is_dirty:(int -> bool) ->
+  on_page:(int -> unit) ->
+  t * int
+(** [copy_delta src dst ~page_bytes ~is_dirty ~on_page] incrementally
+    re-synchronizes a stale ping-pong target: copies the pages [is_dirty]
+    selects plus every page of the grown used prefix ([dst]'s recorded
+    [used] up to [src]'s), attaches [dst] and returns it with the bytes
+    copied. [on_page] fires for each copied page (possibly more than once —
+    keep it idempotent); callers use it to know what to persist. Only
+    correct when [dst] was byte-identical to [src] up to [dst]'s used
+    prefix except on the dirty pages — i.e. [dst] is the half the previous
+    checkpoint cloned and replayed, and [is_dirty] is that replay's write
+    set. Raises [Invalid_argument] if [dst] is not a formatted space or its
+    used prefix is out of range (callers fall back to {!copy_into}).
+    Device time must be charged separately, as with {!copy_into}. *)
+
 val free_list_bytes : t -> int
 (** Bytes sitting on free lists (diagnostics / footprint accounting). *)
 

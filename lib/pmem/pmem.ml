@@ -59,6 +59,7 @@ type t = {
   mutable obs : Dstore_obs.Obs.t option;
   mutable persist_events : int;
   mutable persist_hook : (int -> unit) option;
+  mutable in_bulk : bool;  (* inside [with_bulk]: one registered transfer *)
 }
 
 let create platform cfg =
@@ -80,6 +81,7 @@ let create platform cfg =
     obs = None;
     persist_events = 0;
     persist_hook = None;
+    in_bulk = false;
   }
 
 let size t = t.cfg.size
@@ -111,7 +113,12 @@ let consume_shared t ~bulk cost =
   match t.cfg.share with
   | None -> t.platform.consume cost
   | Some d ->
-      if bulk then begin
+      if t.in_bulk then
+        (* The surrounding [with_bulk] already registered this device as
+           one active transfer; each segment pays the current load factor
+           without flipping the domain's active count per segment. *)
+        t.platform.consume (cost * max 1 d.Bw.active)
+      else if bulk then begin
         d.Bw.active <- d.Bw.active + 1;
         if d.Bw.active > d.Bw.peak then d.Bw.peak <- d.Bw.active;
         Fun.protect
@@ -119,6 +126,28 @@ let consume_shared t ~bulk cost =
           (fun () -> t.platform.consume (cost * d.Bw.active))
       end
       else t.platform.consume (cost * (1 + d.Bw.active))
+
+(* A segmented transfer (delta clone, sparse persist sweep) is one logical
+   bulk operation: register it in the shared domain once for its whole
+   duration, so its many small flushes and reads neither dodge bulk
+   pricing nor churn the domain's active count. Reentrant; a no-op on
+   devices without a shared domain. [Fun.protect] because a crash harness
+   can abort mid-transfer from inside a flush. *)
+let with_bulk t f =
+  match t.cfg.share with
+  | None -> f ()
+  | Some d ->
+      if t.in_bulk then f ()
+      else begin
+        t.in_bulk <- true;
+        d.Bw.active <- d.Bw.active + 1;
+        if d.Bw.active > d.Bw.peak then d.Bw.peak <- d.Bw.active;
+        Fun.protect
+          ~finally:(fun () ->
+            d.Bw.active <- d.Bw.active - 1;
+            t.in_bulk <- false)
+          f
+      end
 
 let dirty_lines_unlocked t =
   Mutex.lock t.guard;

@@ -119,6 +119,17 @@ val bulk_read_cost : t -> int -> unit
 (** Charge the calling thread for a bandwidth-limited sequential read of
     [len] bytes (used by recovery when copying PMEM into DRAM). *)
 
+val with_bulk : t -> (unit -> 'a) -> 'a
+(** Run [f] with this device registered as {e one} active bulk transfer in
+    its shared bandwidth domain for the whole duration. A segmented
+    transfer — a delta clone issuing many sub-4 KB blits, a sparse persist
+    sweep — is one logical bulk operation; without this wrapper each
+    segment would either dodge bulk pricing (too small to classify) or
+    register/deregister per segment, flapping the domain's active count.
+    Inside [f], {!flush} and {!bulk_read_cost} pay the current load factor
+    without re-registering. Reentrant; a no-op when the device has no
+    shared domain. *)
+
 (** {1 Persistence-event hook}
 
     Every flush of a non-empty range and every fence is one {e persistence

@@ -40,9 +40,19 @@ let make_ssd platform scale =
       retain_data = scale.retain_data;
     }
 
+(* Each device gets its own bandwidth domain so foreground flushes
+   contend with the device's bulk transfers (checkpoint clones, recovery
+   copies): while a bulk transfer is in flight, line flushes pay the
+   shared-load rate — the mechanism by which a long clone shows up in the
+   client write tail on real PMEM. *)
 let make_pmem platform scale bytes =
   Pmem.create platform
-    { Pmem.default_config with size = bytes; crash_model = scale.crash_model }
+    {
+      Pmem.default_config with
+      size = bytes;
+      crash_model = scale.crash_model;
+      share = Some (Pmem.Bw.create ());
+    }
 
 (* Space sizing: metadata zone + bitmaps + B-tree nodes + key blobs, with
    generous slack. *)

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Incremental-checkpoint smoke: the crash-point sweep must stay clean in
+# Delta clone mode, and the checker must catch an engine whose replay
+# dirty-page tracking is disabled (Skip_dirty_track).
+#
+# Extra arguments are forwarded to both sweeps, e.g.
+#
+#   smoke/delta.sh --ops 60            # quicker pass
+#
+# Equivalent dune alias: `dune build @torture`.
+set -eu
+cd "$(dirname "$0")/.."
+echo "== Delta-mode crash sweep (expect clean) =="
+dune exec bin/dstore_checker.exe -- sweep --clone delta --ops 120 \
+  --subsets 1 --log-slots 96 "$@"
+echo
+echo "== Skip_dirty_track fault (expect caught) =="
+exec dune exec bin/dstore_checker.exe -- sweep --clone delta --ops 120 \
+  --subsets 1 --log-slots 96 --fault skip-dirty --expect-violations "$@"

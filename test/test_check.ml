@@ -377,6 +377,130 @@ let test_sweep_detects_skip_payload_flush () =
   let r = sweep ~fault:Config.Skip_payload_flush ~seed:42 ~n_ops:40 ~stride:1 in
   check bool "skipped payload flush detected" true (r.Explorer.violations <> [])
 
+(* Losing delta dirty tracking feeds a stale half back into the pipeline;
+   a small log forces enough checkpoints that the corruption surfaces.
+   The stride only thins crash points — the baseline detection is
+   stride-independent — so keep the sweep cheap. *)
+let test_sweep_detects_skip_dirty_track () =
+  let cfg = { (small_cfg Config.Skip_dirty_track) with Config.log_slots = 96 } in
+  let r =
+    Explorer.sweep ~subset_seeds:[ 11 ] ~stride:64 ~seed:42 ~n_ops:120 cfg
+  in
+  check bool "lost dirty tracking detected" true (r.Explorer.violations <> [])
+
+module Mem = Dstore_memory.Mem
+module Space = Dstore_memory.Space
+
+(* Delta clones must be invisible: the PMEM half a Delta-mode checkpoint
+   publishes must be byte-identical to what a Full-mode checkpoint
+   publishes after the same operation sequence. One sequential client and
+   one replay worker keep both runs on the same deterministic schedule;
+   an oversized log with an unreachable threshold pins checkpoints to the
+   explicit trigger points so both runs checkpoint at the same ops. *)
+let identity_cfg clone =
+  {
+    Config.default with
+    log_slots = 4096;
+    checkpoint_threshold = 2.0;
+    checkpoint_workers = 1;
+    space_bytes = 4 * 1024 * 1024;
+    meta_entries = 1024;
+    ssd_blocks = 4096;
+    ckpt_clone = clone;
+  }
+
+(* Run [ops] against a fresh store, forcing a checkpoint every
+   [ckpt_every] ops, and return the published shadow space plus engine
+   stats. The oracle only steers deterministic Write decisions, exactly
+   as in [apply_op] above. *)
+let run_for_identity clone ~seed ~n_ops ~ckpt_every =
+  let cfg = identity_cfg clone in
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let pm =
+    Pmem.create p
+      { Pmem.default_config with size = Dipper.layout_bytes cfg; crash_model = true }
+  in
+  let ssd =
+    Ssd.create p { Ssd.default_config with pages = cfg.Config.ssd_blocks }
+  in
+  let ops = Gen.generate ~seed ~n:n_ops in
+  let result = ref None in
+  Sim.spawn sim "w" (fun () ->
+      let st = Dstore.create p pm ssd cfg in
+      let ctx = Dstore.ds_init st in
+      let oracle = Oracle.create () in
+      let locked = Hashtbl.create 8 in
+      List.iteri
+        (fun i (op : Gen.op) ->
+          (match op with
+          | Gen.Put { key; size; vseed } ->
+              Dstore.oput ctx key (Gen.value ~vseed size);
+              Oracle.begin_put oracle key (Gen.value ~vseed size);
+              Oracle.commit_pending oracle
+          | Gen.Delete key ->
+              ignore (Dstore.odelete ctx key);
+              Oracle.begin_delete oracle key;
+              Oracle.commit_pending oracle
+          | Gen.Get key -> ignore (Dstore.oget ctx key)
+          | Gen.Write { key; off_pct; len; vseed } -> (
+              match Oracle.committed_value oracle key with
+              | None -> ()
+              | Some old ->
+                  let osz = Bytes.length old in
+                  let off = min osz (osz * off_pct / 100) in
+                  let data = Gen.value ~vseed len in
+                  Oracle.begin_write oracle ~key ~off ~data
+                    ~page_size:(Ssd.page_size ssd);
+                  let o = Dstore.oopen ctx key ~create:false Dstore.Rdwr in
+                  ignore (Dstore.owrite o data ~size:len ~off);
+                  Dstore.oclose o;
+                  Oracle.commit_pending oracle)
+          | Gen.Lock key ->
+              if not (Hashtbl.mem locked key) then begin
+                Dstore.olock ctx key;
+                Hashtbl.add locked key ()
+              end
+          | Gen.Unlock key ->
+              if Hashtbl.mem locked key then begin
+                Hashtbl.remove locked key;
+                Dstore.ounlock ctx key
+              end);
+          if (i + 1) mod ckpt_every = 0 then Dstore.checkpoint_now st)
+        ops;
+      let shadow = Dipper.shadow_space (Dstore.engine st) in
+      result :=
+        Some
+          ( Space.mem shadow,
+            Space.used_bytes shadow,
+            Dipper.stats (Dstore.engine st) ));
+  Sim.run sim;
+  Option.get !result
+
+let prop_delta_publishes_identical_bytes =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"delta checkpoint publishes bytes identical to full clone"
+       ~count:10
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         Seed_report.attempt ~test:"delta clone byte identity" ~seed
+           ~repro:
+             (Printf.sprintf
+                "dune exec test/test_main.exe -- test check  # seed %d" seed)
+         @@ fun () ->
+         let n_ops = 80 and ckpt_every = 25 in
+         let full_mem, full_used, _ =
+           run_for_identity Config.Full ~seed ~n_ops ~ckpt_every
+         and delta_mem, delta_used, dst =
+           run_for_identity Config.Delta ~seed ~n_ops ~ckpt_every
+         in
+         (* The property must exercise the incremental path, not fall back. *)
+         if dst.Dipper.ckpt_delta_clones < 1 then
+           failwith "scenario produced no delta clone";
+         delta_used = full_used
+         && Mem.equal_range full_mem delta_mem ~off:0 ~len:full_used))
+
 let contains s sub =
   let n = String.length s and m = String.length sub in
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
@@ -438,5 +562,9 @@ let suite =
     ( "explorer: detects skipped payload flush",
       `Slow,
       test_sweep_detects_skip_payload_flush );
+    ( "explorer: detects lost delta dirty tracking",
+      `Slow,
+      test_sweep_detects_skip_dirty_track );
+    prop_delta_publishes_identical_bytes;
     ("explorer: obs export + report json", `Quick, test_sweep_obs_export);
   ]

@@ -333,6 +333,62 @@ let test_checkpoint_cow_mode () =
           (Dstore.oexists ctx (Printf.sprintf "k%d" i))
       done)
 
+(* Under the default Delta clone mode, the first checkpoint of a process
+   has no dirty epoch to consume and falls back to a full clone; the
+   second consumes the first's replay dirt and copies a fraction of the
+   used prefix, skipping the rest. *)
+let test_delta_clone_first_full_then_delta () =
+  with_store (fun _ st ctx ->
+      for i = 0 to 49 do
+        Dstore.oput ctx (Printf.sprintf "k%d" i) (big_value i 256)
+      done;
+      Dstore.checkpoint_now st;
+      let s = Dipper.stats (Dstore.engine st) in
+      Alcotest.(check int) "first clone is full" 1 s.Dipper.ckpt_full_clones;
+      Alcotest.(check int) "no delta clone yet" 0 s.Dipper.ckpt_delta_clones;
+      let full_bytes = s.Dipper.ckpt_bytes_cloned in
+      Alcotest.(check bool) "full clone copied the used prefix" true
+        (full_bytes > 0);
+      for i = 0 to 9 do
+        Dstore.oput ctx (Printf.sprintf "k%d" i) (big_value (1000 + i) 256)
+      done;
+      Dstore.checkpoint_now st;
+      let s = Dipper.stats (Dstore.engine st) in
+      Alcotest.(check int) "second clone is delta" 1 s.Dipper.ckpt_delta_clones;
+      let delta_bytes = s.Dipper.ckpt_bytes_cloned - full_bytes in
+      Alcotest.(check bool) "delta copied less than the full clone" true
+        (delta_bytes < full_bytes);
+      Alcotest.(check bool) "skipped bytes accounted" true
+        (s.Dipper.ckpt_bytes_skipped > 0);
+      Alcotest.(check bool) "phase timers populated" true
+        (s.Dipper.ckpt_clone_ns > 0
+        && s.Dipper.ckpt_persist_ns > 0
+        && s.Dipper.ckpt_publish_ns > 0);
+      Alcotest.(check bool) "phases within total" true
+        (s.Dipper.ckpt_archive_ns + s.Dipper.ckpt_clone_ns
+         + s.Dipper.ckpt_replay_ns + s.Dipper.ckpt_persist_ns
+         + s.Dipper.ckpt_publish_ns
+        <= s.Dipper.ckpt_total_ns);
+      for i = 0 to 49 do
+        Alcotest.(check bool) "data intact" true
+          (Dstore.oexists ctx (Printf.sprintf "k%d" i))
+      done)
+
+(* The Full ablation setting never clones incrementally. *)
+let test_full_clone_ablation_mode () =
+  let cfg = { small_cfg with ckpt_clone = Config.Full } in
+  with_store ~cfg (fun _ st ctx ->
+      for i = 0 to 49 do
+        Dstore.oput ctx (Printf.sprintf "k%d" i) (value_of_string "v")
+      done;
+      Dstore.checkpoint_now st;
+      Dstore.oput ctx "more" (value_of_string "data");
+      Dstore.checkpoint_now st;
+      let s = Dipper.stats (Dstore.engine st) in
+      Alcotest.(check int) "both clones full" 2 s.Dipper.ckpt_full_clones;
+      Alcotest.(check int) "no delta clones" 0 s.Dipper.ckpt_delta_clones;
+      Alcotest.(check int) "nothing skipped" 0 s.Dipper.ckpt_bytes_skipped)
+
 let test_physical_logging_mode () =
   let cfg =
     { small_cfg with logging = Config.Physical; oe = false; log_slots = 2048 }
@@ -820,6 +876,10 @@ let suite =
     ("automatic checkpoints", `Quick, test_checkpoint_automatic);
     ("No_checkpoint raises Log_full", `Quick, test_no_checkpoint_mode_log_full);
     ("CoW checkpoint mode", `Quick, test_checkpoint_cow_mode);
+    ( "delta clone: first full, then delta",
+      `Quick,
+      test_delta_clone_first_full_then_delta );
+    ("Full clone ablation mode", `Quick, test_full_clone_ablation_mode);
     ("physical logging mode", `Quick, test_physical_logging_mode);
     ("concurrent distinct keys", `Quick, test_concurrent_distinct_keys);
     ("concurrent same key serialized", `Quick, test_concurrent_same_key_serialized);

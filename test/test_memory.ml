@@ -257,6 +257,129 @@ let prop_space_alloc_free_alloc_stable =
            !live;
          !ok))
 
+(* --- Write tracking and page-granular copying -------------------------- *)
+
+let test_mem_tracked () =
+  let base = Mem.dram 4096 in
+  let notes = ref [] in
+  let m = Mem.tracked base ~note:(fun off len -> notes := (off, len) :: !notes) in
+  m.Mem.set_u8 10 0xAA;
+  m.Mem.set_u16 20 0xBBBB;
+  m.Mem.set_u32 40 0xCC;
+  m.Mem.set_u64 80 0xDD;
+  m.Mem.blit_from_bytes (Bytes.of_string "hello") ~src:0 ~dst:100 ~len:5;
+  m.Mem.blit_within ~src:100 ~dst:200 ~len:5;
+  m.Mem.fill 300 16 0xEE;
+  check
+    Alcotest.(list (pair int int))
+    "every mutation noted with its offset and length"
+    [ (10, 1); (20, 2); (40, 4); (80, 8); (100, 5); (200, 5); (300, 16) ]
+    (List.rev !notes);
+  check Alcotest.int "writes reach the base arena" 0xAA (base.Mem.get_u8 10);
+  check Alcotest.string "blit reaches the base arena" "hello"
+    (Mem.read_string base ~off:200 ~len:5);
+  check Alcotest.int "fill reaches the base arena" 0xEE (base.Mem.get_u8 315);
+  let before = List.length !notes in
+  ignore (m.Mem.get_u64 80);
+  ignore (Mem.read_string m ~off:100 ~len:5);
+  check Alcotest.int "reads are not noted" before (List.length !notes)
+
+let test_mem_copy_pages () =
+  let page = 256 in
+  let npages = 8 in
+  let src = Mem.dram (page * npages) and dst = Mem.dram (page * npages) in
+  for i = 0 to (page * npages / 8) - 1 do
+    src.Mem.set_u64 (i * 8) (i * 17)
+  done;
+  let dirty = [ 1; 2; 5 ] in
+  let probes = ref 0 in
+  let is_dirty p =
+    incr probes;
+    List.mem p dirty
+  in
+  let copied =
+    Mem.copy_pages ~src ~dst ~page_bytes:page ~is_dirty ~limit:(page * npages)
+  in
+  check Alcotest.int "bytes copied = dirty pages" (3 * page) copied;
+  List.iter
+    (fun p ->
+      check Alcotest.bool
+        (Printf.sprintf "dirty page %d copied" p)
+        true
+        (Mem.equal_range src dst ~off:(p * page) ~len:page))
+    dirty;
+  check Alcotest.int "clean page untouched" 0 (dst.Mem.get_u64 0);
+  check Alcotest.int "clean page 3 untouched" 0 (dst.Mem.get_u64 (3 * page));
+  (* A limit short of the last dirty page clips the copy. *)
+  let dst2 = Mem.dram (page * npages) in
+  let copied2 =
+    Mem.copy_pages ~src ~dst:dst2 ~page_bytes:page
+      ~is_dirty:(fun p -> List.mem p dirty)
+      ~limit:(3 * page)
+  in
+  check Alcotest.int "limit clips trailing dirty pages" (2 * page) copied2;
+  check Alcotest.int "page 5 beyond limit untouched" 0 (dst2.Mem.get_u64 (5 * page))
+
+let test_space_copy_delta () =
+  let size = 256 * 1024 in
+  let page = 4096 in
+  let src_mem = Mem.dram size and dst_mem = Mem.dram size in
+  let src = Space.format src_mem in
+  (* Pad the used prefix across many pages (reserve must precede alloc)
+     so the delta is a real fraction of the store, not dominated by the
+     growth region. *)
+  ignore (Space.reserve src (100 * 1024));
+  let a = Space.alloc src 1000 in
+  Mem.write_string src_mem ~off:a "first generation";
+  (* Seed the target with a full copy, then mutate the source and track
+     exactly the pages we touch — the contract the engine maintains. *)
+  ignore (Space.copy_into src dst_mem);
+  let old_used = Space.used_bytes src in
+  let dirty = Hashtbl.create 8 in
+  let touch off len =
+    for p = off / page to (off + len - 1) / page do
+      Hashtbl.replace dirty p ()
+    done
+  in
+  Mem.write_string src_mem ~off:a "second generation";
+  touch a 17;
+  let b = Space.alloc src 5000 in
+  Mem.write_string src_mem ~off:b "grown tail";
+  (* Allocation updated the header and free lists; charge those pages. *)
+  touch 0 Space.header_bytes;
+  let copied_pages = ref [] in
+  let shadow, copied =
+    Space.copy_delta src dst_mem ~page_bytes:page
+      ~is_dirty:(Hashtbl.mem dirty)
+      ~on_page:(fun p -> copied_pages := p :: !copied_pages)
+  in
+  let new_used = Space.used_bytes src in
+  check Alcotest.bool "store grew" true (new_used > old_used);
+  check Alcotest.bool "delta copies less than a full clone" true
+    (copied < new_used);
+  check Alcotest.bool "target byte-identical over the used prefix" true
+    (Mem.equal_range src_mem dst_mem ~off:0 ~len:new_used);
+  check Alcotest.int "attached shadow sees the new used prefix" new_used
+    (Space.used_bytes shadow);
+  check Alcotest.bool "on_page saw every copied page" true
+    (!copied_pages <> []);
+  (* The growth region is copied even though nothing marked it dirty. *)
+  check Alcotest.bool "growth page reported via on_page" true
+    (List.exists (fun p -> p >= old_used / page) !copied_pages);
+  check Alcotest.string "grown data arrived" "grown tail"
+    (Mem.read_string dst_mem ~off:b ~len:10)
+
+let test_space_copy_delta_rejects_unformatted () =
+  let src = Space.format (Mem.dram 65536) in
+  let blank = Mem.dram 65536 in
+  Alcotest.check_raises "unformatted target rejected"
+    (Invalid_argument "Space.copy_delta: target is not a formatted space")
+    (fun () ->
+      ignore
+        (Space.copy_delta src blank ~page_bytes:4096
+           ~is_dirty:(fun _ -> true)
+           ~on_page:(fun _ -> ())))
+
 let suite =
   [
     ("mem dram roundtrip", `Quick, test_mem_dram);
@@ -281,6 +404,12 @@ let suite =
     ("space clone free list travels", `Quick, test_space_clone_freelist_travels);
     ("space persist_used on pmem", `Quick, test_space_persist_used_pmem);
     ("space free_list_bytes", `Quick, test_space_free_list_bytes);
+    ("mem tracked notes writes", `Quick, test_mem_tracked);
+    ("mem copy_pages", `Quick, test_mem_copy_pages);
+    ("space copy_delta", `Quick, test_space_copy_delta);
+    ( "space copy_delta rejects unformatted",
+      `Quick,
+      test_space_copy_delta_rejects_unformatted );
     prop_space_allocations_disjoint;
     prop_space_alloc_free_alloc_stable;
   ]

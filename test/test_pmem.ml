@@ -181,6 +181,68 @@ let test_blit_within () =
       Pmem.blit_to_bytes pm ~src:1000 dst ~dst:0 ~len:10;
       check Alcotest.bytes "copied" src dst)
 
+(* A segmented bulk transfer under [with_bulk] must account as ONE
+   in-flight transfer for its whole duration: the domain's active count
+   stays at 1 across the segments instead of bouncing per call. *)
+let test_with_bulk_single_registration () =
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let bw = Pmem.Bw.create () in
+  let mk () =
+    Pmem.create p { small_config with share = Some bw }
+  in
+  let pm = mk () and other = mk () in
+  Sim.spawn sim "test" (fun () ->
+      check Alcotest.int "idle domain" 0 (Pmem.Bw.active bw);
+      let r =
+        Pmem.with_bulk pm (fun () ->
+            check Alcotest.int "registered once" 1 (Pmem.Bw.active bw);
+            Pmem.bulk_read_cost pm 4096;
+            Pmem.bulk_read_cost pm 4096;
+            check Alcotest.int "segments do not re-register" 1
+              (Pmem.Bw.active bw);
+            (* A nested scope is a no-op, not a second registration. *)
+            Pmem.with_bulk pm (fun () ->
+                check Alcotest.int "reentrant" 1 (Pmem.Bw.active bw));
+            (* A concurrent transfer on another device in the domain
+               contends with this one. *)
+            Pmem.with_bulk other (fun () ->
+                check Alcotest.int "second device adds" 2 (Pmem.Bw.active bw));
+            17)
+      in
+      check Alcotest.int "result passes through" 17 r;
+      check Alcotest.int "deregistered" 0 (Pmem.Bw.active bw);
+      check Alcotest.int "peak recorded" 2 (Pmem.Bw.peak bw);
+      (* Crash-abort safety: an exception still deregisters. *)
+      (try Pmem.with_bulk pm (fun () -> failwith "boom") with _ -> ());
+      check Alcotest.int "deregistered after raise" 0 (Pmem.Bw.active bw));
+  Sim.run sim
+
+(* with_bulk charges segments at the contended per-byte rate instead of
+   re-paying the registration overhead per segment: total time for N
+   segments inside one scope is the same as one transfer of N times the
+   size. *)
+let test_with_bulk_cost_linear () =
+  let elapsed segs bytes =
+    let sim = Sim.create () in
+    let p = Sim_platform.make sim in
+    let bw = Pmem.Bw.create () in
+    let pm = Pmem.create p { small_config with share = Some bw } in
+    let t = ref 0 in
+    Sim.spawn sim "test" (fun () ->
+        let t0 = p.Platform.now () in
+        Pmem.with_bulk pm (fun () ->
+            for _ = 1 to segs do
+              Pmem.bulk_read_cost pm bytes
+            done);
+        t := p.Platform.now () - t0);
+    Sim.run sim;
+    !t
+  in
+  (* Segment sizes divisible by read_bw so per-call rounding cancels. *)
+  check Alcotest.int "4 segments cost the same as one 4x transfer"
+    (elapsed 1 19200) (elapsed 4 4800)
+
 let suite =
   [
     ("read/write roundtrip", `Quick, test_rw_roundtrip);
@@ -198,4 +260,6 @@ let suite =
     ("crash_model off rejects crash", `Quick, test_crash_model_off_rejects_crash);
     ("fill", `Quick, test_fill);
     ("blit within", `Quick, test_blit_within);
+    ("with_bulk single registration", `Quick, test_with_bulk_single_registration);
+    ("with_bulk segment cost linear", `Quick, test_with_bulk_cost_linear);
   ]
