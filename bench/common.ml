@@ -13,6 +13,7 @@ type opts = {
   seed : int;
   shards : int;  (* focus shard count for the sharding experiment *)
   stagger : bool;  (* staggered checkpoint scheduling in the cluster *)
+  batch : int;  (* group-commit batch size (1 = per-op commit) *)
 }
 
 let default_opts =
@@ -25,6 +26,7 @@ let default_opts =
     seed = 42;
     shards = 4;
     stagger = true;
+    batch = 1;
   }
 
 let scale_of opts = { Systems.default_scale with objects = opts.objects }
@@ -90,7 +92,7 @@ let measure ?(timeline = false) ?(checkpoints = true) ?workload ?window id opts 
   in
   let window = Option.value window ~default:opts.window_ns in
   let r =
-    Runner.run ~seed:opts.seed
+    Runner.run ~seed:opts.seed ~batch:opts.batch
       ?timeline_bin_ns:(if timeline then Some 1_000_000_000 else None)
       ~build:(build ~checkpoints id opts)
       ~workload:wl ~clients:opts.clients ~duration_ns:window ()

@@ -117,6 +117,7 @@ let sweep_threshold opts =
                       Kv_intf.put = (fun k v -> Dstore.oput ctx k v);
                       get = (fun k buf -> Dstore.oget_into ctx k buf);
                       delete = (fun k -> ignore (Dstore.odelete ctx k));
+                      put_batch = Some (fun kvs -> Dstore.oput_batch ctx kvs);
                     });
                 checkpoint_now = Some (fun () -> Dstore.checkpoint_now st);
                 stop =
@@ -181,6 +182,7 @@ let sweep_clone_mode opts =
                     Kv_intf.put = (fun k v -> Dstore.oput ctx k v);
                     get = (fun k buf -> Dstore.oget_into ctx k buf);
                     delete = (fun k -> ignore (Dstore.odelete ctx k));
+                    put_batch = Some (fun kvs -> Dstore.oput_batch ctx kvs);
                   });
               checkpoint_now = Some (fun () -> Dstore.checkpoint_now st);
               stop =

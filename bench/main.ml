@@ -28,6 +28,7 @@ let experiments : (string * string * (Common.opts -> unit)) list =
     ("ablation", "DIPPER design-knob ablations (workers/log size/threshold)", Exp_ablation.run);
     ("micro", "real-time software-path microbenchmarks", Exp_micro.run);
     ("shard", "sharded cluster scaling + staggered checkpoints", Exp_shard.run);
+    ("batch", "group-commit batch-size sweep", Exp_batch.run);
   ]
 
 let usage () =
@@ -44,6 +45,8 @@ let usage () =
   print_endline "  --recovery-objects N  table-4 population (default 50000)";
   print_endline "  --shards N     focus shard count for the shard experiment (default 4)";
   print_endline "  --no-stagger   disable staggered checkpoint scheduling";
+  print_endline
+    "  --batch N      group-commit batch size for DStore runs (default 1)";
   print_endline "  --seed N"
 
 let () =
@@ -74,6 +77,9 @@ let () =
         parse rest
     | "--no-stagger" :: rest ->
         opts := { !opts with Common.stagger = false };
+        parse rest
+    | "--batch" :: v :: rest ->
+        opts := { !opts with Common.batch = int_of_string v };
         parse rest
     | ("--help" | "-h") :: _ ->
         usage ();

@@ -60,8 +60,17 @@ let opts_term =
       & info [ "no-stagger" ]
           ~doc:"Disable staggered checkpoint scheduling in the cluster.")
   in
+  let batch =
+    Arg.(
+      value
+      & opt int Common.default_opts.Common.batch
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Group-commit batch size for DStore runs (1 = classic per-op \
+             commit).")
+  in
   let make clients objects seconds window_ms recovery_objects seed shards
-      no_stagger =
+      no_stagger batch =
     {
       Common.clients;
       objects;
@@ -71,11 +80,12 @@ let opts_term =
       seed;
       shards;
       stagger = not no_stagger;
+      batch;
     }
   in
   Term.(
     const make $ clients $ objects $ seconds $ window_ms $ recovery_objects
-    $ seed $ shards $ no_stagger)
+    $ seed $ shards $ no_stagger $ batch)
 
 let experiments =
   [
@@ -94,6 +104,7 @@ let experiments =
     ( "shard",
       "Sharded cluster scaling and staggered checkpoints",
       Exp_shard.run );
+    ("batch", "Group-commit batch-size sweep", Exp_batch.run);
   ]
 
 let cmd_of (name, doc, f) =

@@ -42,6 +42,7 @@ let fault_conv =
     | "skip-commit" -> Ok Config.Skip_commit_persist
     | "skip-flush" -> Ok Config.Skip_payload_flush
     | "skip-dirty" -> Ok Config.Skip_dirty_track
+    | "skip-batch-commit" -> Ok Config.Skip_batch_commit_fence
     | s -> Error (`Msg (Printf.sprintf "unknown fault %S" s))
   in
   let print fmt f =
@@ -50,7 +51,8 @@ let fault_conv =
       | Config.No_fault -> "none"
       | Config.Skip_commit_persist -> "skip-commit"
       | Config.Skip_payload_flush -> "skip-flush"
-      | Config.Skip_dirty_track -> "skip-dirty")
+      | Config.Skip_dirty_track -> "skip-dirty"
+      | Config.Skip_batch_commit_fence -> "skip-batch-commit")
   in
   Arg.conv (parse, print)
 
@@ -137,8 +139,10 @@ let sweep_cmd =
       & info [ "fault" ] ~docv:"FAULT"
           ~doc:
             "Injected protocol bug: $(b,none), $(b,skip-commit) (commit \
-             word never flushed) or $(b,skip-flush) (payload lines of \
-             multi-slot records never flushed).")
+             word never flushed), $(b,skip-flush) (payload lines of \
+             multi-slot records never flushed), $(b,skip-dirty) or \
+             $(b,skip-batch-commit) (group-commit words set but the \
+             batch's single persist pass skipped).")
   in
   let expect =
     Arg.(
@@ -252,7 +256,7 @@ let cluster_cmd =
       & info [ "fault" ] ~docv:"FAULT"
           ~doc:
             "Injected protocol bug on every shard: $(b,none), \
-             $(b,skip-commit) or $(b,skip-flush).")
+             $(b,skip-commit), $(b,skip-flush) or $(b,skip-batch-commit).")
   in
   let expect =
     Arg.(
@@ -388,6 +392,12 @@ let selftest_cmd =
           (fun () ->
             case "skip-flush" ~clone:Config.Delta Config.Skip_payload_flush
               true);
+          (* Group commit: all commit words of a batch are set but never
+             persisted as a unit — a crash right after the batched call
+             returns can drop an acknowledged op. *)
+          (fun () ->
+            case "skip-batch-commit" ~clone:Config.Delta
+              Config.Skip_batch_commit_fence true);
           (* A 96-slot log checkpoints every ~30 ops, so the scenario runs
              several delta clones — the second one is the first that can
              miss the untracked dirt. *)

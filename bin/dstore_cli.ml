@@ -11,11 +11,16 @@
      --shards N        shards in the cluster (default 1)
      --stagger         staggered checkpoint scheduling (default)
      --no-stagger      let every shard checkpoint whenever its log says so
+     --batch N         group-commit batch size (default 1 = per-op commit)
 
    Commands:
      put KEY VALUE     store an object (routed to its owning shard)
      get KEY           fetch an object
      del KEY           delete an object
+     batch N           set the group-commit batch size: with N > 1, put/del
+                       are staged and committed together (one fence per
+                       group) once N are pending; any other command — or
+                       `batch 1` — flushes the stage first
      list              object names in global order
      checkpoint        force a checkpoint on every shard
      ckpt              force a checkpoint and print per-shard clone mode,
@@ -59,6 +64,8 @@ type session = {
   obs : Obs.t;  (* session-owned: the trace survives crash/recover *)
   mutable cluster : Cluster.t option;
   mutable ctx : Cluster.ctx option;
+  mutable batch : int;  (* group-commit size: 1 = classic per-op commit *)
+  mutable staged : Dstore.batch_op list;  (* newest first *)
   rng : Rng.t;
 }
 
@@ -78,9 +85,46 @@ let ctx s = Option.get s.ctx
 
 let cluster s = Option.get s.cluster
 
+(* Commit whatever the shell has staged as one group. Staged ops are not
+   acknowledged until this returns — exactly the batch contract. *)
+let flush_staged s =
+  match s.staged with
+  | [] -> ()
+  | staged when s.cluster <> None ->
+      let ops = List.rev staged in
+      s.staged <- [];
+      exec s (fun () ->
+          let res = Cluster.obatch (ctx s) ops in
+          let applied = List.length (List.filter Fun.id res) in
+          Printf.printf "group-committed %d op%s (%d applied, t=%d ns)\n"
+            (List.length ops)
+            (if List.length ops = 1 then "" else "s")
+            applied (Sim.now s.sim))
+  | _ ->
+      (* Crashed with ops staged: they were never acknowledged. *)
+      Printf.printf "(%d staged op%s discarded by the crash — never acked)\n"
+        (List.length s.staged)
+        (if List.length s.staged = 1 then "" else "s");
+      s.staged <- []
+
+let stage s op =
+  s.staged <- op :: s.staged;
+  let n = List.length s.staged in
+  Printf.printf "staged (%d/%d pending)\n" n s.batch;
+  if n >= s.batch then flush_staged s
+
 let handle s line =
-  match String.split_on_char ' ' (String.trim line) with
+  let words = String.split_on_char ' ' (String.trim line) in
+  (* Any command other than a staging put/del acts on the real store, so
+     the pending group commits first. *)
+  (match words with
+  | ("put" | "del") :: _ when s.batch > 1 -> ()
+  | _ -> flush_staged s);
+  match words with
   | [ "" ] -> ()
+  | "put" :: key :: rest when rest <> [] && s.batch > 1 ->
+      stage s (Dstore.Bput (key, Bytes.of_string (String.concat " " rest)))
+  | [ "del"; key ] when s.batch > 1 -> stage s (Dstore.Bdelete key)
   | [ "put"; key; value ] ->
       exec s (fun () -> Cluster.oput (ctx s) key (Bytes.of_string value));
       Printf.printf "ok (shard %d, t=%d ns)\n"
@@ -92,6 +136,16 @@ let handle s line =
       Printf.printf "ok (shard %d, t=%d ns)\n"
         (Cluster.shard_of (cluster s) key)
         (Sim.now s.sim)
+  | [ "batch"; n ] when int_of_string_opt n <> None ->
+      let n = int_of_string n in
+      if n < 1 then print_endline "batch size must be >= 1"
+      else begin
+        s.batch <- n;
+        if n = 1 then print_endline "group commit off (per-op commit)"
+        else
+          Printf.printf
+            "group commit on: put/del stage and commit in groups of %d\n" n
+      end
   | [ "get"; key ] ->
       exec s (fun () ->
           match Cluster.oget (ctx s) key with
@@ -150,7 +204,17 @@ let handle s line =
             ns 4; ns 5; ns 6; ns 7; ns 8;
           ]
       done;
-      Tablefmt.print t
+      Tablefmt.print t;
+      let batches = ref 0 and brecords = ref 0 in
+      for i = 0 to n - 1 do
+        let st = Dipper.stats (Dstore.engine (Cluster.shard_store c i)) in
+        batches := !batches + st.Dipper.batches_committed;
+        brecords := !brecords + st.Dipper.batch_records
+      done;
+      Printf.printf "group commit: %d batches, %d records (avg fill %.1f)\n"
+        !batches !brecords
+        (if !batches = 0 then 0.0
+         else float_of_int !brecords /. float_of_int !batches)
   | [ "shards" ] ->
       let c = cluster s in
       let t =
@@ -186,13 +250,16 @@ let handle s line =
       in
       Printf.printf
         "records appended: %d, checkpoints: %d, replayed: %d, moved: %d,\n\
-         conflict waits: %d, log-full stalls: %d\n"
+         conflict waits: %d, log-full stalls: %d,\n\
+         batches committed: %d, batched records: %d\n"
         (sum (fun st -> st.Dipper.records_appended))
         (sum (fun st -> st.Dipper.checkpoints))
         (sum (fun st -> st.Dipper.records_replayed))
         (sum (fun st -> st.Dipper.records_moved))
         (sum (fun st -> st.Dipper.conflict_waits))
         (sum (fun st -> st.Dipper.log_full_stalls))
+        (sum (fun st -> st.Dipper.batches_committed))
+        (sum (fun st -> st.Dipper.batch_records))
   | [ "metrics" ] -> Metrics.print (Cluster.aggregate_metrics (cluster s))
   | [ "trace" ] -> Obs.print_trace ~last:20 s.obs
   | [ "trace"; n ] when int_of_string_opt n <> None ->
@@ -260,12 +327,12 @@ let handle s line =
   | [ "quit" ] | [ "exit" ] -> raise Exit
   | _ ->
       print_endline
-        "unknown command (put/get/del/list/checkpoint/ckpt/shards/stats/\n\
+        "unknown command (put/get/del/batch/list/checkpoint/ckpt/shards/stats/\n\
          metrics/trace/trace-shard/trace-clear/footprint/check/crash/recover/\n\
          quit)"
 
 let parse_args () =
-  let shards = ref 1 and stagger = ref true in
+  let shards = ref 1 and stagger = ref true and batch = ref 1 in
   let rec go = function
     | [] -> ()
     | "--shards" :: n :: rest -> (
@@ -276,6 +343,14 @@ let parse_args () =
         | _ ->
             prerr_endline "--shards expects a positive integer";
             exit 2)
+    | "--batch" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 ->
+            batch := v;
+            go rest
+        | _ ->
+            prerr_endline "--batch expects a positive integer";
+            exit 2)
     | "--stagger" :: rest ->
         stagger := true;
         go rest
@@ -283,14 +358,15 @@ let parse_args () =
         stagger := false;
         go rest
     | a :: _ ->
-        Printf.eprintf "unknown argument %s (try --shards N, --no-stagger)\n" a;
+        Printf.eprintf
+          "unknown argument %s (try --shards N, --batch N, --no-stagger)\n" a;
         exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!shards, !stagger)
+  (!shards, !stagger, !batch)
 
 let () =
-  let n_shards, stagger = parse_args () in
+  let n_shards, stagger, batch = parse_args () in
   let sim = Sim.create () in
   let platform = Sim_platform.make sim in
   let bw = Pmem.Bw.create () in
@@ -323,6 +399,8 @@ let () =
       obs;
       cluster = None;
       ctx = None;
+      batch;
+      staged = [];
       rng = Rng.create 7;
     }
   in

@@ -89,6 +89,24 @@ let apply_op oracle ctx ssd locked (op : Gen.op) =
           ignore (Dstore.owrite o data ~size:len ~off);
           Dstore.oclose o;
           Oracle.commit_pending oracle)
+  | Gen.Batch items ->
+      let effects =
+        List.map
+          (function
+            | Gen.B_put { key; size; vseed } -> (key, Some (Gen.value ~vseed size))
+            | Gen.B_del key -> (key, None))
+          items
+      in
+      Oracle.begin_batch oracle effects;
+      let ops =
+        List.map
+          (function
+            | key, Some v -> Dstore.Bput (key, v)
+            | key, None -> Dstore.Bdelete key)
+          effects
+      in
+      ignore (Dstore.obatch ctx ops);
+      Oracle.commit_pending oracle
   | Gen.Lock key ->
       if not (Hashtbl.mem locked key) then begin
         Dstore.olock ctx key;

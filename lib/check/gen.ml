@@ -1,5 +1,9 @@
 open Dstore_util
 
+type batch_item =
+  | B_put of { key : string; size : int; vseed : int }
+  | B_del of string
+
 type op =
   | Put of { key : string; size : int; vseed : int }
   | Write of { key : string; off_pct : int; len : int; vseed : int }
@@ -7,6 +11,7 @@ type op =
   | Get of string
   | Lock of string
   | Unlock of string
+  | Batch of batch_item list
 
 (* Deterministic object contents: the value for (vseed, size) is the same
    in every run, which is what lets a crash replay reproduce the counting
@@ -39,11 +44,38 @@ let generate ~seed ~n =
   (* Track which keys are (deterministically) lock-held so the sequence
      never double-locks or unlocks a free key. *)
   let locked = Hashtbl.create 8 in
+  (* A batch: 2–4 pairwise-distinct, currently-unlocked keys, each getting
+     a put (mostly) or a delete — the group-commit case whose crash points
+     the explorer must cover. *)
+  let batch () =
+    let want = 2 + Rng.int rng 3 in
+    let chosen = Hashtbl.create 4 in
+    let items = ref [] in
+    (* Bounded draw: the key set is small, so a few tries suffice; a short
+       batch is fine. *)
+    for _ = 1 to want * 4 do
+      let key = pick_key rng in
+      if
+        List.length !items < want
+        && (not (Hashtbl.mem chosen key))
+        && not (Hashtbl.mem locked key)
+      then begin
+        Hashtbl.add chosen key ();
+        let item =
+          if Rng.int rng 100 < 70 then
+            B_put { key; size = pick_size rng; vseed = vseed () }
+          else B_del key
+        in
+        items := item :: !items
+      end
+    done;
+    List.rev !items
+  in
   let rec op () =
     let key = pick_key rng in
     match Rng.int rng 100 with
-    | r when r < 35 -> Put { key; size = pick_size rng; vseed = vseed () }
-    | r when r < 55 ->
+    | r when r < 30 -> Put { key; size = pick_size rng; vseed = vseed () }
+    | r when r < 50 ->
         Write
           {
             key;
@@ -51,7 +83,9 @@ let generate ~seed ~n =
             len = 1 + Rng.int rng 6144;
             vseed = vseed ();
           }
-    | r when r < 70 -> Delete key
+    | r when r < 65 -> Delete key
+    | r when r < 75 -> (
+        match batch () with [] -> op () | items -> Batch items)
     | r when r < 85 -> Get key
     | r when r < 93 ->
         if Hashtbl.mem locked key then op ()
@@ -72,6 +106,10 @@ let generate ~seed ~n =
   let tail = Hashtbl.fold (fun k () acc -> Unlock k :: acc) locked [] in
   body @ List.sort compare tail
 
+let pp_item = function
+  | B_put { key; size; vseed } -> Printf.sprintf "put %s %d #%d" key size vseed
+  | B_del k -> "del " ^ k
+
 let pp_op = function
   | Put { key; size; vseed } -> Printf.sprintf "put %s %d #%d" key size vseed
   | Write { key; off_pct; len; vseed } ->
@@ -80,6 +118,8 @@ let pp_op = function
   | Get k -> "get " ^ k
   | Lock k -> "lock " ^ k
   | Unlock k -> "unlock " ^ k
+  | Batch items ->
+      Printf.sprintf "batch[%s]" (String.concat ", " (List.map pp_item items))
 
 let pp_ops ops = String.concat "; " (List.map pp_op ops)
 

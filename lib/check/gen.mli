@@ -5,6 +5,10 @@
     is what lets the explorer re-execute a counting run and crash it at an
     exact persistence event. *)
 
+type batch_item =
+  | B_put of { key : string; size : int; vseed : int }
+  | B_del of string
+
 type op =
   | Put of { key : string; size : int; vseed : int }
       (** Whole-object put of [value ~vseed size]. *)
@@ -16,6 +20,10 @@ type op =
   | Get of string
   | Lock of string  (** Advisory [olock]; sequences never double-lock. *)
   | Unlock of string  (** Only emitted for currently held locks. *)
+  | Batch of batch_item list
+      (** Group-commit batch over 2–4 pairwise-distinct, unlocked keys —
+          drivers issue it through [obatch] and mirror it with
+          [Oracle.begin_batch] (any-subset crash semantics). *)
 
 val value : vseed:int -> int -> Bytes.t
 (** The deterministic contents for a (seed, size) pair. *)

@@ -12,6 +12,11 @@ type pending =
       page_size : int;
       old_value : Bytes.t;
     }
+  | P_batch of (string * Bytes.t option) list
+      (* Group commit in flight: per-key effect (Some v = put, None =
+         delete) on pairwise-distinct keys. Any subset may survive a
+         crash, so each key independently shows either its committed value
+         or its batch effect. *)
 
 type t = {
   (* key -> durably-acknowledged value; None = durably absent. Every key
@@ -66,13 +71,29 @@ let begin_write t ~key ~off ~data ~page_size =
       t.pending <-
         P_write { key; off; data = Bytes.copy data; page_size; old_value = old })
 
+let begin_batch t effects =
+  require_idle t "Oracle.begin_batch";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (key, _) ->
+      if Hashtbl.mem seen key then
+        invalid_arg "Oracle.begin_batch: repeated key in batch";
+      Hashtbl.add seen key ();
+      touch t key)
+    effects;
+  t.pending <-
+    P_batch
+      (List.map (fun (k, v) -> (k, Option.map Bytes.copy v)) effects)
+
 let commit_pending t =
   (match t.pending with
   | P_none -> invalid_arg "Oracle.commit_pending: nothing in flight"
   | P_put { key; value } -> Hashtbl.replace t.committed key (Some value)
   | P_delete { key } -> Hashtbl.replace t.committed key None
   | P_write { key; off; data; old_value; _ } ->
-      Hashtbl.replace t.committed key (Some (splice ~old:old_value ~off ~data)));
+      Hashtbl.replace t.committed key (Some (splice ~old:old_value ~off ~data))
+  | P_batch effects ->
+      List.iter (fun (key, v) -> Hashtbl.replace t.committed key v) effects);
   t.pending <- P_none
 
 let abort_pending t = t.pending <- P_none
@@ -114,6 +135,10 @@ let acceptable t key =
       List.map Option.some
         (write_candidates ~old:p.old_value ~off:p.off ~data:p.data
            ~page_size:p.page_size)
+  | P_batch effects when List.mem_assoc key effects ->
+      (* Any-subset survival: this key's op committed or it didn't,
+         independently of the rest of the batch. *)
+      [ committed; List.assoc key effects ]
   | _ -> [ committed ]
 
 let show_value = function

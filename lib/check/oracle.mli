@@ -34,6 +34,13 @@ val begin_write :
     key must be committed-present — the explorer skips writes to absent
     keys deterministically). *)
 
+val begin_batch : t -> (string * Bytes.t option) list -> unit
+(** Group commit in flight: per-key effect ([Some v] = put, [None] =
+    delete) on pairwise-distinct keys (raises on a repeat). The batch
+    contract is {e any-subset survival}: until [commit_pending], each key
+    independently shows either its committed value or its batch effect;
+    after it, every effect is durable. *)
+
 val commit_pending : t -> unit
 (** The store call returned: fold the in-flight op into the committed
     model. *)

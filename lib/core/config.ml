@@ -73,6 +73,11 @@ type fault =
           previous replay's structure updates, so a stale half is fed back
           into the pipeline — published state goes wrong, and the delta
           persist pass misses the replay's cache lines. *)
+  | Skip_batch_commit_fence
+      (** Set every commit word of a group commit but skip the batch's
+          single commit persist pass (the coalesced flush + fence over the
+          slot span): a batch acknowledged to all its callers can lose any
+          or all of its commit words on power failure. *)
 
 type t = {
   checkpoint : checkpoint_mode;
@@ -91,6 +96,11 @@ type t = {
   meta_entries : int;  (** Metadata-zone capacity (max live objects). *)
   ssd_blocks : int;  (** Block-pool capacity; block = one SSD page. *)
   readcount_buckets : int;
+  batch : int;
+      (** Group-commit batch size: how many frontend updates share one log
+          append + one commit round. 1 = classic per-op commit. Only the
+          batched entry points ([Dstore.obatch] and friends) consult it;
+          single-op calls are always batch = 1. *)
   costs : costs;
   obs_enabled : bool;
       (** Observability opt-out: when false the store's metrics registry
@@ -117,6 +127,7 @@ let default =
     meta_entries = 16384;
     ssd_blocks = 60 * 1024;
     readcount_buckets = 65536;
+    batch = 1;
     costs = default_costs;
     obs_enabled = true;
     trace_capacity = 4096;

@@ -38,6 +38,8 @@ type stats = {
   mutable conflict_waits : int;
   mutable records_appended : int;
   mutable append_flush_ns : int;
+  mutable batches_committed : int;
+  mutable batch_records : int;
   mutable records_replayed : int;
   mutable records_moved : int;
   mutable cow_faults : int;
@@ -63,6 +65,8 @@ let fresh_stats () =
     conflict_waits = 0;
     records_appended = 0;
     append_flush_ns = 0;
+    batches_committed = 0;
+    batch_records = 0;
     records_replayed = 0;
     records_moved = 0;
     cow_faults = 0;
@@ -195,6 +199,8 @@ let register_stat_views m (st : stats) =
   M.gauge_fn m "dipper.conflict_waits" (fun () -> st.conflict_waits);
   M.gauge_fn m "dipper.records_appended" (fun () -> st.records_appended);
   M.gauge_fn m "dipper.append_flush_ns" (fun () -> st.append_flush_ns);
+  M.gauge_fn m "dipper.batches_committed" (fun () -> st.batches_committed);
+  M.gauge_fn m "dipper.batch_records" (fun () -> st.batch_records);
   M.gauge_fn m "dipper.records_replayed" (fun () -> st.records_replayed);
   M.gauge_fn m "dipper.records_moved" (fun () -> st.records_moved);
   M.gauge_fn m "dipper.cow_faults" (fun () -> st.cow_faults);
@@ -807,8 +813,8 @@ let stop t =
 
 (* --- write path ------------------------------------------------------------ *)
 
-let conflict_for ?ignore_ticket t key =
-  let skip tk = match ignore_ticket with Some i -> i == tk | None -> false in
+let conflict_for ?(ignore = []) t key =
+  let skip tk = List.memq tk ignore in
   let found = ref None in
   (try
      Hashtbl.iter
@@ -836,7 +842,8 @@ let spin_wait t pred =
 let wait_ticket t tk = spin_wait t (fun () -> Atomic.get tk.done_)
 
 let conflicting_ticket ?ignore_ticket t key =
-  Platform.with_lock t.lock (fun () -> conflict_for ?ignore_ticket t key)
+  let ignore = Option.to_list ignore_ticket in
+  Platform.with_lock t.lock (fun () -> conflict_for ~ignore t key)
 
 let wait_ticket_done t tk = wait_ticket t tk
 
@@ -859,9 +866,10 @@ let request_checkpoint_locked t =
   t.cond_ckpt.Platform.signal ()
 
 let locked_append ?ignore_ticket t ~key ~max_slots f =
+  let ignore = Option.to_list ignore_ticket in
   let rec attempt () =
     t.lock.Platform.lock ();
-    match conflict_for ?ignore_ticket t key with
+    match conflict_for ~ignore t key with
     | Some tk ->
         t.lock.Platform.unlock ();
         t.st.conflict_waits <- t.st.conflict_waits + 1;
@@ -935,6 +943,157 @@ let commit t tk =
   | Some k -> trace t (Trace.Write_step (Trace.W_commit, k))
   | None -> ());
   Atomic.set tk.done_ true
+
+(* --- group commit (§3.4 batched) ------------------------------------------- *)
+
+(* Batched steps 1–5: one lock acquisition, one conflict scan per key, one
+   space check for the whole batch, then every record is staged into
+   consecutive slots of the active log and persisted by a single
+   [Oplog.flush_batch] pass outside the lock. Keys must be pairwise
+   distinct (the store layer splits batches on repeats); conflicts against
+   OTHER writers' in-flight records are waited out exactly as in
+   {!locked_append}. *)
+let locked_append_batch ?(ignore_tickets = []) t items =
+  match items with
+  | [] -> []
+  | _ ->
+      let total_slots =
+        List.fold_left (fun acc (_, n, _) -> acc + n) 0 items
+      in
+      if total_slots > Oplog.capacity t.logs.(t.active_log) then
+        raise Log_full;
+      let rec attempt () =
+        t.lock.Platform.lock ();
+        let conflict =
+          List.fold_left
+            (fun acc (key, _, _) ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  Option.map
+                    (fun tk -> (key, tk))
+                    (conflict_for ~ignore:ignore_tickets t key))
+            None items
+        in
+        match conflict with
+        | Some (key, tk) ->
+            t.lock.Platform.unlock ();
+            t.st.conflict_waits <- t.st.conflict_waits + 1;
+            trace t (Trace.Conflict_wait key);
+            wait_ticket t tk;
+            attempt ()
+        | None ->
+            if Oplog.free_slots t.logs.(t.active_log) < total_slots then begin
+              if t.cfg.checkpoint = Config.No_checkpoint then begin
+                t.lock.Platform.unlock ();
+                raise Log_full
+              end;
+              request_checkpoint_locked t;
+              t.st.log_full_stalls <- t.st.log_full_stalls + 1;
+              trace t Trace.Log_full_stall;
+              t.cond_space.Platform.wait t.lock;
+              t.lock.Platform.unlock ();
+              attempt ()
+            end
+            else begin
+              let log = t.logs.(t.active_log) in
+              let log_id = t.active_log in
+              let staged =
+                List.map
+                  (fun (key, max_slots, f) ->
+                    trace t (Trace.Write_step (Trace.W_lock, key));
+                    trace t (Trace.Write_step (Trace.W_conflict_check, key));
+                    let op = f () in
+                    let n = Logrec.slots_needed op in
+                    assert (n <= max_slots);
+                    let slot, lsn = Option.get (Oplog.reserve log n) in
+                    Oplog.write_record log ~slot ~lsn op;
+                    t.platform.Platform.consume t.cfg.costs.log_cpu_ns;
+                    let tk =
+                      {
+                        lsn;
+                        log_id;
+                        slot;
+                        op;
+                        key = Some key;
+                        done_ = Atomic.make false;
+                      }
+                    in
+                    Hashtbl.add t.in_flight lsn tk;
+                    (tk, (slot, lsn, op)))
+                  items
+              in
+              if
+                t.cfg.checkpoint <> Config.No_checkpoint
+                && float_of_int (Oplog.tail log)
+                   >= t.cfg.checkpoint_threshold
+                      *. float_of_int (Oplog.capacity log)
+              then request_checkpoint_locked t;
+              t.lock.Platform.unlock ();
+              (* One coalesced flush+fence pass for the whole batch. *)
+              let tf = t.platform.Platform.now () in
+              Oplog.flush_batch log (List.map snd staged);
+              t.st.append_flush_ns <-
+                t.st.append_flush_ns + (t.platform.Platform.now () - tf);
+              t.st.records_appended <-
+                t.st.records_appended + List.length staged;
+              List.iter
+                (fun (tk, _) ->
+                  match tk.key with
+                  | Some k -> trace t (Trace.Write_step (Trace.W_log_append, k))
+                  | None -> ())
+                staged;
+              List.map fst staged
+            end
+      in
+      attempt ()
+
+(* Batched step 9. Durability contract: no operation in a batch is
+   acknowledged durable until this returns; after a crash any subset of
+   the batch may survive (each record is individually valid-or-absent and
+   individually committed-or-not). All commit words are set under one lock
+   hold, then each log's contiguous slot span is persisted with a single
+   flush+fence — tickets are grouped by log because a concurrent
+   [swap_logs] may have re-homed part of the batch. *)
+let commit_batch t tks =
+  match tks with
+  | [] -> ()
+  | _ ->
+      let located =
+        Platform.with_lock t.lock (fun () ->
+            List.map
+              (fun tk ->
+                Oplog.set_commit_word t.logs.(tk.log_id) ~slot:tk.slot;
+                Hashtbl.remove t.in_flight tk.lsn;
+                (tk.log_id, tk.slot, Logrec.slots_needed tk.op))
+              tks)
+      in
+      let spans = Hashtbl.create 2 in
+      List.iter
+        (fun (log_id, slot, n) ->
+          let lo, hi =
+            match Hashtbl.find_opt spans log_id with
+            | Some (lo, hi) -> (min lo slot, max hi (slot + n))
+            | None -> (slot, slot + n)
+          in
+          Hashtbl.replace spans log_id (lo, hi))
+        located;
+      Hashtbl.iter
+        (fun log_id (lo, hi) ->
+          Oplog.persist_span t.logs.(log_id) ~slot:lo ~slots:(hi - lo))
+        spans;
+      t.st.batches_committed <- t.st.batches_committed + 1;
+      t.st.batch_records <- t.st.batch_records + List.length tks;
+      Metrics.observe
+        (Metrics.histogram t.obs.Obs.metrics "dipper.batch_fill")
+        (List.length tks);
+      List.iter
+        (fun tk ->
+          (match tk.key with
+          | Some k -> trace t (Trace.Write_step (Trace.W_commit, k))
+          | None -> ());
+          Atomic.set tk.done_ true)
+        tks
 
 (* --- physical logging capture ------------------------------------------------ *)
 

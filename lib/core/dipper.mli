@@ -121,6 +121,40 @@ val commit : t -> ticket -> unit
 (** Step 9: persist the commit flag; conflict waiters release once the
     record is durable. *)
 
+(** {1 Group commit}
+
+    The batched write path amortizes the per-operation flush+fence rounds:
+    a batch of N records costs two persistence rounds to append (one
+    coalesced flush+fence over the staged slot span before the LSN stores,
+    one after) and one round to commit, instead of up to 2N + N.
+
+    Durability contract: {e no operation in a batch is acknowledged
+    durable until the batch commit returns; after a crash any subset of
+    the batch may survive}. Each record keeps the single-op invariants —
+    individually valid-or-absent (reverse-order flush + CRC) and
+    individually committed-or-not — so recovery needs no batch awareness. *)
+
+val locked_append_batch :
+  ?ignore_tickets:ticket list ->
+  t ->
+  (string * int * (unit -> Logrec.op)) list ->
+  ticket list
+(** Batched {!locked_append}: each item is [(key, max_slots, builder)].
+    Keys must be pairwise distinct. One frontend-lock acquisition covers
+    conflict scans, the whole-batch space check, and every builder +
+    record staging; the single coalesced flush pass runs outside the lock.
+    Tickets are returned in item order. [ignore_tickets] excludes the
+    callers' own advisory-lock records from the conflict scan. Raises
+    {!Log_full} if the batch can never fit the log ([No_checkpoint], or
+    total slots beyond capacity). *)
+
+val commit_batch : t -> ticket list -> unit
+(** Batched step 9: set every commit word under one lock hold, then
+    persist each log's contiguous slot span with a single flush+fence
+    (tickets are grouped by log because a concurrent swap may have
+    re-homed part of the batch). On return every ticket is durable and
+    conflict waiters release. *)
+
 val ticket_lsn : ticket -> int
 
 val ticket_op : ticket -> Logrec.op
@@ -195,6 +229,12 @@ type stats = {
   mutable append_flush_ns : int;
       (** Total time in the record-flush protocol (Table 3's log-flush
           component, together with commit flushes). *)
+  mutable batches_committed : int;
+      (** Group commits completed ({!commit_batch} calls). *)
+  mutable batch_records : int;
+      (** Records committed through group commits — [batch_records /
+          batches_committed] is the mean batch fill (full distribution in
+          the [dipper.batch_fill] histogram). *)
   mutable records_replayed : int;
   mutable records_moved : int;  (** Uncommitted records re-homed at swaps. *)
   mutable cow_faults : int;  (** Client-absorbed CoW page copies. *)

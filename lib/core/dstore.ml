@@ -654,6 +654,213 @@ let odelete ctx key =
       observe_done true
   | _ -> assert false
 
+(* --- group commit (batched puts/deletes) --------------------------------------- *)
+
+type batch_op = Bput of string * Bytes.t | Bdelete of string
+
+let batch_key = function Bput (k, _) -> k | Bdelete k -> k
+
+(* Split a batch into sub-batches of pairwise-distinct keys, each small
+   enough to always fit the log. Distinct keys are required for
+   correctness, not just to avoid self-conflict: a record's freed ids must
+   come from state committed before the batch, so that any surviving
+   subset of the batch replays against ids that were really allocated —
+   if op B freed what same-batch op A allocated and only B survived a
+   crash, replay would free never-allocated ids. *)
+let split_batches t ops =
+  let max_batch_slots = max 8 (t.cfg.Config.log_slots / 2) in
+  let slots_of = function
+    | Bput (k, v) -> put_max_slots k (blocks_for t (Bytes.length v))
+    | Bdelete k -> put_max_slots k 1
+  in
+  let out = ref [] and cur = ref [] and cur_slots = ref 0 in
+  let seen = Hashtbl.create 16 in
+  let flush () =
+    if !cur <> [] then begin
+      out := List.rev !cur :: !out;
+      cur := [];
+      cur_slots := 0;
+      Hashtbl.reset seen
+    end
+  in
+  List.iter
+    (fun op ->
+      let k = batch_key op in
+      let n = slots_of op in
+      if Hashtbl.mem seen k || !cur_slots + n > max_batch_slots then flush ();
+      Hashtbl.add seen k ();
+      cur := op :: !cur;
+      cur_slots := !cur_slots + n)
+    ops;
+  flush ();
+  List.rev !out
+
+(* Fork-join over [items]: run [f] on each concurrently (one platform
+   task per extra element, the first inline) and return when all are
+   done. Used to overlap a batch's SSD payload writes. *)
+let par_iter t items f =
+  match items with
+  | [] -> ()
+  | [ x ] -> f x
+  | x :: rest ->
+      let mu = t.platform.Platform.new_mutex () in
+      let cv = t.platform.Platform.new_cond () in
+      let pending = ref (List.length rest) in
+      List.iter
+        (fun y ->
+          t.platform.Platform.spawn "batch-io" (fun () ->
+              f y;
+              Platform.with_lock mu (fun () ->
+                  decr pending;
+                  if !pending = 0 then cv.Platform.signal ())))
+        rest;
+      f x;
+      Platform.with_lock mu (fun () ->
+          while !pending > 0 do
+            cv.Platform.wait mu
+          done)
+
+(* One sub-batch (distinct keys). Step order differs from the single-op
+   pipeline: allocation (step 4) and the SSD data write (step 8) are
+   STAGED before the batched append, so the batch's in-flight window —
+   what a conflicting writer of the same key must wait out — contains
+   only the coalesced log flush, the structure updates, and the commit
+   fence, no device time. Staging early is safe because the freshly
+   allocated blocks are unreachable until the records commit and the
+   allocators are volatile (rebuilt by recovery): a crash before the
+   append loses nothing durable. Payload writes of one batch run
+   concurrently (par_iter); steps 6–7 stay per-op between append and
+   commit, and commit-time block releases per-op after the batch
+   commit. *)
+let exec_sub_batch ctx t ops =
+  let ignore_tickets =
+    List.filter_map (fun op -> own_lock ctx (batch_key op)) ops
+  in
+  (* Step 4, batched: one short lock hold for every allocation. *)
+  let staged =
+    Dipper.with_frontend_lock t.engine (fun () ->
+        List.map
+          (fun op ->
+            match op with
+            | Bput (key, value) ->
+                let nblocks = blocks_for t (Bytes.length value) in
+                let extents = alloc_blocks t nblocks in
+                let meta = alloc_meta t in
+                trace t (Trace.Write_step (Trace.W_alloc, key));
+                (op, Some (meta, extents))
+            | Bdelete _ -> (op, None))
+          ops)
+  in
+  (* Step 8, staged + overlapped: all payloads to the SSD concurrently. *)
+  par_iter t
+    (List.filter_map
+       (function
+         | Bput (key, value), Some (_, extents) -> Some (key, value, extents)
+         | _ -> None)
+       staged)
+    (fun (key, value, extents) ->
+      write_data t extents value (Bytes.length value);
+      trace t (Trace.Write_step (Trace.W_data_write, key)));
+  let items =
+    List.map
+      (fun (op, alloc) ->
+        match (op, alloc) with
+        | Bput (key, value), Some (meta, extents) ->
+            let size = Bytes.length value in
+            ( key,
+              put_max_slots key (blocks_for t size),
+              fun () ->
+                let freed_meta, freed_extents =
+                  match Btree.find t.h.btree key with
+                  | Some old_meta ->
+                      let _, exts = Metazone.read_object t.h.zone old_meta in
+                      (old_meta, of_mz exts)
+                  | None -> (-1, [])
+                in
+                trace t (Trace.Write_step (Trace.W_find_old, key));
+                Logrec.Put { key; size; meta; extents; freed_meta; freed_extents }
+            )
+        | Bdelete key, _ ->
+            ( key,
+              put_max_slots key 1,
+              fun () ->
+                match Btree.find t.h.btree key with
+                | None -> Logrec.Noop { key }
+                | Some meta ->
+                    let _, exts = Metazone.read_object t.h.zone meta in
+                    Logrec.Delete { key; meta; extents = of_mz exts } )
+        | Bput _, None -> assert false)
+      staged
+  in
+  let tickets = Dipper.locked_append_batch ~ignore_tickets t.engine items in
+  let posts =
+    List.map2
+      (fun (op, _) tk ->
+        match (op, Dipper.ticket_op tk) with
+        | ( Bput (key, _),
+            Logrec.Put { size; meta; extents; freed_meta; freed_extents; _ } )
+          ->
+            Dipper.wait_readers t.engine t.rc key;
+            with_structs t (fun () ->
+                put_structures t key meta size extents freed_meta);
+            (Some (freed_meta, freed_extents), true)
+        | Bdelete key, Logrec.Delete { meta; extents; _ } ->
+            Dipper.wait_readers t.engine t.rc key;
+            with_structs t (fun () ->
+                t.platform.Platform.consume t.cfg.costs.btree_ns;
+                ignore (Btree.delete t.h.btree key));
+            (Some (meta, extents), true)
+        | Bdelete _, Logrec.Noop _ -> (None, false)
+        | _ -> assert false)
+      staged tickets
+  in
+  Dipper.commit_batch t.engine tickets;
+  List.iter
+    (function
+      | Some (freed_meta, freed_extents), _ ->
+          release_freed t freed_meta freed_extents
+      | None, _ -> ())
+    posts;
+  List.map snd posts
+
+let obatch ctx ops =
+  check_ctx ctx;
+  let t = ctx.store in
+  match ops with
+  | [] -> []
+  | _ ->
+      let t0 = now t in
+      let results =
+        match t.cfg.logging with
+        | Config.Logical ->
+            List.concat_map (exec_sub_batch ctx t) (split_batches t ops)
+        | Config.Physical ->
+            (* Physical logging captures redo images inside the critical
+               section per op; run the batch as individual ops. *)
+            List.map
+              (function
+                | Bput (k, v) ->
+                    oput_physical ctx t k v (Bytes.length v);
+                    true
+                | Bdelete k -> odelete ctx k)
+              ops
+      in
+      (* Group-commit acknowledgment: every op in the batch observes the
+         whole batch's latency — nothing is durable earlier. *)
+      let dt = now t - t0 in
+      List.iter
+        (fun op ->
+          match op with
+          | Bput _ -> Metrics.observe t.h_put dt
+          | Bdelete _ -> Metrics.observe t.h_del dt)
+        ops;
+      results
+
+let oput_batch ctx kvs =
+  ignore (obatch ctx (List.map (fun (k, v) -> Bput (k, v)) kvs))
+
+let odelete_batch ctx keys = obatch ctx (List.map (fun k -> Bdelete k) keys)
+
 (* --- filesystem-style API ----------------------------------------------------- *)
 
 let oopen ctx name ?(create = true) mode =

@@ -78,6 +78,37 @@ val odelete : ctx -> string -> bool
 
 val oexists : ctx -> string -> bool
 
+(** {1 Group commit (batched updates)}
+
+    The batched entry points amortize the write pipeline's persistence
+    rounds (steps 1–5 and 9) across a whole batch: one frontend-lock
+    acquisition, one coalesced log-append flush pass, one commit flush —
+    while the per-object work (reader drain, structure updates, SSD data,
+    commit-time block releases) still runs per op.
+
+    Durability contract: {e no operation in a batch is acknowledged
+    durable until the batch call returns; after a crash any subset of the
+    batch may survive}, each member individually valid-or-absent. Batches
+    with repeated keys are split into sub-batches at each repeat (a
+    record's freed ids must predate its batch), so a pathological batch
+    degrades gracefully toward per-op commits. *)
+
+type batch_op = Bput of string * Bytes.t | Bdelete of string
+
+val batch_key : batch_op -> string
+
+val obatch : ctx -> batch_op list -> bool list
+(** Execute a batch of updates under group commit; results in input
+    order ([Bput] → [true], [Bdelete] → whether the key existed). Under
+    [Physical] logging the ops run individually (redo-image capture is
+    per-op by construction). *)
+
+val oput_batch : ctx -> (string * Bytes.t) list -> unit
+(** [obatch] over puts only. Durable on return. *)
+
+val odelete_batch : ctx -> string list -> bool list
+(** [obatch] over deletes only; per-key existence results. *)
+
 (** {1 Filesystem-style API} *)
 
 type open_mode = Rd | Wr | Rdwr

@@ -67,6 +67,21 @@ val flush_record : t -> slot:int -> lsn:int -> Logrec.op -> unit
     flush its line last. On return the record is durable and valid (but
     uncommitted). Call outside the lock. *)
 
+val flush_batch : t -> (int * int * Logrec.op) list -> unit
+(** Group-commit append persistence: [(slot, lsn, op)] triples previously
+    staged with {!write_record}. One coalesced flush + fence over the whole
+    staged slot span, then every LSN word is stored, then a second flush +
+    fence over the span — two persistence rounds for the entire batch
+    instead of one or two per record. Each record keeps the reverse-order
+    invariant (payload durable strictly before its LSN line), so after a
+    crash any subset of the batch may survive, each member individually
+    valid-or-absent. Call outside the frontend lock. *)
+
+val persist_span : t -> slot:int -> slots:int -> unit
+(** Persist [slots] consecutive slots starting at [slot] with one flush +
+    fence — the batch-commit counterpart of {!persist_slot}. A no-op under
+    [Config.Skip_batch_commit_fence] (checker fault). *)
+
 val commit_record : t -> slot:int -> unit
 (** Set and persist the commit word. *)
 

@@ -243,6 +243,44 @@ let odelete ctx key = Dstore.odelete (route ctx key) key
 
 let oexists ctx key = Dstore.oexists (route ctx key) key
 
+(* Group commit across shards: partition the batch by routing hash
+   (preserving each shard's sub-order), run one Dstore batch per shard,
+   and reassemble the per-op results in input order. Each shard's
+   sub-batch gets its own group commit; the call returns only when every
+   sub-batch has committed, so the cluster-level durability contract
+   matches the engine's. *)
+let obatch ctx ops =
+  match ops with
+  | [] -> []
+  | _ ->
+      let n = Array.length ctx.ctxs in
+      let buckets = Array.make n [] in
+      let order = Array.make n [] in
+      List.iteri
+        (fun i op ->
+          let s = Shard_map.shard_of ctx.c.map (Dstore.batch_key op) in
+          buckets.(s) <- op :: buckets.(s);
+          order.(s) <- i :: order.(s))
+        ops;
+      let results = Array.make (List.length ops) false in
+      Array.iteri
+        (fun s bucket ->
+          match bucket with
+          | [] -> ()
+          | _ ->
+              let sub = List.rev bucket in
+              let idxs = List.rev order.(s) in
+              let rs = Dstore.obatch ctx.ctxs.(s) sub in
+              List.iter2 (fun i r -> results.(i) <- r) idxs rs)
+        buckets;
+      Array.to_list results
+
+let oput_batch ctx kvs =
+  ignore (obatch ctx (List.map (fun (k, v) -> Dstore.Bput (k, v)) kvs))
+
+let odelete_batch ctx keys =
+  obatch ctx (List.map (fun k -> Dstore.Bdelete k) keys)
+
 let oopen ctx name ?create mode = Dstore.oopen (route ctx name) name ?create mode
 
 let oread = Dstore.oread

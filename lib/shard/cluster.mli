@@ -121,6 +121,20 @@ val odelete : ctx -> string -> bool
 
 val oexists : ctx -> string -> bool
 
+val obatch : ctx -> Dstore.batch_op list -> bool list
+(** Group commit across shards: the batch is partitioned by routing hash
+    (each shard's sub-order preserved), one {!Dstore.obatch} runs per
+    shard, and the per-op results come back in input order. Durable on
+    return — each shard's sub-batch carries the engine's group-commit
+    contract, so after a crash any subset of the whole batch may
+    survive. *)
+
+val oput_batch : ctx -> (string * Bytes.t) list -> unit
+(** {!obatch} over puts only. *)
+
+val odelete_batch : ctx -> string list -> bool list
+(** {!obatch} over deletes only; per-key existence results. *)
+
 val oopen : ctx -> string -> ?create:bool -> Dstore.open_mode -> Dstore.obj
 (** Open on the owning shard; the returned handle is shard-local, so
     {!oread}/{!owrite}/{!oclose}/{!osize} are the single-store calls. *)

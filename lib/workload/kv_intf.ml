@@ -13,6 +13,11 @@ type client = {
   put : string -> Bytes.t -> unit;
   get : string -> Bytes.t -> int;  (** Into caller's buffer; -1 if absent. *)
   delete : string -> unit;
+  put_batch : ((string * Bytes.t) list -> unit) option;
+      (** Group-commit endpoint, when the system has one (DStore variants
+          route it through [oput_batch]): all puts durable on return, any
+          subset may survive a crash during the call. [None] = the runner
+          falls back to per-op [put]. *)
 }
 
 type system = {

@@ -8,6 +8,18 @@ module Json = Dstore_obs.Json
 
 type sample = { t_ns : int; ops : int; ssd_bytes : int; pmem_bytes : int }
 
+(* Persistence efficiency over the measurement window, summed across the
+   system's PMEM devices: group commit's whole point is driving the
+   per-operation fence count down, so the runner reports it directly. *)
+type persistence = {
+  fence_calls : int;
+  flush_calls : int;
+  flushed_bytes : int;
+  fences_per_op : float;
+  flushes_per_op : float;
+  flushed_bytes_per_op : float;
+}
+
 type result = {
   system : string;
   workload : string;
@@ -22,6 +34,7 @@ type result = {
   load_ns : int;
   metrics : Metrics.t;
   sys_obs : Obs.t option;
+  persistence : persistence;
 }
 
 let pmem_traffic pms =
@@ -38,9 +51,18 @@ let ssd_traffic ssds =
       acc + st.Ssd.bytes_read + st.Ssd.bytes_written)
     0 ssds
 
+let pm_persist_totals pms =
+  List.fold_left
+    (fun (fe, fl, b) pm ->
+      let st = Pmem.stats pm in
+      ( fe + st.Pmem.fence_calls,
+        fl + st.Pmem.flush_calls,
+        b + st.Pmem.bytes_flushed ))
+    (0, 0, 0) pms
+
 let run ?(seed = 42) ?timeline_bin_ns ?(load = true) ?(loaders = 8)
-    ?(think_ns = 100_000) ~build ~(workload : Ycsb.t) ~clients ~duration_ns ()
-    =
+    ?(think_ns = 100_000) ?(batch = 1) ~build ~(workload : Ycsb.t) ~clients
+    ~duration_ns () =
   let sim = Sim.create () in
   let p = Sim_platform.make ~parallelism:clients sim in
   let rng = Rng.create seed in
@@ -73,6 +95,7 @@ let run ?(seed = 42) ?timeline_bin_ns ?(load = true) ?(loaders = 8)
      reported percentiles are exact over the union. *)
   let t0 = Sim.now sim in
   let t_end = t0 + duration_ns in
+  let fe0, fl0, b0 = pm_persist_totals sys.Kv_intf.pms in
   let agg = Metrics.create () in
   let shards = ref [] in
   let ops_done = ref 0 in
@@ -87,6 +110,30 @@ let run ?(seed = 42) ?timeline_bin_ns ?(load = true) ?(loaders = 8)
         let g = Ycsb.gen workload cr in
         let value = Rng.bytes cr workload.Ycsb.value_bytes in
         let buf = Bytes.create (max workload.Ycsb.value_bytes 4096) in
+        (* Group commit: with [batch > 1] on a system exposing a batched
+           endpoint, updates accumulate client-side and go down as one
+           [put_batch] per [batch] ops. Every op in the batch is charged
+           the whole call's duration — an op is not acknowledged until
+           its batch commit returns. Reads flush first so read-your-write
+           holds inside one client. *)
+        let put_batch = if batch > 1 then c.Kv_intf.put_batch else None in
+        let pending = ref [] in
+        let npending = ref 0 in
+        let flush_updates () =
+          if !npending > 0 then begin
+            let kvs = List.rev !pending in
+            pending := [];
+            let n = !npending in
+            npending := 0;
+            let t_op = Sim.now sim in
+            (Option.get put_batch) kvs;
+            let dt = Sim.now sim - t_op in
+            for _ = 1 to n do
+              Metrics.observe h_update dt;
+              incr ops_done
+            done
+          end
+        in
         while Sim.now sim < t_end do
           (* Client-side harness overhead (the YCSB loop): the paper's
              Table 5 rates at 28 threads imply ~110 us per operation while
@@ -94,16 +141,26 @@ let run ?(seed = 42) ?timeline_bin_ns ?(load = true) ?(loaders = 8)
              lives in the client. Jittered to avoid lockstep. *)
           if think_ns > 0 then
             p.Platform.consume (think_ns * (90 + Rng.int cr 21) / 100);
-          let t_op = Sim.now sim in
-          (match Ycsb.next g with
+          match Ycsb.next g with
           | Ycsb.Read k ->
+              flush_updates ();
+              let t_op = Sim.now sim in
               ignore (c.Kv_intf.get k buf);
-              Metrics.observe h_read (Sim.now sim - t_op)
-          | Ycsb.Update k ->
-              c.Kv_intf.put k value;
-              Metrics.observe h_update (Sim.now sim - t_op));
-          incr ops_done
-        done)
+              Metrics.observe h_read (Sim.now sim - t_op);
+              incr ops_done
+          | Ycsb.Update k -> (
+              match put_batch with
+              | Some _ ->
+                  pending := (k, value) :: !pending;
+                  incr npending;
+                  if !npending >= batch then flush_updates ()
+              | None ->
+                  let t_op = Sim.now sim in
+                  c.Kv_intf.put k value;
+                  Metrics.observe h_update (Sim.now sim - t_op);
+                  incr ops_done)
+        done;
+        flush_updates ())
   done;
   let timeline = ref [] in
   (match timeline_bin_ns with
@@ -133,6 +190,22 @@ let run ?(seed = 42) ?timeline_bin_ns ?(load = true) ?(loaders = 8)
      baseline's checkpointer) schedule events forever, so we cannot wait
      for a natural drain before stopping them. *)
   Sim.run_until sim t_end;
+  (* Persistence efficiency: deltas over the measurement window, divided
+     by the ops completed inside it (staged tail batches drain during the
+     stop phase and are excluded from both sides). *)
+  let fe1, fl1, b1 = pm_persist_totals sys.Kv_intf.pms in
+  let ops_win = max 1 !ops_done in
+  let per x = float_of_int x /. float_of_int ops_win in
+  let persistence =
+    {
+      fence_calls = fe1 - fe0;
+      flush_calls = fl1 - fl0;
+      flushed_bytes = b1 - b0;
+      fences_per_op = per (fe1 - fe0);
+      flushes_per_op = per (fl1 - fl0);
+      flushed_bytes_per_op = per (b1 - b0);
+    }
+  in
   Sim.spawn sim "stopper" (fun () -> sys.Kv_intf.stop ());
   Sim.run sim;
   let footprint = sys.Kv_intf.footprint () in
@@ -153,6 +226,7 @@ let run ?(seed = 42) ?timeline_bin_ns ?(load = true) ?(loaders = 8)
     load_ns;
     metrics = agg;
     sys_obs = sys.Kv_intf.obs;
+    persistence;
   }
 
 (* --- JSON export ------------------------------------------------------------- *)
@@ -185,6 +259,17 @@ let result_json ?(trace_last = 64) r =
             ("ssd", Json.Int ssd);
           ] );
       ("timeline", Json.List (List.map sample_json r.timeline));
+      ( "persistence",
+        Json.Obj
+          [
+            ("fence_calls", Json.Int r.persistence.fence_calls);
+            ("flush_calls", Json.Int r.persistence.flush_calls);
+            ("flushed_bytes", Json.Int r.persistence.flushed_bytes);
+            ("fences_per_op", Json.Float r.persistence.fences_per_op);
+            ("flushes_per_op", Json.Float r.persistence.flushes_per_op);
+            ( "flushed_bytes_per_op",
+              Json.Float r.persistence.flushed_bytes_per_op );
+          ] );
       ("client_metrics", Metrics.to_json r.metrics);
       ( "store",
         match r.sys_obs with

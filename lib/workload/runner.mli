@@ -16,6 +16,20 @@ type sample = {
   pmem_bytes : int;  (** PMEM writeback + bulk-read traffic in the bin. *)
 }
 
+type persistence = {
+  fence_calls : int;  (** PMEM fences issued inside the window. *)
+  flush_calls : int;  (** Line-flush (writeback) calls inside the window. *)
+  flushed_bytes : int;
+  fences_per_op : float;
+      (** [fence_calls / ops]: the figure of merit for group commit —
+          batching N updates per commit amortizes the append and commit
+          fences over the batch. *)
+  flushes_per_op : float;
+  flushed_bytes_per_op : float;
+}
+(** Persistence efficiency over the measurement window, summed across the
+    system's PMEM devices and divided by the ops completed inside it. *)
+
 type result = {
   system : string;
   workload : string;
@@ -33,6 +47,7 @@ type result = {
           [client.update_ns]); [reads]/[updates] are views into it. *)
   sys_obs : Dstore_obs.Obs.t option;
       (** The system's own observability handle, when it exposes one. *)
+  persistence : persistence;
 }
 
 val run :
@@ -41,6 +56,7 @@ val run :
   ?load:bool ->
   ?loaders:int ->
   ?think_ns:int ->
+  ?batch:int ->
   build:(Dstore_platform.Platform.t -> Kv_intf.system) ->
   workload:Ycsb.t ->
   clients:int ->
@@ -52,7 +68,14 @@ val run :
     [duration_ns] of virtual time, stop the system, and report.
     [think_ns] (default 100 us, jittered ±10%) models the YCSB client
     loop between operations — see DESIGN.md's calibration note — and is
-    excluded from recorded latencies. *)
+    excluded from recorded latencies.
+
+    [batch] (default 1): with [batch > 1] on a system exposing
+    {!Kv_intf.client.put_batch}, each client stages updates and issues
+    them as one group-commit call per [batch] ops; every op in the batch
+    records the whole call's duration (group-commit acknowledgement), and
+    a read flushes the client's staged updates first. Systems without a
+    batched endpoint silently run per-op. *)
 
 val result_json : ?trace_last:int -> result -> Dstore_obs.Json.t
 (** Machine-readable results blob: identity, throughput, footprint,

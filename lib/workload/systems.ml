@@ -93,6 +93,7 @@ let dstore ?(tweak = Fun.id) ?label platform scale : Kv_intf.system =
           Kv_intf.put = (fun k v -> Dstore.oput ctx k v);
           get = (fun k buf -> Dstore.oget_into ctx k buf);
           delete = (fun k -> ignore (Dstore.odelete ctx k));
+          put_batch = Some (fun kvs -> Dstore.oput_batch ctx kvs);
         });
     checkpoint_now = Some (fun () -> Dstore.checkpoint_now st);
     stop = (fun () -> Dstore.stop st);
@@ -144,6 +145,7 @@ let cached ?label ?(tweak = Fun.id) platform scale : Kv_intf.system =
           Kv_intf.put = (fun k v -> Cached_store.put st k v);
           get = (fun k buf -> Cached_store.get st k buf);
           delete = (fun k -> ignore (Cached_store.delete st k));
+          put_batch = None;
         });
     checkpoint_now = Some (fun () -> Cached_store.checkpoint_now st);
     stop = (fun () -> Cached_store.stop st);
@@ -174,6 +176,7 @@ let lsm ?label platform scale : Kv_intf.system =
           Kv_intf.put = (fun k v -> Lsm_store.put st k v);
           get = (fun k buf -> Lsm_store.get st k buf);
           delete = (fun k -> ignore (Lsm_store.delete st k));
+          put_batch = None;
         });
     checkpoint_now = None;
     stop = (fun () -> Lsm_store.stop st);
@@ -206,6 +209,7 @@ let lsm_no_stall ?label platform scale : Kv_intf.system =
           Kv_intf.put = (fun k v -> Lsm_store.put st k v);
           get = (fun k buf -> Lsm_store.get st k buf);
           delete = (fun k -> ignore (Lsm_store.delete st k));
+          put_batch = None;
         });
     checkpoint_now = None;
     stop = (fun () -> Lsm_store.stop st);
@@ -264,6 +268,7 @@ let sharded ?(shards = 4) ?(stagger = true) ?label platform scale :
           Kv_intf.put = (fun k v -> Cluster.oput ctx k v);
           get = (fun k buf -> Cluster.oget_into ctx k buf);
           delete = (fun k -> ignore (Cluster.odelete ctx k));
+          put_batch = Some (fun kvs -> Cluster.oput_batch ctx kvs);
         });
     checkpoint_now = Some (fun () -> Cluster.checkpoint_now c);
     stop = (fun () -> Cluster.stop c);
@@ -296,6 +301,7 @@ let inline ?label platform scale : Kv_intf.system =
           Kv_intf.put = (fun k v -> Inline_store.put st k v);
           get = (fun k buf -> Inline_store.get st k buf);
           delete = (fun k -> ignore (Inline_store.delete st k));
+          put_batch = None;
         });
     checkpoint_now = None;
     stop = (fun () -> Inline_store.stop st);

@@ -9,6 +9,8 @@ type t = {
   read_pct : int;  (** Percent of operations that are reads. *)
   records : int;
   value_bytes : int;
+  uniform : bool;
+      (** Uniform request distribution instead of scrambled Zipfian. *)
 }
 
 val a : ?records:int -> ?value_bytes:int -> unit -> t
@@ -19,6 +21,11 @@ val c : ?records:int -> ?value_bytes:int -> unit -> t
 
 val write_only : ?records:int -> ?value_bytes:int -> unit -> t
 (** 100% updates — the Figure 9 ablation workload. *)
+
+val write_only_uniform : ?records:int -> ?value_bytes:int -> unit -> t
+(** 100% updates over a uniform request distribution — the group-commit
+    sweep workload, where writes are fence-bound rather than hot-key
+    contention-bound. *)
 
 val key : int -> string
 (** YCSB-style key for record [i] ("user" ++ digits). *)

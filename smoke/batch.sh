@@ -1,0 +1,24 @@
+#!/bin/sh
+# Group-commit smoke: crash-sweep a scenario whose op mix includes
+# batched puts/deletes (Gen emits ~10% Batch ops), in both directions.
+#
+# The clean engine must survive a crash at every persistence event —
+# including the ones that land between a batch's append fence and its
+# commit fence, where any per-key subset of the batch may legitimately
+# survive. The Skip_batch_commit_fence mutation (commit words set but
+# the closing flush+fence over the span dropped) must be caught.
+#
+# Extra arguments are forwarded to both sweeps (anything not already
+# pinned below), e.g.
+#
+#   smoke/batch.sh --stride 4               # quicker pass
+#
+# Equivalent dune alias: `dune build @torture`.
+set -eu
+cd "$(dirname "$0")/.."
+echo "== Batched crash sweep (expect clean) =="
+dune exec bin/dstore_checker.exe -- sweep --ops 120 --subsets 1 "$@"
+echo
+echo "== Skip_batch_commit_fence fault (expect caught) =="
+exec dune exec bin/dstore_checker.exe -- sweep --ops 120 --subsets 1 \
+  --fault skip-batch-commit --expect-violations "$@"

@@ -167,6 +167,40 @@ let test_oracle_pending_write_extension () =
   check bool "committed extension acceptable" true (ok "aaaaBBBB");
   check bool "half extension rejected" false (ok "aaaaBB")
 
+let test_oracle_pending_batch () =
+  (* Any-subset survival: while a group commit is in flight each key
+     independently shows its committed value or its batch effect; after
+     commit_pending every effect is durable. *)
+  let o = Oracle.create () in
+  Oracle.begin_put o "a" (bytes_of "a0");
+  Oracle.commit_pending o;
+  Oracle.begin_put o "c" (bytes_of "c0");
+  Oracle.commit_pending o;
+  Oracle.begin_batch o
+    [ ("a", Some (bytes_of "a1")); ("b", Some (bytes_of "b1")); ("c", None) ];
+  let ok tbl names =
+    Oracle.check o ~read:(fun k -> List.assoc_opt k tbl) ~names = []
+  in
+  check bool "nothing applied acceptable" true
+    (ok [ ("a", bytes_of "a0"); ("c", bytes_of "c0") ] [ "a"; "c" ]);
+  check bool "all applied acceptable" true
+    (ok [ ("a", bytes_of "a1"); ("b", bytes_of "b1") ] [ "a"; "b" ]);
+  check bool "per-key mixed subset acceptable" true
+    (ok
+       [ ("a", bytes_of "a0"); ("b", bytes_of "b1"); ("c", bytes_of "c0") ]
+       [ "a"; "b"; "c" ]);
+  check bool "foreign value rejected" false
+    (ok [ ("a", bytes_of "zz"); ("c", bytes_of "c0") ] [ "a"; "c" ]);
+  Oracle.commit_pending o;
+  check bool "after commit all effects durable" true
+    (ok [ ("a", bytes_of "a1"); ("b", bytes_of "b1") ] [ "a"; "b" ]);
+  check bool "after commit old state rejected" false
+    (ok [ ("a", bytes_of "a0"); ("c", bytes_of "c0") ] [ "a"; "c" ]);
+  check bool "repeated key in batch rejected" true
+    (match Oracle.begin_batch o [ ("x", None); ("x", None) ] with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
 let test_oracle_phantom () =
   let o = Oracle.create () in
   Oracle.begin_put o "a" (bytes_of "v");
@@ -377,6 +411,17 @@ let test_sweep_detects_skip_payload_flush () =
   let r = sweep ~fault:Config.Skip_payload_flush ~seed:42 ~n_ops:40 ~stride:1 in
   check bool "skipped payload flush detected" true (r.Explorer.violations <> [])
 
+(* Group commit: the batch commit words are all set but the closing
+   flush+fence over the span is dropped, so an acknowledged batch can
+   evaporate wholesale at a crash. Gen mixes ~10% Batch ops into the
+   sequence, so an event-by-event sweep must trip the oracle. *)
+let test_sweep_detects_skip_batch_commit () =
+  let r =
+    sweep ~fault:Config.Skip_batch_commit_fence ~seed:7 ~n_ops:40 ~stride:1
+  in
+  check bool "skipped batch commit persist detected" true
+    (r.Explorer.violations <> [])
+
 (* Losing delta dirty tracking feeds a stale half back into the pipeline;
    a small log forces enough checkpoints that the corruption surfaces.
    The stride only thins crash points — the baseline detection is
@@ -456,6 +501,24 @@ let run_for_identity clone ~seed ~n_ops ~ckpt_every =
                   ignore (Dstore.owrite o data ~size:len ~off);
                   Dstore.oclose o;
                   Oracle.commit_pending oracle)
+          | Gen.Batch items ->
+              let effects =
+                List.map
+                  (function
+                    | Gen.B_put { key; size; vseed } ->
+                        (key, Some (Gen.value ~vseed size))
+                    | Gen.B_del key -> (key, None))
+                  items
+              in
+              Oracle.begin_batch oracle effects;
+              ignore
+                (Dstore.obatch ctx
+                   (List.map
+                      (function
+                        | key, Some v -> Dstore.Bput (key, v)
+                        | key, None -> Dstore.Bdelete key)
+                      effects));
+              Oracle.commit_pending oracle
           | Gen.Lock key ->
               if not (Hashtbl.mem locked key) then begin
                 Dstore.olock ctx key;
@@ -500,6 +563,152 @@ let prop_delta_publishes_identical_bytes =
            failwith "scenario produced no delta clone";
          delta_used = full_used
          && Mem.equal_range full_mem delta_mem ~off:0 ~len:full_used))
+
+(* --- Group commit identity: batched = unbatched ------------------------ *)
+
+let keys_of_ops ops =
+  List.sort_uniq compare
+    (List.concat_map
+       (fun (op : Gen.op) ->
+         match op with
+         | Gen.Put { key; _ }
+         | Gen.Delete key
+         | Gen.Get key
+         | Gen.Write { key; _ }
+         | Gen.Lock key
+         | Gen.Unlock key ->
+             [ key ]
+         | Gen.Batch items ->
+             List.map
+               (function Gen.B_put { key; _ } -> key | Gen.B_del key -> key)
+               items)
+       ops)
+
+(* Execute a Gen sequence with puts/deletes coalesced into obatch calls
+   of [chunk] ops ([chunk = 1] = the classic per-op path) and return the
+   final value of every key the sequence ever named. The buffer is
+   flushed before any read, partial write, lock, or explicit batch so
+   both schedules observe the same store state; a shadow table of full
+   object values — updated at submission time, identically under every
+   partition — steers the Write offset and skip decisions. *)
+let run_partitioned ~chunk ~seed ~n_ops =
+  let cfg =
+    {
+      (identity_cfg Config.Delta) with
+      Config.log_slots = 256;
+      checkpoint_threshold = 0.6;
+    }
+  in
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let pm =
+    Pmem.create p { Pmem.default_config with size = Dipper.layout_bytes cfg }
+  in
+  let ssd =
+    Ssd.create p { Ssd.default_config with pages = cfg.Config.ssd_blocks }
+  in
+  let ops = Gen.generate ~seed ~n:n_ops in
+  let result = ref None in
+  Sim.spawn sim "w" (fun () ->
+      let st = Dstore.create p pm ssd cfg in
+      let ctx = Dstore.ds_init st in
+      let shadow = Hashtbl.create 32 in
+      let locked = Hashtbl.create 8 in
+      let buf = ref [] and nbuf = ref 0 in
+      let flush () =
+        if !buf <> [] then begin
+          ignore (Dstore.obatch ctx (List.rev !buf));
+          buf := [];
+          nbuf := 0
+        end
+      in
+      let submit op =
+        if chunk <= 1 then
+          match op with
+          | Dstore.Bput (k, v) -> Dstore.oput ctx k v
+          | Dstore.Bdelete k -> ignore (Dstore.odelete ctx k)
+        else begin
+          buf := op :: !buf;
+          incr nbuf;
+          if !nbuf >= chunk then flush ()
+        end
+      in
+      List.iter
+        (fun (op : Gen.op) ->
+          match op with
+          | Gen.Put { key; size; vseed } ->
+              let v = Gen.value ~vseed size in
+              Hashtbl.replace shadow key (Bytes.copy v);
+              submit (Dstore.Bput (key, v))
+          | Gen.Delete key ->
+              Hashtbl.remove shadow key;
+              submit (Dstore.Bdelete key)
+          | Gen.Batch items ->
+              flush ();
+              ignore
+                (Dstore.obatch ctx
+                   (List.map
+                      (function
+                        | Gen.B_put { key; size; vseed } ->
+                            let v = Gen.value ~vseed size in
+                            Hashtbl.replace shadow key (Bytes.copy v);
+                            Dstore.Bput (key, v)
+                        | Gen.B_del key ->
+                            Hashtbl.remove shadow key;
+                            Dstore.Bdelete key)
+                      items))
+          | Gen.Get key ->
+              flush ();
+              ignore (Dstore.oget ctx key)
+          | Gen.Write { key; off_pct; len; vseed } -> (
+              flush ();
+              match Hashtbl.find_opt shadow key with
+              | None -> ()
+              | Some old ->
+                  let osz = Bytes.length old in
+                  let off = min osz (osz * off_pct / 100) in
+                  let data = Gen.value ~vseed len in
+                  let nv = Bytes.make (max osz (off + len)) '\000' in
+                  Bytes.blit old 0 nv 0 osz;
+                  Bytes.blit data 0 nv off len;
+                  Hashtbl.replace shadow key nv;
+                  let o = Dstore.oopen ctx key ~create:false Dstore.Rdwr in
+                  ignore (Dstore.owrite o data ~size:len ~off);
+                  Dstore.oclose o)
+          | Gen.Lock key ->
+              flush ();
+              if not (Hashtbl.mem locked key) then begin
+                Dstore.olock ctx key;
+                Hashtbl.add locked key ()
+              end
+          | Gen.Unlock key ->
+              flush ();
+              if Hashtbl.mem locked key then begin
+                Hashtbl.remove locked key;
+                Dstore.ounlock ctx key
+              end)
+        ops;
+      flush ();
+      result :=
+        Some (List.map (fun k -> (k, Dstore.oget ctx k)) (keys_of_ops ops)));
+  Sim.run sim;
+  Option.get !result
+
+let prop_batched_equals_unbatched =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"batched execution byte-identical to unbatched" ~count:15
+       QCheck.(pair (int_range 0 100_000) (int_range 2 6))
+       (fun (seed, chunk) ->
+         Seed_report.attempt ~test:"batched = unbatched" ~seed
+           ~repro:
+             (Printf.sprintf
+                "dune exec test/test_main.exe -- test check  # seed %d chunk %d"
+                seed chunk)
+         @@ fun () ->
+         let n_ops = 60 in
+         run_partitioned ~chunk:1 ~seed ~n_ops
+         = run_partitioned ~chunk ~seed ~n_ops))
 
 let contains s sub =
   let n = String.length s and m = String.length sub in
@@ -549,6 +758,7 @@ let suite =
     ( "oracle: pending write extension",
       `Quick,
       test_oracle_pending_write_extension );
+    ("oracle: pending batch any-subset", `Quick, test_oracle_pending_batch);
     ("oracle: phantom keys", `Quick, test_oracle_phantom);
     ("fsck: clean store", `Quick, test_fsck_clean);
     ( "fsck: freed referenced block",
@@ -565,6 +775,10 @@ let suite =
     ( "explorer: detects lost delta dirty tracking",
       `Slow,
       test_sweep_detects_skip_dirty_track );
+    ( "explorer: detects skipped batch commit persist",
+      `Slow,
+      test_sweep_detects_skip_batch_commit );
     prop_delta_publishes_identical_bytes;
+    prop_batched_equals_unbatched;
     ("explorer: obs export + report json", `Quick, test_sweep_obs_export);
   ]

@@ -297,6 +297,106 @@ let test_oplog_recover_tail () =
       Oplog.recover_tail log2;
       check Alcotest.int "tail recovered" expected_tail (Oplog.tail log2))
 
+(* --- Oplog persistence-call accounting (group commit) ------------------ *)
+
+(* Pin the exact flush/fence counts of every append/commit shape, so a
+   protocol change that silently adds or drops a persistence round fails
+   here. Single-slot append: the LSN line is the whole record — 1 flush +
+   1 fence. Multi-slot append: payload round then LSN round — 2 + 2.
+   Per-record commit: 1 + 1. A batched append is 2 + 2 {e regardless of
+   record count} (two coalesced passes over the whole staged span), and a
+   batch commit 1 + 1 — that amortization is the whole point of group
+   commit. *)
+let test_oplog_persist_call_accounting () =
+  with_sim (fun p _ ->
+      let pm, log = fresh_log ~slots:128 p in
+      let st = Pmem.stats pm in
+      let snap () = (st.Pmem.flush_calls, st.Pmem.fence_calls) in
+      let diff (f0, fe0) =
+        (st.Pmem.flush_calls - f0, st.Pmem.fence_calls - fe0)
+      in
+      (* Single-slot record. *)
+      let s = snap () in
+      let slot, _ = append log (put_op "one") in
+      Alcotest.(check (pair int int)) "single-slot append: 1 flush, 1 fence"
+        (1, 1) (diff s);
+      let s = snap () in
+      Oplog.commit_record log ~slot;
+      Alcotest.(check (pair int int)) "commit: 1 flush, 1 fence" (1, 1) (diff s);
+      (* Multi-slot record: payload round then LSN round. *)
+      let big = Logrec.Noop { key = String.make 100 'm' } in
+      Alcotest.(check bool) "fixture is multi-slot" true
+        (Logrec.slots_needed big > 1);
+      let s = snap () in
+      ignore (append log big);
+      Alcotest.(check (pair int int)) "multi-slot append: 2 flushes, 2 fences"
+        (2, 2) (diff s);
+      (* Batched append: four records, still two coalesced rounds. *)
+      let stage op =
+        match Oplog.reserve log (Logrec.slots_needed op) with
+        | None -> Alcotest.fail "log full"
+        | Some (slot, lsn) ->
+            Oplog.write_record log ~slot ~lsn op;
+            (slot, lsn, op)
+      in
+      let items =
+        List.map
+          (fun i -> stage (put_op (Printf.sprintf "b%d" i)))
+          [ 1; 2; 3; 4 ]
+      in
+      let s = snap () in
+      Oplog.flush_batch log items;
+      Alcotest.(check (pair int int)) "batched append: 2 flushes, 2 fences"
+        (2, 2) (diff s);
+      (* Batch commit: all commit words set, one persist over the span. *)
+      List.iter (fun (slot, _, _) -> Oplog.set_commit_word log ~slot) items;
+      let lo = List.fold_left (fun a (sl, _, _) -> min a sl) max_int items in
+      let hi =
+        List.fold_left
+          (fun a (sl, _, op) -> max a (sl + Logrec.slots_needed op))
+          0 items
+      in
+      let s = snap () in
+      Oplog.persist_span log ~slot:lo ~slots:(hi - lo);
+      Alcotest.(check (pair int int)) "batch commit: 1 flush, 1 fence" (1, 1)
+        (diff s))
+
+let test_oplog_flush_batch_durable () =
+  with_sim (fun p _ ->
+      let pm, log = fresh_log ~slots:128 p in
+      let stage op =
+        match Oplog.reserve log (Logrec.slots_needed op) with
+        | None -> Alcotest.fail "log full"
+        | Some (slot, lsn) ->
+            Oplog.write_record log ~slot ~lsn op;
+            (slot, lsn, op)
+      in
+      (* Mixed shapes: the middle record spans several slots. *)
+      let items =
+        List.map stage
+          [ put_op "k0"; Logrec.Noop { key = String.make 100 'z' }; put_op "k2" ]
+      in
+      Oplog.flush_batch log items;
+      Pmem.crash pm Pmem.Drop_all;
+      let entries = Oplog.scan log in
+      check Alcotest.int "all records valid after crash" 3 (List.length entries);
+      Alcotest.(check bool) "all uncommitted" true
+        (List.for_all (fun e -> not e.Oplog.committed) entries);
+      (* Batch commit, then crash again: every member durable-committed. *)
+      List.iter (fun (slot, _, _) -> Oplog.set_commit_word log ~slot) items;
+      let lo = List.fold_left (fun a (sl, _, _) -> min a sl) max_int items in
+      let hi =
+        List.fold_left
+          (fun a (sl, _, op) -> max a (sl + Logrec.slots_needed op))
+          0 items
+      in
+      Oplog.persist_span log ~slot:lo ~slots:(hi - lo);
+      Pmem.crash pm Pmem.Drop_all;
+      let entries = Oplog.scan log in
+      Alcotest.(check bool) "all committed after crash" true
+        (List.length entries = 3
+        && List.for_all (fun e -> e.Oplog.committed) entries))
+
 let prop_oplog_random_crash_valid_prefix =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make
@@ -440,6 +540,8 @@ let suite =
     ("oplog commit persists", `Quick, test_oplog_commit_persists);
     ("oplog uncommitted after crash", `Quick, test_oplog_uncommitted_after_crash);
     ("oplog recover_tail", `Quick, test_oplog_recover_tail);
+    ("oplog persist-call accounting", `Quick, test_oplog_persist_call_accounting);
+    ("oplog flush_batch durable", `Quick, test_oplog_flush_batch_durable);
     prop_oplog_random_crash_valid_prefix;
     ("root init/read", `Quick, test_root_init_read);
     ("root attach uninitialized", `Quick, test_root_attach_uninitialized);

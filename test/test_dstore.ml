@@ -849,6 +849,125 @@ let prop_crash_recovery_observational_equivalence =
          Sim.run fx.sim;
          !ok))
 
+(* --- group commit (obatch) ----------------------------------------------- *)
+
+let test_obatch_basic () =
+  with_store (fun _ st ctx ->
+      Dstore.oput ctx "pre" (value_of_string "old");
+      let results =
+        Dstore.obatch ctx
+          [
+            Dstore.Bput ("a", value_of_string "va");
+            Dstore.Bput ("pre", value_of_string "new");
+            Dstore.Bdelete "ghost";
+            Dstore.Bput ("b", big_value 7 9000);
+          ]
+      in
+      Alcotest.(check (list bool))
+        "puts true, absent delete false" [ true; true; false; true ] results;
+      (match Dstore.oget ctx "a" with
+      | Some v -> check Alcotest.string "a" "va" (Bytes.to_string v)
+      | None -> Alcotest.fail "a missing");
+      (match Dstore.oget ctx "pre" with
+      | Some v -> check Alcotest.string "pre overwritten" "new" (Bytes.to_string v)
+      | None -> Alcotest.fail "pre missing");
+      (match Dstore.oget ctx "b" with
+      | Some v -> check Alcotest.bytes "b multiblock" (big_value 7 9000) v
+      | None -> Alcotest.fail "b missing");
+      let s = Dipper.stats (Dstore.engine st) in
+      Alcotest.(check bool) "batches counted" true (s.Dipper.batches_committed >= 1);
+      check Alcotest.int "records counted" 4 s.Dipper.batch_records;
+      (* A delete of an existing key through the batch path. *)
+      let r2 = Dstore.odelete_batch ctx [ "a"; "nope" ] in
+      Alcotest.(check (list bool)) "delete results" [ true; false ] r2;
+      Alcotest.(check bool) "a gone" false (Dstore.oexists ctx "a"))
+
+let test_obatch_duplicate_keys () =
+  (* Repeated keys split into ordered sub-batches, so the last effect per
+     key wins — same observable result as issuing the ops one by one. *)
+  with_store (fun _ _ ctx ->
+      let results =
+        Dstore.obatch ctx
+          [
+            Dstore.Bput ("dup", value_of_string "first");
+            Dstore.Bput ("other", value_of_string "x");
+            Dstore.Bput ("dup", value_of_string "second");
+            Dstore.Bdelete "other";
+            Dstore.Bput ("dup", value_of_string "third");
+          ]
+      in
+      Alcotest.(check (list bool))
+        "per-op results" [ true; true; true; true; true ] results;
+      (match Dstore.oget ctx "dup" with
+      | Some v -> check Alcotest.string "last write wins" "third" (Bytes.to_string v)
+      | None -> Alcotest.fail "dup missing");
+      Alcotest.(check bool) "other deleted" false (Dstore.oexists ctx "other"))
+
+let test_obatch_locked_key () =
+  (* A batch touching a key this context holds an advisory lock on must
+     not deadlock against the caller's own lock ticket. *)
+  with_store (fun _ _ ctx ->
+      Dstore.olock ctx "mine";
+      Dstore.oput_batch ctx
+        [ ("mine", value_of_string "locked-write"); ("free", value_of_string "f") ];
+      Dstore.ounlock ctx "mine";
+      match Dstore.oget ctx "mine" with
+      | Some v -> check Alcotest.string "locked key written" "locked-write" (Bytes.to_string v)
+      | None -> Alcotest.fail "mine missing")
+
+let fence_count_for ~batched n =
+  with_store (fun fx _ ctx ->
+      let st = Pmem.stats fx.pm in
+      let f0 = st.Pmem.fence_calls in
+      let v = big_value 9 64 in
+      (if batched then
+         Dstore.oput_batch ctx
+           (List.init n (fun i -> (Printf.sprintf "k%d" i, v)))
+       else
+         for i = 0 to n - 1 do
+           Dstore.oput ctx (Printf.sprintf "k%d" i) v
+         done);
+      st.Pmem.fence_calls - f0)
+
+let test_obatch_fence_amortization () =
+  (* 8 unbatched single-slot puts: 2 fences each (append + commit) = 16.
+     One batch of 8: 2 append fences + 1 commit fence = 3. Anything the
+     structures add is identical on both sides, so the 4x bound holds with
+     slack. *)
+  let unbatched = fence_count_for ~batched:false 8 in
+  let batched = fence_count_for ~batched:true 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "batched fences %d <= 1/4 of unbatched %d" batched unbatched)
+    true
+    (batched * 4 <= unbatched)
+
+let test_obatch_crash_all_committed () =
+  (* Drop-all crash after an acknowledged batch: every member survives. *)
+  let fx = fixture () in
+  Sim.spawn fx.sim "main" (fun () ->
+      let st = Dstore.create fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      Dstore.oput ctx "victim" (value_of_string "old");
+      Dstore.oput_batch ctx
+        (List.init 6 (fun i ->
+             (Printf.sprintf "g%d" i, value_of_string (string_of_int i))));
+      ignore (Dstore.odelete_batch ctx [ "victim" ]));
+  Sim.run fx.sim;
+  Pmem.crash fx.pm Pmem.Drop_all;
+  Sim.clear_pending fx.sim;
+  Sim.spawn fx.sim "recovery" (fun () ->
+      let st = Dstore.recover fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      for i = 0 to 5 do
+        match Dstore.oget ctx (Printf.sprintf "g%d" i) with
+        | Some v -> check Alcotest.string "batch member" (string_of_int i) (Bytes.to_string v)
+        | None -> Alcotest.failf "acked batch member g%d lost" i
+      done;
+      Alcotest.(check bool) "batched delete durable" false
+        (Dstore.oexists ctx "victim");
+      Dstore.stop st);
+  Sim.run fx.sim
+
 let suite =
   [
     ("put/get", `Quick, test_put_get);
@@ -896,5 +1015,10 @@ let suite =
     ("owrite crash consistency", `Quick, test_owrite_crash_consistency);
     ("recover uninitialized fails", `Quick, test_recover_uninitialized_fails);
     ("double recovery idempotent", `Quick, test_double_recovery_idempotent);
+    ("obatch basic", `Quick, test_obatch_basic);
+    ("obatch duplicate keys", `Quick, test_obatch_duplicate_keys);
+    ("obatch under own olock", `Quick, test_obatch_locked_key);
+    ("obatch fence amortization", `Quick, test_obatch_fence_amortization);
+    ("obatch crash: acked batch survives", `Quick, test_obatch_crash_all_committed);
     prop_crash_recovery_observational_equivalence;
   ]

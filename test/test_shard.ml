@@ -151,6 +151,64 @@ let test_cluster_basic_ops () =
       Cluster.stop c);
   Sim.run fx.sim
 
+let test_cluster_obatch () =
+  (* Group commit across the partition: one obatch call splits by shard
+     hash, runs one group commit per owning shard, and reports results in
+     input order. *)
+  let fx = fixture ~shards:3 () in
+  Sim.spawn fx.sim "w" (fun () ->
+      let c = Cluster.create fx.p small_cfg fx.nodes in
+      let ctx = Cluster.ds_init c in
+      Cluster.oput ctx "pre" (Bytes.of_string "old");
+      let n = 12 in
+      let ops =
+        List.concat
+          [
+            List.init n (fun i ->
+                Dstore.Bput
+                  ( Printf.sprintf "bkey%03d" i,
+                    Bytes.of_string (Printf.sprintf "bval-%d" i) ));
+            [ Dstore.Bdelete "pre"; Dstore.Bdelete "ghost" ];
+          ]
+      in
+      let res = Cluster.obatch ctx ops in
+      check int "one result per op, in order" (n + 2) (List.length res);
+      check
+        (list bool)
+        "puts true, live delete true, ghost delete false"
+        (List.init n (fun _ -> true) @ [ true; false ])
+        res;
+      for i = 0 to n - 1 do
+        let k = Printf.sprintf "bkey%03d" i in
+        match Cluster.oget ctx k with
+        | Some v ->
+            check string "batched value round-trips"
+              (Printf.sprintf "bval-%d" i) (Bytes.to_string v)
+        | None -> failf "batched key %s missing" k
+      done;
+      check bool "deleted key gone" false (Cluster.oexists ctx "pre");
+      (* The batch really fanned out: more than one shard committed a
+         group, and the record counts sum to the ops we issued. *)
+      let per i =
+        let st = Dipper.stats (Dstore.engine (Cluster.shard_store c i)) in
+        (st.Dipper.batches_committed, st.Dipper.batch_records)
+      in
+      let stats = List.init 3 per in
+      check bool "more than one shard group-committed" true
+        (List.length (List.filter (fun (b, _) -> b > 0) stats) > 1);
+      check int "batched records sum across shards" (n + 2)
+        (List.fold_left (fun acc (_, r) -> acc + r) 0 stats);
+      (* Convenience wrappers route through the same path. *)
+      Cluster.oput_batch ctx
+        [ ("wa", Bytes.of_string "1"); ("wb", Bytes.of_string "2") ];
+      check bool "oput_batch keys live" true
+        (Cluster.oexists ctx "wa" && Cluster.oexists ctx "wb");
+      check (list bool) "odelete_batch results in order" [ true; false; true ]
+        (Cluster.odelete_batch ctx [ "wa"; "nope"; "wb" ]);
+      Cluster.ds_finalize ctx;
+      Cluster.stop c);
+  Sim.run fx.sim
+
 let test_cluster_gate_staggered () =
   (* Under the staggered policy the checkpoint gate must keep the
      concurrency high-water mark at one, while still letting every shard
@@ -319,6 +377,7 @@ let suite =
     ("shard_map: non-degenerate spread", `Quick, test_shard_map_spread);
     ("shard_map: rejects zero shards", `Quick, test_shard_map_bad_args);
     ("cluster: basic ops across 3 shards", `Quick, test_cluster_basic_ops);
+    ("cluster: group commit across shards", `Quick, test_cluster_obatch);
     ("cluster: staggered gate caps concurrency", `Quick, test_cluster_gate_staggered);
     ("metrics: prefixed merge keeps shards apart", `Quick, test_metrics_prefix_merge);
     ( "cluster: stop folds shard metrics under shard<i>.",
