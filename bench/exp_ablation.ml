@@ -64,7 +64,8 @@ let sweep_log_size opts =
   let wl = Ycsb.write_only ~records:opts.objects () in
   let t =
     Tablefmt.create
-      [ "log slots"; "checkpoints"; "p50 (us)"; "p9999 (us)"; "PMEM (MB)" ]
+      [ "log slots"; "checkpoints"; "p50 (us)"; "p999 (us)"; "p9999 (us)";
+        "PMEM (MB)" ]
   in
   List.iter
     (fun slots ->
@@ -82,6 +83,7 @@ let sweep_log_size opts =
           string_of_int slots;
           "(see note)";
           Tablefmt.f1 (us r.Runner.updates 50.0);
+          Tablefmt.f1 (us r.Runner.updates 99.9);
           Tablefmt.f1 (us r.Runner.updates 99.99);
           Tablefmt.f1 (float_of_int pmem /. 1e6);
         ])
@@ -94,7 +96,10 @@ let sweep_log_size opts =
 let sweep_threshold opts =
   Printf.printf "\n  -- checkpoint trigger threshold --\n";
   let wl = Ycsb.write_only ~records:opts.objects () in
-  let t = Tablefmt.create [ "threshold"; "p50 (us)"; "p9999 (us)"; "stalls" ] in
+  let t =
+    Tablefmt.create
+      [ "threshold"; "p50 (us)"; "p999 (us)"; "p9999 (us)"; "stalls" ]
+  in
   List.iter
     (fun th ->
       let stalls = ref 0 in
@@ -137,6 +142,7 @@ let sweep_threshold opts =
         [
           Tablefmt.f2 th;
           Tablefmt.f1 (us r.Runner.updates 50.0);
+          Tablefmt.f1 (us r.Runner.updates 99.9);
           Tablefmt.f1 (us r.Runner.updates 99.99);
           string_of_int !stalls;
         ])
@@ -158,7 +164,7 @@ let sweep_clone_mode opts =
     Tablefmt.create
       [
         "clone"; "ckpts"; "full/delta"; "cloned (MB)"; "skipped (MB)";
-        "clone ns/ckpt"; "stalls"; "p50 (us)"; "p9999 (us)";
+        "clone ns/ckpt"; "stalls"; "p50 (us)"; "p999 (us)"; "p9999 (us)";
       ]
   in
   List.iter
@@ -219,6 +225,7 @@ let sweep_clone_mode opts =
           Tablefmt.ns_i (clone_ns / max 1 ckpts);
           string_of_int stalls;
           Tablefmt.f1 (us r.Runner.updates 50.0);
+          Tablefmt.f1 (us r.Runner.updates 99.9);
           Tablefmt.f1 (us r.Runner.updates 99.99);
         ];
       record_json
@@ -235,6 +242,8 @@ let sweep_clone_mode opts =
              ("log_full_stalls", Dstore_obs.Json.Int stalls);
              ( "p50_us",
                Dstore_obs.Json.Float (us r.Runner.updates 50.0) );
+             ( "p999_us",
+               Dstore_obs.Json.Float (us r.Runner.updates 99.9) );
              ( "p9999_us",
                Dstore_obs.Json.Float (us r.Runner.updates 99.99) );
            ]))

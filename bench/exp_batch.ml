@@ -32,8 +32,8 @@ let sweep_table opts ~label ~json_tag ~sizes wl =
   let t =
     Tablefmt.create
       [
-        "batch"; "Kops/s"; "p50 (us)"; "p9999 (us)"; "fences/op"; "flushes/op";
-        "flushed B/op";
+        "batch"; "Kops/s"; "p50 (us)"; "p99 (us)"; "p999 (us)"; "p9999 (us)";
+        "fences/op"; "flushes/op"; "flushed B/op";
       ]
   in
   List.iter
@@ -49,6 +49,8 @@ let sweep_table opts ~label ~json_tag ~sizes wl =
           string_of_int b;
           Tablefmt.f1 (r.Runner.throughput /. 1e3);
           Tablefmt.f1 (us r.Runner.updates 50.0);
+          Tablefmt.f1 (us r.Runner.updates 99.0);
+          Tablefmt.f1 (us r.Runner.updates 99.9);
           Tablefmt.f1 (us r.Runner.updates 99.99);
           Tablefmt.f2 pe.Runner.fences_per_op;
           Tablefmt.f2 pe.Runner.flushes_per_op;

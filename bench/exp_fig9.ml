@@ -31,7 +31,7 @@ let run opts =
   hdr "Figure 9: Effect of optimizations on write latency (us)";
   note "write-only workload, %d clients" opts.clients;
   let wl = Ycsb.write_only ~records:opts.objects () in
-  let t = Tablefmt.create [ "design"; "mean"; "p50"; "p9999" ] in
+  let t = Tablefmt.create [ "design"; "mean"; "p50"; "p99"; "p999"; "p9999" ] in
   List.iter
     (fun (label, tweak) ->
       let r =
@@ -44,6 +44,8 @@ let run opts =
           label;
           Tablefmt.f1 (mean_us r.Runner.updates);
           Tablefmt.f1 (us r.Runner.updates 50.0);
+          Tablefmt.f1 (us r.Runner.updates 99.0);
+          Tablefmt.f1 (us r.Runner.updates 99.9);
           Tablefmt.f1 (us r.Runner.updates 99.99);
         ])
     variants;

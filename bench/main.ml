@@ -29,6 +29,7 @@ let experiments : (string * string * (Common.opts -> unit)) list =
     ("micro", "real-time software-path microbenchmarks", Exp_micro.run);
     ("shard", "sharded cluster scaling + staggered checkpoints", Exp_shard.run);
     ("batch", "group-commit batch-size sweep", Exp_batch.run);
+    ("tail", "per-op causal spans + tail-latency attribution", Exp_tail.run);
   ]
 
 let usage () =

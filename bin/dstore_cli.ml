@@ -28,6 +28,11 @@
      shards            per-shard status: log fill, checkpoint state, footprint
      stats             engine statistics summed across shards
      metrics           aggregate metrics registry (shard<i>.* namespaced)
+     tail              tail-latency attribution report over all recorded
+                       spans (merged across shards): >=p99 / >=p9999 mass
+                       decomposed by blame cause
+     spans [N]         last N finished op spans with per-segment timings
+                       and blame intervals (default 20)
      trace [N]         last N cluster trace events (default 20)
      trace-shard I [N] last N trace events of shard I's store
      trace-clear       empty the cluster trace ring
@@ -46,6 +51,7 @@ open Dstore_util
 module Obs = Dstore_obs.Obs
 module Metrics = Dstore_obs.Metrics
 module Trace = Dstore_obs.Trace
+module Span = Dstore_obs.Span
 
 let cfg =
   {
@@ -261,6 +267,10 @@ let handle s line =
         (sum (fun st -> st.Dipper.batches_committed))
         (sum (fun st -> st.Dipper.batch_records))
   | [ "metrics" ] -> Metrics.print (Cluster.aggregate_metrics (cluster s))
+  | [ "tail" ] -> Span.print_report (Cluster.tail_recorder (cluster s))
+  | [ "spans" ] -> Span.print_spans ~n:20 (Cluster.tail_recorder (cluster s))
+  | [ "spans"; n ] when int_of_string_opt n <> None ->
+      Span.print_spans ~n:(int_of_string n) (Cluster.tail_recorder (cluster s))
   | [ "trace" ] -> Obs.print_trace ~last:20 s.obs
   | [ "trace"; n ] when int_of_string_opt n <> None ->
       Obs.print_trace ~last:(int_of_string n) s.obs
@@ -328,8 +338,8 @@ let handle s line =
   | _ ->
       print_endline
         "unknown command (put/get/del/batch/list/checkpoint/ckpt/shards/stats/\n\
-         metrics/trace/trace-shard/trace-clear/footprint/check/crash/recover/\n\
-         quit)"
+         metrics/tail/spans/trace/trace-shard/trace-clear/footprint/check/\n\
+         crash/recover/quit)"
 
 let parse_args () =
   let shards = ref 1 and stagger = ref true and batch = ref 1 in

@@ -4,6 +4,7 @@ open Dstore_memory
 module Obs = Dstore_obs.Obs
 module Metrics = Dstore_obs.Metrics
 module Trace = Dstore_obs.Trace
+module Span = Dstore_obs.Span
 
 exception Log_full
 
@@ -291,6 +292,9 @@ let make_engine ?obs platform pm (cfg : Config.t) hooks root =
           ()
   in
   Pmem.attach_obs pm obs;
+  (* Checkpoint-interference blame needs no per-device plumbing: span
+     periods sample the shared bandwidth domain's bulk-busy clock. *)
+  Span.set_ambient obs.Obs.spans (fun () -> Pmem.bulk_busy_ns pm);
   let lay = layout_of cfg in
   if Pmem.size pm < lay.total then
     invalid_arg
@@ -570,7 +574,7 @@ let finish_checkpoint t ~target ~arch =
    source, which is all the next delta needs. The epoch is only marked
    valid after the persist pass, so an aborted checkpoint (crash harness)
    leaves it invalid and the redo falls back to a full clone. *)
-let dipper_checkpoint t =
+let dipper_checkpoint t sp =
   let now () = t.platform.Platform.now () in
   let t0 = now () in
   let standby = 1 - t.active_log in
@@ -580,6 +584,7 @@ let dipper_checkpoint t =
   trace t (Trace.Ckpt Trace.C_archive);
   let t1 = now () in
   t.st.ckpt_archive_ns <- t.st.ckpt_archive_ns + (t1 - t0);
+  Span.seg sp Span.S_ckpt_archive;
   let target = 1 - t.current_space in
   trace t (Trace.Ckpt Trace.C_clone);
   let delta_cfg = t.cfg.Config.ckpt_clone = Config.Delta in
@@ -615,10 +620,12 @@ let dipper_checkpoint t =
   trace t (Trace.Ckpt Trace.C_replay);
   let t2 = now () in
   t.st.ckpt_clone_ns <- t.st.ckpt_clone_ns + (t2 - t1);
+  Span.seg sp Span.S_ckpt_clone;
   replay_pool t shadow entries;
   trace t (Trace.Ckpt Trace.C_persist);
   let t3 = now () in
   t.st.ckpt_replay_ns <- t.st.ckpt_replay_ns + (t3 - t2);
+  Span.seg sp Span.S_ckpt_replay;
   if delta_cfg then begin
     persist_delta t ~target ~copyset shadow;
     t.deltas.(target).valid <- true
@@ -626,14 +633,16 @@ let dipper_checkpoint t =
   else Space.persist_used shadow;
   let t4 = now () in
   t.st.ckpt_persist_ns <- t.st.ckpt_persist_ns + (t4 - t3);
+  Span.seg sp Span.S_ckpt_persist;
   finish_checkpoint t ~target ~arch;
   trace t (Trace.Ckpt Trace.C_publish);
-  t.st.ckpt_publish_ns <- t.st.ckpt_publish_ns + (now () - t4)
+  t.st.ckpt_publish_ns <- t.st.ckpt_publish_ns + (now () - t4);
+  Span.seg sp Span.S_ckpt_publish
 
 (* One CoW checkpoint cycle (§4.5): snapshot the volatile space by page
    copy instead of log replay. The archived log is still swapped out (its
    effects are contained in the snapshot). *)
-let cow_checkpoint t =
+let cow_checkpoint t sp =
   let now () = t.platform.Platform.now () in
   let t0 = now () in
   let standby = 1 - t.active_log in
@@ -658,6 +667,7 @@ let cow_checkpoint t =
   in
   let t1 = now () in
   t.st.ckpt_archive_ns <- t.st.ckpt_archive_ns + (t1 - t0);
+  Span.seg sp Span.S_ckpt_archive;
   (* Background copier: walk pages; clients racing us absorb faults. The
      copier persists each page as it goes, so the whole copy loop counts
      as the clone+persist phases combined; it is booked under clone. *)
@@ -670,17 +680,21 @@ let cow_checkpoint t =
   trace t (Trace.Ckpt Trace.C_persist);
   let t2 = now () in
   t.st.ckpt_clone_ns <- t.st.ckpt_clone_ns + (t2 - t1);
+  Span.seg sp Span.S_ckpt_clone;
   finish_checkpoint t ~target ~arch;
   trace t (Trace.Ckpt Trace.C_publish);
-  t.st.ckpt_publish_ns <- t.st.ckpt_publish_ns + (now () - t2)
+  t.st.ckpt_publish_ns <- t.st.ckpt_publish_ns + (now () - t2);
+  Span.seg sp Span.S_ckpt_publish
 
 let do_checkpoint t =
   let t0 = t.platform.Platform.now () in
   trace t (Trace.Ckpt Trace.C_trigger);
+  let sp = Span.start t.obs.Obs.spans Span.Checkpoint "ckpt" in
   (match t.cfg.checkpoint with
-  | Config.Dipper -> dipper_checkpoint t
-  | Config.Cow -> cow_checkpoint t
+  | Config.Dipper -> dipper_checkpoint t sp
+  | Config.Cow -> cow_checkpoint t sp
   | Config.No_checkpoint -> ());
+  Span.finish sp;
   t.st.checkpoints <- t.st.checkpoints + 1;
   t.st.ckpt_total_ns <- t.st.ckpt_total_ns + (t.platform.Platform.now () - t0)
 
@@ -746,6 +760,7 @@ let recover ?obs platform pm cfg hooks =
   let root = Root.attach pm ~off:0 in
   let t, raw, cow, cap = make_engine ?obs platform pm cfg hooks root in
   let t0 = platform.Platform.now () in
+  let sp = Span.start t.obs.Obs.spans Span.Recovery "recover" in
   trace t (Trace.Recovery Trace.R_start);
   let rs = Root.read root in
   t.active_log <- rs.Root.active_log;
@@ -779,6 +794,7 @@ let recover ?obs platform pm cfg hooks =
   let wrapped = wrap_volatile platform cfg.Config.costs.cow_fault_ns pm cow cap t.st base raw in
   t.volatile <- Space.copy_into pspace wrapped;
   t.st.recovery_metadata_ns <- platform.Platform.now () - t0;
+  Span.seg sp Span.S_rec_metadata;
   (* Phase 3: replay committed records beyond the watermark from both logs
      in LSN order (robust to a crash landing anywhere around a swap). *)
   trace t (Trace.Recovery Trace.R_replay);
@@ -795,6 +811,7 @@ let recover ?obs platform pm cfg hooks =
       t.st.recovery_replayed_records <- t.st.recovery_replayed_records + 1)
     entries;
   t.st.recovery_replay_ns <- platform.Platform.now () - t1;
+  Span.seg sp Span.S_rec_replay;
   (* Resume appending after the last valid record of the active log. *)
   Oplog.recover_tail t.logs.(t.active_log);
   t.next_base <-
@@ -803,6 +820,7 @@ let recover ?obs platform pm cfg hooks =
       (Oplog.lsn_base t.logs.(1))
     + cfg.log_slots;
   trace t (Trace.Recovery Trace.R_done);
+  Span.finish sp;
   spawn_manager t;
   t
 
@@ -865,7 +883,7 @@ let request_checkpoint_locked t =
   t.ckpt_needed <- true;
   t.cond_ckpt.Platform.signal ()
 
-let locked_append ?ignore_ticket t ~key ~max_slots f =
+let locked_append ?ignore_ticket ?(span = Span.none) t ~key ~max_slots f =
   let ignore = Option.to_list ignore_ticket in
   let rec attempt () =
     t.lock.Platform.lock ();
@@ -874,7 +892,12 @@ let locked_append ?ignore_ticket t ~key ~max_slots f =
         t.lock.Platform.unlock ();
         t.st.conflict_waits <- t.st.conflict_waits + 1;
         trace t (Trace.Conflict_wait key);
-        wait_ticket t tk;
+        if Span.live span then begin
+          let tw = t.platform.Platform.now () in
+          wait_ticket t tk;
+          Span.stall span Span.Conflict_retry (t.platform.Platform.now () - tw)
+        end
+        else wait_ticket t tk;
         attempt ()
     | None ->
         if Oplog.free_slots t.logs.(t.active_log) < max_slots then begin
@@ -886,7 +909,12 @@ let locked_append ?ignore_ticket t ~key ~max_slots f =
           t.st.log_full_stalls <- t.st.log_full_stalls + 1;
           trace t Trace.Log_full_stall;
           (* cond wait releases and re-acquires the frontend lock *)
-          t.cond_space.Platform.wait t.lock;
+          if Span.live span then begin
+            let tw = t.platform.Platform.now () in
+            t.cond_space.Platform.wait t.lock;
+            Span.stall span Span.Log_full (t.platform.Platform.now () - tw)
+          end
+          else t.cond_space.Platform.wait t.lock;
           t.lock.Platform.unlock ();
           attempt ()
         end
@@ -916,6 +944,7 @@ let locked_append ?ignore_ticket t ~key ~max_slots f =
             && float_of_int (Oplog.tail log)
                >= t.cfg.checkpoint_threshold *. float_of_int (Oplog.capacity log)
           then request_checkpoint_locked t;
+          Span.seg span Span.S_lock;
           t.lock.Platform.unlock ();
           (* The §3.4 flush protocol runs outside the critical section. *)
           let tf = t.platform.Platform.now () in
@@ -924,6 +953,7 @@ let locked_append ?ignore_ticket t ~key ~max_slots f =
             t.st.append_flush_ns + (t.platform.Platform.now () - tf);
           t.st.records_appended <- t.st.records_appended + 1;
           trace t (Trace.Write_step (Trace.W_log_append, key));
+          Span.seg span Span.S_append;
           tk
         end
   in
@@ -953,7 +983,7 @@ let commit t tk =
    distinct (the store layer splits batches on repeats); conflicts against
    OTHER writers' in-flight records are waited out exactly as in
    {!locked_append}. *)
-let locked_append_batch ?(ignore_tickets = []) t items =
+let locked_append_batch ?(ignore_tickets = []) ?(span = Span.none) t items =
   match items with
   | [] -> []
   | _ ->
@@ -980,7 +1010,13 @@ let locked_append_batch ?(ignore_tickets = []) t items =
             t.lock.Platform.unlock ();
             t.st.conflict_waits <- t.st.conflict_waits + 1;
             trace t (Trace.Conflict_wait key);
-            wait_ticket t tk;
+            if Span.live span then begin
+              let tw = t.platform.Platform.now () in
+              wait_ticket t tk;
+              Span.stall span Span.Conflict_retry
+                (t.platform.Platform.now () - tw)
+            end
+            else wait_ticket t tk;
             attempt ()
         | None ->
             if Oplog.free_slots t.logs.(t.active_log) < total_slots then begin
@@ -991,7 +1027,13 @@ let locked_append_batch ?(ignore_tickets = []) t items =
               request_checkpoint_locked t;
               t.st.log_full_stalls <- t.st.log_full_stalls + 1;
               trace t Trace.Log_full_stall;
-              t.cond_space.Platform.wait t.lock;
+              if Span.live span then begin
+                let tw = t.platform.Platform.now () in
+                t.cond_space.Platform.wait t.lock;
+                Span.stall span Span.Log_full
+                  (t.platform.Platform.now () - tw)
+              end
+              else t.cond_space.Platform.wait t.lock;
               t.lock.Platform.unlock ();
               attempt ()
             end
@@ -1029,6 +1071,7 @@ let locked_append_batch ?(ignore_tickets = []) t items =
                    >= t.cfg.checkpoint_threshold
                       *. float_of_int (Oplog.capacity log)
               then request_checkpoint_locked t;
+              Span.seg span Span.S_lock;
               t.lock.Platform.unlock ();
               (* One coalesced flush+fence pass for the whole batch. *)
               let tf = t.platform.Platform.now () in
@@ -1043,6 +1086,7 @@ let locked_append_batch ?(ignore_tickets = []) t items =
                   | Some k -> trace t (Trace.Write_step (Trace.W_log_append, k))
                   | None -> ())
                 staged;
+              Span.seg span Span.S_append;
               List.map fst staged
             end
       in

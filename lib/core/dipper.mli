@@ -104,13 +104,16 @@ val wait_write_conflict : t -> string -> unit
 
 val locked_append :
   ?ignore_ticket:ticket ->
+  ?span:Dstore_obs.Span.t ->
   t -> key:string -> max_slots:int -> (unit -> Logrec.op) -> ticket
 (** Steps 1–5 of the write pipeline: acquire the frontend lock; if an
     in-flight record conflicts on [key], release and spin on its commit
     flag, then retry; if the active log lacks [max_slots] free slots,
     trigger a checkpoint and wait for space; otherwise run the caller's
     allocation steps (which build the final operation), append the record
-    (uncommitted), release the lock, and run the §3.4 flush protocol. *)
+    (uncommitted), release the lock, and run the §3.4 flush protocol.
+    With a live [span], conflict and log-full waits are booked as blame
+    intervals and the lock-hold / log-append phases as segments. *)
 
 val with_frontend_lock : t -> (unit -> 'a) -> 'a
 (** Run under the pool lock without logging — for [oe = false] configs the
@@ -136,6 +139,7 @@ val commit : t -> ticket -> unit
 
 val locked_append_batch :
   ?ignore_tickets:ticket list ->
+  ?span:Dstore_obs.Span.t ->
   t ->
   (string * int * (unit -> Logrec.op)) list ->
   ticket list

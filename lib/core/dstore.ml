@@ -6,6 +6,7 @@ open Dstore_structs
 module Obs = Dstore_obs.Obs
 module Metrics = Dstore_obs.Metrics
 module Trace = Dstore_obs.Trace
+module Span = Dstore_obs.Span
 
 exception Object_not_found of string
 
@@ -350,7 +351,7 @@ let page_bytes = page_size
 let blocks_for t size = (size + page_size t - 1) / page_size t
 
 (* Write [size] bytes of [buf] to the blocks of [extents], in order. *)
-let write_data t extents buf size =
+let write_data ?(span = Span.none) t extents buf size =
   if size > 0 then begin
     let ps = page_size t in
     let nblocks = blocks_for t size in
@@ -365,12 +366,12 @@ let write_data t extents buf size =
     let pos = ref 0 in
     List.iter
       (fun (start, len) ->
-        Ssd.write t.ssd ~page:start padded ~off:(!pos * ps) ~count:len;
+        Ssd.write ~span t.ssd ~page:start padded ~off:(!pos * ps) ~count:len;
         pos := !pos + len)
       extents
   end
 
-let read_data t extents buf size =
+let read_data ?(span = Span.none) t extents buf size =
   if size > 0 then begin
     let ps = page_size t in
     let nblocks = blocks_for t size in
@@ -380,7 +381,7 @@ let read_data t extents buf size =
       (fun (start, len) ->
         if !pos < nblocks then begin
           let len = min len (nblocks - !pos) in
-          Ssd.read t.ssd ~page:start scratch ~off:(!pos * ps) ~count:len;
+          Ssd.read ~span t.ssd ~page:start scratch ~off:(!pos * ps) ~count:len;
           pos := !pos + len
         end)
       extents;
@@ -450,13 +451,13 @@ let put_structures t key meta size extents freed_meta =
     t.bd.btree_ns <- t.bd.btree_ns + (now t - t7)
   end
 
-let oput_logical ctx t key value size =
+let oput_logical ctx t span key value size =
   let nblocks = blocks_for t size in
   let ignore_ticket = own_lock ctx key in
   let t0 = now t in
   (* Steps 1-5: lock, find the binding being replaced, allocate, log. *)
   let ticket =
-    Dipper.locked_append ?ignore_ticket t.engine ~key
+    Dipper.locked_append ?ignore_ticket ~span t.engine ~key
       ~max_slots:(put_max_slots key nblocks)
       (fun () ->
         let freed_meta, freed_extents =
@@ -481,15 +482,19 @@ let oput_logical ctx t key value size =
   in
   (* Drain readers of this object, then steps 6-7 (metadata + index). *)
   Dipper.wait_readers t.engine t.rc key;
+  Span.seg span Span.S_ticket;
   with_structs t (fun () ->
       put_structures t key meta size extents freed_meta);
+  Span.seg span Span.S_structs;
   (* Step 8: data to the SSD. *)
   let t8 = now t in
-  write_data t extents value size;
+  write_data ~span t extents value size;
   trace t (Trace.Write_step (Trace.W_data_write, key));
+  Span.seg span Span.S_data;
   (* Step 9: commit and flush, then release the replaced allocation. *)
   let t9 = now t in
   Dipper.commit t.engine ticket;
+  Span.seg span Span.S_fence;
   release_freed t freed_meta freed_extents;
   if t.collect_breakdown then begin
     t.bd.ops <- t.bd.ops + 1;
@@ -544,7 +549,10 @@ let oput ctx key value =
   let size = Bytes.length value in
   let t0 = now t in
   (match t.cfg.logging with
-  | Config.Logical -> oput_logical ctx t key value size
+  | Config.Logical ->
+      let span = Span.start t.obs.Obs.spans Span.Put key in
+      oput_logical ctx t span key value size;
+      Span.finish span
   | Config.Physical -> oput_physical ctx t key value size);
   Metrics.observe t.h_put (now t - t0)
 
@@ -555,7 +563,7 @@ let oput ctx key value =
    draining the read count, so it only ever waits on readers that entered
    before its record appeared — and those readers never wait on it: no
    circular wait. *)
-let rec read_entry ctx key =
+let rec read_entry ?(span = Span.none) ctx key =
   let t = ctx.store in
   Readcount.enter_reader t.rc key;
   match
@@ -564,8 +572,13 @@ let rec read_entry ctx key =
   | None -> ()
   | Some tk ->
       Readcount.exit_reader t.rc key;
-      Dipper.wait_ticket_done t.engine tk;
-      read_entry ctx key
+      (if Span.live span then begin
+         let tw = now t in
+         Dipper.wait_ticket_done t.engine tk;
+         Span.stall span Span.Conflict_retry (now t - tw)
+       end
+       else Dipper.wait_ticket_done t.engine tk);
+      read_entry ~span ctx key
 
 let read_exit t key = Readcount.exit_reader t.rc key
 
@@ -573,7 +586,9 @@ let oget_into ctx key buf =
   check_ctx ctx;
   let t = ctx.store in
   let tstart = now t in
-  read_entry ctx key;
+  let span = Span.start t.obs.Obs.spans Span.Get key in
+  read_entry ~span ctx key;
+  Span.seg span Span.S_ticket;
   let located =
     with_structs_read t (fun () ->
         match Btree.find t.h.btree key with
@@ -583,15 +598,18 @@ let oget_into ctx key buf =
             let size, extents = Metazone.read_object t.h.zone meta in
             Some (size, extents))
   in
+  Span.seg span Span.S_index;
   let result =
     match located with
     | None -> -1
     | Some (size, extents) ->
         assert (Bytes.length buf >= size);
-        read_data t (of_mz extents) buf size;
+        read_data ~span t (of_mz extents) buf size;
         size
   in
+  Span.seg span Span.S_data;
   read_exit t key;
+  Span.finish span;
   Metrics.observe t.h_get (now t - tstart);
   result
 
@@ -599,18 +617,25 @@ let oget ctx key =
   check_ctx ctx;
   let t = ctx.store in
   let tstart = now t in
-  read_entry ctx key;
+  let span = Span.start t.obs.Obs.spans Span.Get key in
+  read_entry ~span ctx key;
+  Span.seg span Span.S_ticket;
   let result =
     match Btree.find t.h.btree key with
-    | None -> None
+    | None ->
+        Span.seg span Span.S_index;
+        None
     | Some meta ->
         t.platform.Platform.consume t.cfg.costs.lookup_ns;
         let size, extents = Metazone.read_object t.h.zone meta in
+        Span.seg span Span.S_index;
         let buf = Bytes.create size in
-        read_data t (of_mz extents) buf size;
+        read_data ~span t (of_mz extents) buf size;
+        Span.seg span Span.S_data;
         Some buf
   in
   read_exit t key;
+  Span.finish span;
   Metrics.observe t.h_get (now t - tstart);
   result
 
@@ -628,11 +653,16 @@ let odelete ctx key =
   check_ctx ctx;
   let t = ctx.store in
   let tstart = now t in
-  let observe_done r = Metrics.observe t.h_del (now t - tstart); r in
+  let span = Span.start t.obs.Obs.spans Span.Delete key in
+  let observe_done r =
+    Span.finish span;
+    Metrics.observe t.h_del (now t - tstart);
+    r
+  in
   let ticket =
     Dipper.locked_append
       ?ignore_ticket:(own_lock ctx key)
-      t.engine ~key ~max_slots:(put_max_slots key 1)
+      ~span t.engine ~key ~max_slots:(put_max_slots key 1)
       (fun () ->
         match Btree.find t.h.btree key with
         | None -> Logrec.Noop { key }
@@ -643,13 +673,17 @@ let odelete ctx key =
   match Dipper.ticket_op ticket with
   | Logrec.Noop _ ->
       Dipper.commit t.engine ticket;
+      Span.seg span Span.S_fence;
       observe_done false
   | Logrec.Delete { meta; extents; _ } ->
       Dipper.wait_readers t.engine t.rc key;
+      Span.seg span Span.S_ticket;
       with_structs t (fun () ->
           t.platform.Platform.consume t.cfg.costs.btree_ns;
           ignore (Btree.delete t.h.btree key));
+      Span.seg span Span.S_structs;
       Dipper.commit t.engine ticket;
+      Span.seg span Span.S_fence;
       release_freed t meta extents;
       observe_done true
   | _ -> assert false
@@ -732,7 +766,7 @@ let par_iter t items f =
    concurrently (par_iter); steps 6–7 stay per-op between append and
    commit, and commit-time block releases per-op after the batch
    commit. *)
-let exec_sub_batch ctx t ops =
+let exec_sub_batch ctx t span ops =
   let ignore_tickets =
     List.filter_map (fun op -> own_lock ctx (batch_key op)) ops
   in
@@ -751,6 +785,7 @@ let exec_sub_batch ctx t ops =
             | Bdelete _ -> (op, None))
           ops)
   in
+  Span.seg span Span.S_stage;
   (* Step 8, staged + overlapped: all payloads to the SSD concurrently. *)
   par_iter t
     (List.filter_map
@@ -759,8 +794,9 @@ let exec_sub_batch ctx t ops =
          | _ -> None)
        staged)
     (fun (key, value, extents) ->
-      write_data t extents value (Bytes.length value);
+      write_data ~span t extents value (Bytes.length value);
       trace t (Trace.Write_step (Trace.W_data_write, key)));
+  Span.seg span Span.S_data;
   let items =
     List.map
       (fun (op, alloc) ->
@@ -792,7 +828,7 @@ let exec_sub_batch ctx t ops =
         | Bput _, None -> assert false)
       staged
   in
-  let tickets = Dipper.locked_append_batch ~ignore_tickets t.engine items in
+  let tickets = Dipper.locked_append_batch ~ignore_tickets ~span t.engine items in
   let posts =
     List.map2
       (fun (op, _) tk ->
@@ -814,7 +850,9 @@ let exec_sub_batch ctx t ops =
         | _ -> assert false)
       staged tickets
   in
+  Span.seg span Span.S_structs;
   Dipper.commit_batch t.engine tickets;
+  Span.seg span Span.S_commit;
   List.iter
     (function
       | Some (freed_meta, freed_extents), _ ->
@@ -833,7 +871,17 @@ let obatch ctx ops =
       let results =
         match t.cfg.logging with
         | Config.Logical ->
-            List.concat_map (exec_sub_batch ctx t) (split_batches t ops)
+            (* One Batch span covers the whole group commit; attribution
+               weights it by op count (every op observes batch latency). *)
+            let span =
+              Span.start t.obs.Obs.spans ~n_ops:(List.length ops) Span.Batch
+                "(batch)"
+            in
+            let r =
+              List.concat_map (exec_sub_batch ctx t span) (split_batches t ops)
+            in
+            Span.finish span;
+            r
         | Config.Physical ->
             (* Physical logging captures redo images inside the critical
                section per op; run the batch as individual ops. *)
@@ -934,7 +982,9 @@ let oread o buf ~size ~off =
   if o.mode = `Wr then invalid_arg "DStore.oread: object opened write-only";
   let t = o.octx.store in
   let tstart = now t in
-  read_entry o.octx o.name;
+  let span = Span.start t.obs.Obs.spans Span.Read o.name in
+  read_entry ~span o.octx o.name;
+  Span.seg span Span.S_ticket;
   let located =
     with_structs_read t (fun () ->
         match Btree.find t.h.btree o.name with
@@ -947,24 +997,30 @@ let oread o buf ~size ~off =
         read_exit t o.name;
         raise (Object_not_found o.name)
     | Some (osz, extents) ->
-        if off >= osz then 0
+        if off >= osz then begin
+          Span.seg span Span.S_index;
+          0
+        end
         else begin
           let n = min size (osz - off) in
           t.platform.Platform.consume t.cfg.costs.lookup_ns;
+          Span.seg span Span.S_index;
           let ps = page_size t in
           let first_page = off / ps and last_page = (off + n - 1) / ps in
           let scratch = Bytes.create ((last_page - first_page + 1) * ps) in
           let pages = pages_of_extents (of_mz extents) in
           for p = first_page to last_page do
-            Ssd.read t.ssd ~page:pages.(p) scratch
+            Ssd.read ~span t.ssd ~page:pages.(p) scratch
               ~off:((p - first_page) * ps)
               ~count:1
           done;
           Bytes.blit scratch (off - (first_page * ps)) buf 0 n;
+          Span.seg span Span.S_data;
           n
         end
   in
   read_exit t o.name;
+  Span.finish span;
   Metrics.observe t.h_read (now t - tstart);
   result
 
@@ -978,11 +1034,12 @@ let owrite o buf ~size ~off =
     let ps = page_size t in
     let name = o.name in
     let new_end = off + size in
+    let span = Span.start t.obs.Obs.spans Span.Write name in
     let plan = ref None in
     let ticket =
       Dipper.locked_append
         ?ignore_ticket:(own_lock o.octx name)
-        t.engine ~key:name
+        ~span t.engine ~key:name
         ~max_slots:(put_max_slots name (blocks_for t size + 1))
         (fun () ->
           let meta =
@@ -1006,6 +1063,7 @@ let owrite o buf ~size ~off =
     in
     let meta, old_extents, new_extents, new_size = Option.get !plan in
     Dipper.wait_readers t.engine t.rc name;
+    Span.seg span Span.S_ticket;
     (match Dipper.ticket_op ticket with
     | Logrec.Write _ ->
         with_structs t (fun () ->
@@ -1014,26 +1072,30 @@ let owrite o buf ~size ~off =
               Metazone.append_extents t.h.zone meta (to_mz new_extents);
             Metazone.set_size t.h.zone meta new_size)
     | _ -> ());
+    Span.seg span Span.S_structs;
     (* Data: page-granular read-modify-write over the affected range. *)
     let pages = pages_of_extents (old_extents @ new_extents) in
     let first_page = off / ps and last_page = (new_end - 1) / ps in
-    let span = (last_page - first_page + 1) * ps in
-    let scratch = Bytes.make span '\000' in
+    let window = (last_page - first_page + 1) * ps in
+    let scratch = Bytes.make window '\000' in
     let old_pages = Metazone.blocks_of (to_mz old_extents) in
     let fetch_page p dst_off =
       if p < old_pages then
-        Ssd.read t.ssd ~page:pages.(p) scratch ~off:dst_off ~count:1
+        Ssd.read ~span t.ssd ~page:pages.(p) scratch ~off:dst_off ~count:1
     in
     if off mod ps <> 0 then fetch_page first_page 0;
     if new_end mod ps <> 0 && last_page <> first_page then
       fetch_page last_page ((last_page - first_page) * ps);
     Bytes.blit buf 0 scratch (off - (first_page * ps)) size;
     for p = first_page to last_page do
-      Ssd.write t.ssd ~page:pages.(p) scratch
+      Ssd.write ~span t.ssd ~page:pages.(p) scratch
         ~off:((p - first_page) * ps)
         ~count:1
     done;
+    Span.seg span Span.S_data;
     Dipper.commit t.engine ticket;
+    Span.seg span Span.S_fence;
+    Span.finish span;
     Metrics.observe t.h_write (now t - tstart);
     size
   end

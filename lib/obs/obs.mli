@@ -1,10 +1,20 @@
-(** One observability handle per store: a {!Metrics} registry and a
-    {!Trace} ring behind a shared enable switch. All state is DRAM-only;
-    nothing here may live in (or write to) the simulated PMEM. *)
+(** One observability handle per store: a {!Metrics} registry, a
+    {!Trace} ring, and a {!Span} recorder behind a shared enable switch.
+    All state is DRAM-only; nothing here may live in (or write to) the
+    simulated PMEM. *)
 
-type t = { metrics : Metrics.t; trace : Trace.t }
+type t = { metrics : Metrics.t; trace : Trace.t; spans : Span.recorder }
 
-val create : ?enabled:bool -> ?trace_capacity:int -> now:(unit -> int) -> unit -> t
+val create :
+  ?enabled:bool ->
+  ?trace_capacity:int ->
+  ?span_capacity:int ->
+  now:(unit -> int) ->
+  unit ->
+  t
+(** Also registers per-cause [blame.*_ns] / [blame.*_events] callback
+    gauges over the span recorder, so cluster prefix-merges export
+    per-shard blame rollups automatically. *)
 
 val null : unit -> t
 (** A disabled handle with a constant clock — the zero-cost default when
@@ -13,14 +23,15 @@ val null : unit -> t
 val enabled : t -> bool
 
 val set_enabled : t -> bool -> unit
-(** Switches both the registry and the tracer. *)
+(** Switches the registry, the tracer, and the span recorder. *)
 
 val reset : t -> unit
-(** Reset metrics and clear the trace. *)
+(** Reset metrics, clear the trace, reset the span recorder. *)
 
 val to_json : ?trace_last:int -> t -> Json.t
-(** [{"metrics": ..., "trace": [...]}]. [trace_last] limits the trace to
-    its newest entries (default: everything currently buffered). *)
+(** [{"metrics": ..., "trace": [...], "blame": {...}}]. [trace_last]
+    limits the trace to its newest entries (default: everything
+    currently buffered). *)
 
 val print_metrics : ?oc:out_channel -> t -> unit
 

@@ -10,13 +10,51 @@ let line_shift = 6
 let bulk_lines = 64
 
 module Bw = struct
-  type t = { mutable active : int; mutable peak : int }
+  type t = {
+    mutable active : int;
+    mutable peak : int;
+    (* Cumulative busy clock: total virtual time the domain has had at
+       least one bulk transfer in flight. Span recorders sample it at
+       period boundaries — the in-period delta is exactly how long a
+       checkpoint clone / recovery copy overlapped the op, i.e. its
+       checkpoint-interference blame. O(1), allocation-free. *)
+    mutable busy_ns : int;  (* completed busy intervals *)
+    mutable busy_since : int;  (* start of the open interval, if active *)
+    (* Foreground flushes that paid the shared-load rate because a bulk
+       transfer held the DIMMs, and the extra ns they paid for it. *)
+    mutable contended_flushes : int;
+    mutable contended_extra_ns : int;
+  }
 
-  let create () = { active = 0; peak = 0 }
+  let create () =
+    {
+      active = 0;
+      peak = 0;
+      busy_ns = 0;
+      busy_since = 0;
+      contended_flushes = 0;
+      contended_extra_ns = 0;
+    }
 
   let active d = d.active
 
   let peak d = d.peak
+
+  let enter d ~now =
+    if d.active = 0 then d.busy_since <- now;
+    d.active <- d.active + 1;
+    if d.active > d.peak then d.peak <- d.active
+
+  let leave d ~now =
+    d.active <- d.active - 1;
+    if d.active = 0 then d.busy_ns <- d.busy_ns + (now - d.busy_since)
+
+  let busy_at d ~now =
+    d.busy_ns + (if d.active > 0 then now - d.busy_since else 0)
+
+  let contended_flushes d = d.contended_flushes
+
+  let contended_extra_ns d = d.contended_extra_ns
 end
 
 type stats = {
@@ -119,13 +157,19 @@ let consume_shared t ~bulk cost =
            without flipping the domain's active count per segment. *)
         t.platform.consume (cost * max 1 d.Bw.active)
       else if bulk then begin
-        d.Bw.active <- d.Bw.active + 1;
-        if d.Bw.active > d.Bw.peak then d.Bw.peak <- d.Bw.active;
+        Bw.enter d ~now:(t.platform.now ());
         Fun.protect
-          ~finally:(fun () -> d.Bw.active <- d.Bw.active - 1)
+          ~finally:(fun () -> Bw.leave d ~now:(t.platform.now ()))
           (fun () -> t.platform.consume (cost * d.Bw.active))
       end
-      else t.platform.consume (cost * (1 + d.Bw.active))
+      else begin
+        if d.Bw.active > 0 then begin
+          d.Bw.contended_flushes <- d.Bw.contended_flushes + 1;
+          d.Bw.contended_extra_ns <-
+            d.Bw.contended_extra_ns + (cost * d.Bw.active)
+        end;
+        t.platform.consume (cost * (1 + d.Bw.active))
+      end
 
 (* A segmented transfer (delta clone, sparse persist sweep) is one logical
    bulk operation: register it in the shared domain once for its whole
@@ -140,14 +184,21 @@ let with_bulk t f =
       if t.in_bulk then f ()
       else begin
         t.in_bulk <- true;
-        d.Bw.active <- d.Bw.active + 1;
-        if d.Bw.active > d.Bw.peak then d.Bw.peak <- d.Bw.active;
+        Bw.enter d ~now:(t.platform.now ());
         Fun.protect
           ~finally:(fun () ->
-            d.Bw.active <- d.Bw.active - 1;
+            Bw.leave d ~now:(t.platform.now ());
             t.in_bulk <- false)
           f
       end
+
+(* Cumulative time the device's shared bandwidth domain has had a bulk
+   transfer in flight, up to now; 0 without a shared domain. This is the
+   ambient clock span recorders use for checkpoint-interference blame. *)
+let bulk_busy_ns t =
+  match t.cfg.share with
+  | None -> 0
+  | Some d -> Bw.busy_at d ~now:(t.platform.now ())
 
 let dirty_lines_unlocked t =
   Mutex.lock t.guard;
@@ -169,7 +220,16 @@ let attach_obs t obs =
   M.gauge_fn m "pmem.flush_calls" (fun () -> t.st.flush_calls);
   M.gauge_fn m "pmem.fence_calls" (fun () -> t.st.fence_calls);
   M.gauge_fn m "pmem.lines_flushed" (fun () -> t.st.bytes_flushed / line_size);
-  M.gauge_fn m "pmem.dirty_lines" (fun () -> dirty_lines_unlocked t)
+  M.gauge_fn m "pmem.dirty_lines" (fun () -> dirty_lines_unlocked t);
+  match t.cfg.share with
+  | None -> ()
+  | Some d ->
+      M.gauge_fn m "pmem.bw_bulk_busy_ns" (fun () -> bulk_busy_ns t);
+      M.gauge_fn m "pmem.bw_peak" (fun () -> Bw.peak d);
+      M.gauge_fn m "pmem.bw_contended_flushes" (fun () ->
+          Bw.contended_flushes d);
+      M.gauge_fn m "pmem.bw_contended_extra_ns" (fun () ->
+          Bw.contended_extra_ns d)
 
 (* Record undo images for every line intersecting [off, off+len) that is
    not already dirty. Must run before the store mutates [data]. *)

@@ -43,6 +43,18 @@ module Bw : sig
 
   val peak : t -> int
   (** High-water mark of {!active} since {!create}. *)
+
+  val busy_at : t -> now:int -> int
+  (** Cumulative virtual time (up to [now]) the domain has had at least
+      one bulk transfer in flight — the "a checkpoint holds the DIMMs"
+      clock that span recorders sample for interference blame. *)
+
+  val contended_flushes : t -> int
+  (** Foreground (non-bulk) flushes that paid the shared-load rate
+      because a bulk transfer was in flight. *)
+
+  val contended_extra_ns : t -> int
+  (** Total extra latency those flushes paid versus an idle domain. *)
 end
 
 type config = {
@@ -119,6 +131,10 @@ val bulk_read_cost : t -> int -> unit
 (** Charge the calling thread for a bandwidth-limited sequential read of
     [len] bytes (used by recovery when copying PMEM into DRAM). *)
 
+val bulk_busy_ns : t -> int
+(** {!Bw.busy_at} of the device's shared domain at the current virtual
+    time; 0 when the device has no shared domain. *)
+
 val with_bulk : t -> (unit -> 'a) -> 'a
 (** Run [f] with this device registered as {e one} active bulk transfer in
     its shared bandwidth domain for the whole duration. A segmented
@@ -181,5 +197,6 @@ val attach_obs : t -> Dstore_obs.Obs.t -> unit
 (** Register the device's counters as callback gauges on the handle's
     registry ([pmem.flush_calls], [pmem.fence_calls], [pmem.bytes_written],
     [pmem.bytes_flushed], [pmem.bytes_read_bulk], [pmem.lines_flushed],
-    [pmem.dirty_lines]) and report {!crash} calls to its trace. The hot
-    accessors are unchanged; views are evaluated at snapshot time. *)
+    [pmem.dirty_lines], plus [pmem.bw_*] bandwidth-contention views on
+    shared-domain devices) and report {!crash} calls to its trace. The
+    hot accessors are unchanged; views are evaluated at snapshot time. *)

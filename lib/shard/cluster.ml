@@ -5,6 +5,7 @@ open Dstore_core
 module Obs = Dstore_obs.Obs
 module Metrics = Dstore_obs.Metrics
 module Trace = Dstore_obs.Trace
+module Span = Dstore_obs.Span
 
 type node = { pm : Pmem.t; ssd : Ssd.t }
 
@@ -65,7 +66,13 @@ let install_gates c =
               let waited = c.platform.Platform.now () - t0 in
               if waited > 0 then begin
                 Metrics.incr c.gate_waits;
-                Metrics.add c.gate_wait_ns waited
+                Metrics.add c.gate_wait_ns waited;
+                (* A queued checkpoint is the cluster-level face of
+                   checkpoint interference: while it waits, the shard's
+                   log keeps filling toward log-full stalls. *)
+                Span.note_stall
+                  (Dstore.obs sh.store).Obs.spans
+                  Span.Ckpt_interference waited
               end);
           c.active_ckpts <- c.active_ckpts + 1;
           if c.active_ckpts > c.peak_ckpts then c.peak_ckpts <- c.active_ckpts;
@@ -211,11 +218,14 @@ let stop c =
       (fun sh ->
         (* A shard sharing the cluster handle (shard_obs) already writes
            into this registry; self-merging would duplicate its series. *)
-        if Dstore.obs sh.store != c.obs then
+        if Dstore.obs sh.store != c.obs then begin
           Metrics.merge_into
             ~prefix:(Printf.sprintf "shard%d." sh.index)
             ~materialize:true ~dst:c.obs.Obs.metrics
-            (Dstore.obs sh.store).Obs.metrics)
+            (Dstore.obs sh.store).Obs.metrics;
+          Span.merge_into ~dst:c.obs.Obs.spans
+            (Dstore.obs sh.store).Obs.spans
+        end)
       c.shards
   end
 
@@ -348,6 +358,23 @@ let active_checkpoints c = c.active_ckpts
 let peak_concurrent_checkpoints c = c.peak_ckpts
 
 let obs c = c.obs
+
+(* Union of the cluster handle's span recorder and every shard recorder
+   that is distinct from it — a consistent snapshot for live tail
+   reports, without mutating any source recorder. *)
+let tail_recorder c =
+  let dst =
+    Span.create
+      ~capacity:(max 256 (Span.capacity c.obs.Obs.spans))
+      ~enabled:true ~now:c.platform.Platform.now ()
+  in
+  Span.merge_into ~dst c.obs.Obs.spans;
+  Array.iter
+    (fun sh ->
+      if Dstore.obs sh.store != c.obs then
+        Span.merge_into ~dst (Dstore.obs sh.store).Obs.spans)
+    c.shards;
+  dst
 
 let aggregate_metrics c =
   let m = Metrics.create () in

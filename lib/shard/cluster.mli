@@ -204,3 +204,10 @@ val aggregate_metrics : t -> Dstore_obs.Metrics.t
 (** Live snapshot: a fresh registry holding the cluster registry plus
     every shard's registry merged under [shard<i>.] (callback gauges
     materialized). Safe to call while running. *)
+
+val tail_recorder : t -> Dstore_obs.Span.recorder
+(** Live snapshot of the cluster's span traces: a fresh recorder holding
+    the cluster handle's spans plus every distinct shard recorder's,
+    merged (rings interleaved by finish time, histograms, blame totals
+    and time series summed). Source recorders are not mutated; safe to
+    call while running. *)

@@ -58,12 +58,22 @@ let check t ~page ~count =
       (Printf.sprintf "Ssd: pages [%d,+%d) outside device of %d pages" page
          count t.cfg.pages)
 
-let serve t service_ns =
-  t.channel_pool.acquire ();
+(* Time spent in [acquire] is channel queueing, not transfer — with a
+   live span it becomes Ssd_queue blame (only when the wait was real, so
+   uncontended transfers book no stall events). *)
+let serve ~span t service_ns =
+  let module Span = Dstore_obs.Span in
+  if Span.live span then begin
+    let t0 = t.platform.now () in
+    t.channel_pool.acquire ();
+    let waited = t.platform.now () - t0 in
+    if waited > 0 then Span.stall span Span.Ssd_queue waited
+  end
+  else t.channel_pool.acquire ();
   t.platform.consume service_ns;
   t.channel_pool.release ()
 
-let write t ~page src ~off ~count =
+let write ?(span = Dstore_obs.Span.none) t ~page src ~off ~count =
   check t ~page ~count;
   let bytes = count * t.cfg.page_size in
   assert (off >= 0 && off + bytes <= Bytes.length src);
@@ -71,9 +81,9 @@ let write t ~page src ~off ~count =
     Bytes.blit src off t.data (page * t.cfg.page_size) bytes;
   t.st.writes <- t.st.writes + 1;
   t.st.bytes_written <- t.st.bytes_written + bytes;
-  serve t (count * t.cfg.write_page_ns)
+  serve ~span t (count * t.cfg.write_page_ns)
 
-let read t ~page dst ~off ~count =
+let read ?(span = Dstore_obs.Span.none) t ~page dst ~off ~count =
   check t ~page ~count;
   let bytes = count * t.cfg.page_size in
   assert (off >= 0 && off + bytes <= Bytes.length dst);
@@ -82,7 +92,7 @@ let read t ~page dst ~off ~count =
   else Bytes.fill dst off bytes '\000';
   t.st.reads <- t.st.reads + 1;
   t.st.bytes_read <- t.st.bytes_read + bytes;
-  serve t (count * t.cfg.read_page_ns)
+  serve ~span t (count * t.cfg.read_page_ns)
 
 let stats t = t.st
 

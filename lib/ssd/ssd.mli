@@ -40,12 +40,15 @@ val page_size : t -> int
 
 val pages : t -> int
 
-val write : t -> page:int -> Bytes.t -> off:int -> count:int -> unit
+val write :
+  ?span:Dstore_obs.Span.t -> t -> page:int -> Bytes.t -> off:int -> count:int -> unit
 (** [write t ~page src ~off ~count] writes [count] pages from [src]
     starting at byte [off]. Blocks for queueing plus service time; durable
-    on return. *)
+    on return. With a live [span], time spent queueing for a channel is
+    booked as [Ssd_queue] blame. *)
 
-val read : t -> page:int -> Bytes.t -> off:int -> count:int -> unit
+val read :
+  ?span:Dstore_obs.Span.t -> t -> page:int -> Bytes.t -> off:int -> count:int -> unit
 (** [read t ~page dst ~off ~count]. If the device was created with
     [retain_data = false], fills the destination with zeros. *)
 

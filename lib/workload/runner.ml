@@ -275,4 +275,16 @@ let result_json ?(trace_last = 64) r =
         match r.sys_obs with
         | Some o -> Obs.to_json ~trace_last o
         | None -> Json.Null );
+      (* Tail forensics: where the slow ops' time went (attribution) and
+         when it went there (virtual-time buckets). *)
+      ( "tail",
+        match r.sys_obs with
+        | Some o ->
+            let module Span = Dstore_obs.Span in
+            Json.Obj
+              [
+                ("attribution", Span.report_json o.Obs.spans);
+                ("timeseries", Span.timeseries_json o.Obs.spans);
+              ]
+        | None -> Json.Null );
     ]

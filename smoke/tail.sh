@@ -1,0 +1,20 @@
+#!/bin/sh
+# Tail-forensics smoke: run the span-based attribution experiment and
+# check its acceptance gate.
+#
+# `bench tail` instruments every operation with a causal span (segments
+# + blame intervals that partition the latency exactly) and must
+# attribute at least 90% of the >=p9999 latency mass of the fig1 stress
+# regime to a named cause — it prints TAIL-ATTRIBUTION OK only then.
+# The run also cross-checks blame event counts against the engine's own
+# dipper.* stall counters. Extra arguments are forwarded, e.g.
+#
+#   smoke/tail.sh --clients 24              # hotter run
+#
+# Equivalent dune alias: `dune build @torture`.
+set -eu
+cd "$(dirname "$0")/.."
+out=$(dune exec bench/main.exe -- tail --objects 3000 --window-ms 400 \
+  --clients 12 "$@")
+printf '%s\n' "$out"
+printf '%s\n' "$out" | grep -q "TAIL-ATTRIBUTION OK"

@@ -12,6 +12,7 @@ module Obs = Dstore_obs.Obs
 module Metrics = Dstore_obs.Metrics
 module Trace = Dstore_obs.Trace
 module Json = Dstore_obs.Json
+module Span = Dstore_obs.Span
 
 let check = Alcotest.check
 
@@ -341,6 +342,180 @@ let test_trace_survives_recovery () =
     [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
     (write_steps_of "k" obs.Obs.trace)
 
+(* --- spans ------------------------------------------------------------------ *)
+
+(* A mixed op sequence exercising every spanned path: puts, gets,
+   deletes, group-commit batches, and the filesystem-style object API
+   (owrite/oread), with optional forced checkpoints sprinkled in. *)
+let drive_ops ?(checkpoints = false) st ctx seed n =
+  let r = Rng.create seed in
+  for i = 0 to n - 1 do
+    let key = Printf.sprintf "k%d" (Rng.int r 12) in
+    (match Rng.int r 6 with
+    | 0 -> Dstore.oput ctx key (Bytes.make (1 + Rng.int r 200) 'x')
+    | 1 -> ignore (Dstore.oget ctx key)
+    | 2 -> ignore (Dstore.odelete ctx key)
+    | 3 ->
+        Dstore.oput_batch ctx
+          [ (key, Bytes.make 32 'b'); (key ^ "b", Bytes.make 32 'c') ]
+    | 4 ->
+        let o = Dstore.oopen ctx ("obj" ^ key) Dstore.Rdwr in
+        ignore
+          (Dstore.owrite o (Bytes.make 300 'w') ~size:300
+             ~off:(Rng.int r 4096));
+        Dstore.oclose o
+    | _ ->
+        let o = Dstore.oopen ctx ("obj" ^ key) Dstore.Rdwr in
+        let buf = Bytes.create 256 in
+        ignore (Dstore.oread o buf ~size:256 ~off:0);
+        Dstore.oclose o);
+    if checkpoints && i mod 25 = 24 then Dstore.checkpoint_now st
+  done
+
+(* Spans are pure observers: the exact same op sequence must land on the
+   exact same virtual timeline whether observability is on or off, and
+   with it off the recorder must hand out the shared dead span (one
+   physical value, no allocation) and record nothing. *)
+let test_span_zero_cost_when_disabled () =
+  let run enabled =
+    with_store
+      ~cfg:{ small_cfg with Config.obs_enabled = enabled }
+      (fun (_, p, _, _) st ctx ->
+        drive_ops ~checkpoints:true st ctx 7 120;
+        (p.Platform.now (), Dipper.stats (Dstore.engine st)))
+  in
+  let t_on, s_on = run true in
+  let t_off, s_off = run false in
+  check Alcotest.int "identical virtual end time" t_on t_off;
+  check Alcotest.int "identical appends" s_on.Dipper.records_appended
+    s_off.Dipper.records_appended;
+  check Alcotest.int "identical checkpoints" s_on.Dipper.checkpoints
+    s_off.Dipper.checkpoints;
+  check Alcotest.int "identical conflict waits" s_on.Dipper.conflict_waits
+    s_off.Dipper.conflict_waits;
+  with_store
+    ~cfg:{ small_cfg with Config.obs_enabled = false }
+    (fun _ st ctx ->
+      Dstore.oput ctx "k" (Bytes.of_string "v");
+      let rc = (Dstore.obs st).Obs.spans in
+      check Alcotest.int "nothing recorded" 0 (Span.finished rc);
+      let sp = Span.start rc Span.Put "k" in
+      check Alcotest.bool "start returns the shared none" true
+        (sp == Span.none);
+      check Alcotest.bool "none is dead" false (Span.live sp);
+      (* Mutating the dead span is a no-op, not a crash. *)
+      Span.seg sp Span.S_index;
+      Span.stall sp Span.Log_full 100;
+      Span.finish sp;
+      check Alcotest.int "still nothing recorded" 0 (Span.finished rc))
+
+(* The tentpole invariant, property-checked over random op sequences:
+   every finished span partitions its latency exactly — no time invented,
+   none lost. *)
+let prop_span_partition =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"span partition: segments + blame = duration"
+       ~count:15
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         with_store (fun _ st ctx ->
+             drive_ops ~checkpoints:true st ctx seed 150;
+             let rc = (Dstore.obs st).Obs.spans in
+             Span.finished rc > 0
+             && List.for_all
+                  (fun s ->
+                    Span.duration s >= 0
+                    && Span.segments_total s + Span.blame_total s
+                       = Span.duration s)
+                  (Span.spans rc))))
+
+let test_span_ring_wraparound () =
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let cfg = small_cfg in
+  let pm =
+    Pmem.create p
+      { Pmem.default_config with size = Dipper.layout_bytes cfg; crash_model = true }
+  in
+  let ssd = Ssd.create p { Ssd.default_config with pages = cfg.Config.ssd_blocks } in
+  let obs = Obs.create ~span_capacity:8 ~now:(fun () -> p.Platform.now ()) () in
+  Sim.spawn sim "w" (fun () ->
+      let st = Dstore.create ~obs p pm ssd cfg in
+      let ctx = Dstore.ds_init st in
+      for i = 0 to 19 do
+        Dstore.oput ctx (Printf.sprintf "k%d" i) (Bytes.of_string "v")
+      done;
+      Dstore.stop st);
+  Sim.run sim;
+  let rc = obs.Obs.spans in
+  check Alcotest.int "finished keeps counting" 20 (Span.finished rc);
+  let buffered = Span.spans rc in
+  check Alcotest.int "ring bounded by capacity" (Span.capacity rc)
+    (List.length buffered);
+  check (Alcotest.list Alcotest.int) "newest 8, oldest first"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map Span.span_seq buffered);
+  check (Alcotest.list Alcotest.string) "keys track the survivors"
+    (List.init 8 (fun i -> Printf.sprintf "k%d" (12 + i)))
+    (List.map Span.span_key buffered);
+  check Alcotest.int "last n" 2 (List.length (Span.last rc 2));
+  (* The histogram keeps every op even after the ring forgets it. *)
+  check Alcotest.int "all ops in the histogram" 20 (Span.ops rc)
+
+(* Blame events are booked at the same program points as the engine's own
+   stall counters, so on a read-free workload the counts must agree
+   exactly — the attribution report is cross-checkable against dipper.*
+   gauges, not a parallel truth. *)
+let test_span_blame_matches_counters () =
+  let r =
+    Dstore_workload.Runner.run ~seed:11 ~think_ns:0
+      ~build:(fun p ->
+        Dstore_workload.Systems.dstore p
+          { Dstore_workload.Systems.default_scale with
+            Dstore_workload.Systems.objects = 8 })
+      ~workload:(Dstore_workload.Ycsb.write_only ~records:8 ())
+      ~clients:8 ~duration_ns:3_000_000 ()
+  in
+  let obs = Option.get r.Dstore_workload.Runner.sys_obs in
+  let v name = Option.value ~default:0 (Metrics.value obs.Obs.metrics name) in
+  let ev c = Span.cause_events obs.Obs.spans (Span.cause_index c) in
+  check Alcotest.bool "hot keys actually conflicted" true
+    (ev Span.Conflict_retry > 0);
+  check Alcotest.int "conflict events = dipper.conflict_waits"
+    (v "dipper.conflict_waits")
+    (ev Span.Conflict_retry);
+  check Alcotest.int "log-full events = dipper.log_full_stalls"
+    (v "dipper.log_full_stalls")
+    (ev Span.Log_full)
+
+(* Runner.result_json must be byte-stable: two runs with the same seed
+   serialize identically (deterministic sim AND deterministic JSON key
+   order), and the blob carries the tail attribution section. *)
+let test_result_json_deterministic () =
+  let run () =
+    Dstore_workload.Runner.run ~seed:42
+      ~build:(fun p ->
+        Dstore_workload.Systems.dstore p
+          { Dstore_workload.Systems.default_scale with
+            Dstore_workload.Systems.objects = 64 })
+      ~workload:(Dstore_workload.Ycsb.write_only ~records:64 ())
+      ~clients:4 ~duration_ns:2_000_000 ()
+  in
+  let j1 = Json.to_string (Dstore_workload.Runner.result_json (run ())) in
+  let j2 = Json.to_string (Dstore_workload.Runner.result_json (run ())) in
+  check Alcotest.bool "byte-identical across identical runs" true (j1 = j2);
+  match Json.of_string j1 with
+  | Json.Obj fields -> (
+      check Alcotest.bool "tail key present" true (List.mem_assoc "tail" fields);
+      match List.assoc "tail" fields with
+      | Json.Obj tail ->
+          check Alcotest.bool "attribution present" true
+            (List.mem_assoc "attribution" tail);
+          check Alcotest.bool "timeseries present" true
+            (List.mem_assoc "timeseries" tail)
+      | _ -> Alcotest.fail "tail is not an object")
+  | _ -> Alcotest.fail "result_json is not an object"
+
 let suite =
   [
     Alcotest.test_case "registry counters and gauges" `Quick
@@ -360,4 +535,13 @@ let suite =
     Alcotest.test_case "obs opt-out" `Quick test_obs_disabled_store;
     Alcotest.test_case "trace survives crash recovery" `Quick
       test_trace_survives_recovery;
+    Alcotest.test_case "spans: zero cost when disabled" `Quick
+      test_span_zero_cost_when_disabled;
+    prop_span_partition;
+    Alcotest.test_case "spans: ring wraparound" `Quick
+      test_span_ring_wraparound;
+    Alcotest.test_case "spans: blame events match dipper counters" `Quick
+      test_span_blame_matches_counters;
+    Alcotest.test_case "result_json deterministic, carries tail" `Quick
+      test_result_json_deterministic;
   ]
