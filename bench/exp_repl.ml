@@ -1,0 +1,173 @@
+(* Replication: throughput and tail vs durability mode and link latency.
+
+   The replicated group puts a network round-trip inside every
+   acknowledged write: under Ack_one/Ack_all the op returns only after
+   the backup has applied and persisted its span. This experiment sweeps
+   the durability mode (none / async / ack-one / ack-all) and the
+   simulated link latency, and asks the same question exp_tail asks of
+   checkpoints: is the replicated tail *explained*? Every waited
+   nanosecond is booked on the op's span as Repl_wait blame, so the
+   >=p9999 attribution must name it.
+
+   Acceptance gate (smoke/repl.sh greps for it): on the ack-all run at
+   base link latency, at least 90% of the >=p9999 latency mass must be
+   attributed to named causes, with Repl_wait among them. *)
+
+open Dstore_workload
+open Common
+module Json = Dstore_obs.Json
+module Obs = Dstore_obs.Obs
+module Metrics = Dstore_obs.Metrics
+module Span = Dstore_obs.Span
+module Attribution = Dstore_obs.Attribution
+module Repl = Dstore_repl.Repl
+
+let pct_target = 90.0
+
+type row = {
+  label : string;
+  kops : float;
+  p99_us : float;
+  p9999_us : float;
+  ships : int;
+  final_lag : int;
+  wait_us_per_op : float;
+  repl_share_pct : float;  (* Repl_wait share of the >=p9999 mass *)
+  attributed_pct : float option;
+}
+
+let obs_of r =
+  match r.Runner.sys_obs with
+  | Some o -> o
+  | None -> failwith "exp_repl: system exposes no observability handle"
+
+let run_one opts ~mode ~latency_ns =
+  let label =
+    match mode with
+    | None -> "no replication"
+    | Some m ->
+        Printf.sprintf "%s, link %dus" (Repl.durability_name m)
+          (latency_ns / 1000)
+  in
+  hdr (Printf.sprintf "repl: %s" label);
+  (* Hot keyspace, as in the tail experiment: the tail must be made of
+     stalls worth attributing, not pipeline noise. *)
+  let records = min opts.objects 1_000 in
+  let scale = { (scale_of opts) with Systems.objects = records } in
+  let r =
+    Runner.run ~seed:opts.seed ~batch:opts.batch
+      ~build:(fun p ->
+        match mode with
+        | None -> Systems.dstore ~label:"DStore (no repl)" p scale
+        | Some m ->
+            fst
+              (Systems.replicated ~mode:m ~link_latency_ns:latency_ns ~label p
+                 scale))
+      ~workload:(Ycsb.write_only ~records ())
+      ~clients:opts.clients ~duration_ns:opts.window_ns ()
+  in
+  let obs = obs_of r in
+  let m = obs.Obs.metrics in
+  let engine_of k = Option.value ~default:0 (Metrics.value m k) in
+  let ships = engine_of "repl.ships" in
+  let waits = engine_of "repl.waits" in
+  let wait_ns = engine_of "repl.wait_ns" in
+  let final_lag = engine_of "repl.lag_max" in
+  let wait_us_per_op =
+    if waits = 0 then 0.0 else float_of_int wait_ns /. float_of_int waits /. 1e3
+  in
+  note "%.1f Kops/s, write p99 %.1f us / p9999 %.1f us"
+    (r.Runner.throughput /. 1e3)
+    (us r.Runner.updates 99.0)
+    (us r.Runner.updates 99.99);
+  if mode <> None then
+    note "shipped %d spans, durability waits %d (avg %.1f us), peak lag %d \
+          entries (drained before stop)"
+      ships waits wait_us_per_op final_lag;
+  let rep = Span.report obs.Obs.spans in
+  let repl_share, attributed =
+    match Attribution.find_class rep "p9999" with
+    | None -> (0.0, None)
+    | Some cls ->
+        let share =
+          if cls.Attribution.mass_ns = 0 then 0.0
+          else
+            100.0
+            *. float_of_int
+                 cls.Attribution.by_cause.(Span.cause_index Span.Repl_wait)
+            /. float_of_int cls.Attribution.mass_ns
+        in
+        (share, Some (Attribution.attributed_pct cls))
+  in
+  (match attributed with
+  | Some pct ->
+      note ">=p9999 mass: %.1f%% attributed, %.1f%% of it repl_wait" pct
+        repl_share
+  | None -> note "no p9999 class (too few ops)");
+  record_json
+    (Json.Obj
+       [
+         ("label", Json.String label);
+         ( "mode",
+           Json.String
+             (match mode with
+             | None -> "none"
+             | Some m -> Repl.durability_name m) );
+         ("link_latency_ns", Json.Int latency_ns);
+         ("ships", Json.Int ships);
+         ("waits", Json.Int waits);
+         ("wait_ns", Json.Int wait_ns);
+         ("lag_max", Json.Int final_lag);
+         ("run", Runner.result_json r);
+       ]);
+  {
+    label;
+    kops = r.Runner.throughput /. 1e3;
+    p99_us = us r.Runner.updates 99.0;
+    p9999_us = us r.Runner.updates 99.99;
+    ships;
+    final_lag;
+    wait_us_per_op;
+    repl_share_pct = repl_share;
+    attributed_pct = attributed;
+  }
+
+let base_latency = 5_000
+
+let run opts =
+  let rows =
+    [
+      run_one opts ~mode:None ~latency_ns:0;
+      run_one opts ~mode:(Some Repl.Async) ~latency_ns:base_latency;
+      run_one opts ~mode:(Some Repl.Ack_one) ~latency_ns:base_latency;
+      run_one opts ~mode:(Some Repl.Ack_all) ~latency_ns:base_latency;
+      run_one opts ~mode:(Some Repl.Ack_all) ~latency_ns:(10 * base_latency);
+    ]
+  in
+  hdr "repl: summary (write-only, Zipfian hot keys)";
+  note "%-22s %10s %9s %9s %7s %9s %10s" "mode" "Kops/s" "p99(us)"
+    "p9999(us)" "lag" "wait(us)" "repl%p9999";
+  List.iter
+    (fun row ->
+      note "%-22s %10.1f %9.1f %9.1f %7d %9.1f %10.1f" row.label row.kops
+        row.p99_us row.p9999_us row.final_lag row.wait_us_per_op
+        row.repl_share_pct)
+    rows;
+  print_newline ();
+  (* Gate: the ack-all run at base latency (4th row). *)
+  let gate = List.nth rows 3 in
+  (match gate.attributed_pct with
+  | Some pct when pct >= pct_target && gate.repl_share_pct > 0.0 ->
+      Printf.printf
+        "REPL-ATTRIBUTION OK: %.1f%% of >=p9999 mass attributed (repl_wait \
+         %.1f%%)\n"
+        pct gate.repl_share_pct
+  | Some pct ->
+      Printf.printf
+        "REPL-ATTRIBUTION LOW: %.1f%% attributed, repl_wait %.1f%% (target \
+         %.0f%% with repl_wait > 0)\n"
+        pct gate.repl_share_pct pct_target
+  | None -> print_endline "REPL-ATTRIBUTION LOW: no p9999 class");
+  note "ack-all puts the link round-trip inside every acked write; the";
+  note "span partition books that wait as repl_wait, so the tail stays";
+  note "explained end to end."

@@ -30,6 +30,7 @@ let experiments : (string * string * (Common.opts -> unit)) list =
     ("shard", "sharded cluster scaling + staggered checkpoints", Exp_shard.run);
     ("batch", "group-commit batch-size sweep", Exp_batch.run);
     ("tail", "per-op causal spans + tail-latency attribution", Exp_tail.run);
+    ("repl", "replication durability modes / link latency sweep", Exp_repl.run);
   ]
 
 let usage () =

@@ -43,6 +43,7 @@ let fault_conv =
     | "skip-flush" -> Ok Config.Skip_payload_flush
     | "skip-dirty" -> Ok Config.Skip_dirty_track
     | "skip-batch-commit" -> Ok Config.Skip_batch_commit_fence
+    | "skip-replica-ack" -> Ok Config.Skip_replica_ack_fence
     | s -> Error (`Msg (Printf.sprintf "unknown fault %S" s))
   in
   let print fmt f =
@@ -52,7 +53,8 @@ let fault_conv =
       | Config.Skip_commit_persist -> "skip-commit"
       | Config.Skip_payload_flush -> "skip-flush"
       | Config.Skip_dirty_track -> "skip-dirty"
-      | Config.Skip_batch_commit_fence -> "skip-batch-commit")
+      | Config.Skip_batch_commit_fence -> "skip-batch-commit"
+      | Config.Skip_replica_ack_fence -> "skip-replica-ack")
   in
   Arg.conv (parse, print)
 
@@ -345,6 +347,175 @@ let cluster_cmd =
       const run $ seed $ ops $ shards $ target $ subsets $ stride $ no_stagger
       $ clone_arg $ fault $ expect $ json)
 
+(* Replicated-pair sweep config: small enough that the backup engine
+   checkpoints inside a short scenario, yet the primary (which sees every
+   op) still fits its log. *)
+let pair_cfg ~clone fault =
+  {
+    Config.default with
+    log_slots = 128;
+    ckpt_clone = clone;
+    space_bytes = 4 * 1024 * 1024;
+    meta_entries = 1024;
+    ssd_blocks = 2048;
+    checkpoint_workers = 2;
+    fault;
+  }
+
+let durability_conv =
+  let parse s =
+    match Dstore_repl.Repl.durability_of_string s with
+    | Some d -> Ok d
+    | None -> Error (`Msg (Printf.sprintf "unknown durability %S" s))
+  in
+  let print fmt d =
+    Format.pp_print_string fmt (Dstore_repl.Repl.durability_name d)
+  in
+  Arg.conv (parse, print)
+
+let run_pair_sweep ~seed ~n_ops ~subsets ~stride ~mode ~latency ~target ~clone
+    ~fault ~quiet () =
+  let obs = Obs.create ~now:(fun () -> 0) () in
+  let progress ~done_ ~total =
+    if (not quiet) && (done_ mod 25 = 0 || done_ = total) then
+      Printf.eprintf "\r  crash points: %d/%d%!" done_ total;
+    if done_ = total && not quiet then prerr_newline ()
+  in
+  let subset_seeds = List.init subsets (fun i -> 11 + (12 * i)) in
+  let r =
+    Pair_explorer.sweep ~obs ~subset_seeds ~stride ~progress ~mode
+      ~link_latency_ns:latency ~target_node:target ~seed ~n_ops
+      (pair_cfg ~clone fault)
+  in
+  Printf.printf
+    "pair sweep: seed=%d ops=%d mode=%s target=node%d events=%d (init %d) \
+     points=%d (mid-ckpt %d) runs=%d violations=%d\n"
+    r.Pair_explorer.seed r.Pair_explorer.n_ops
+    (Dstore_repl.Repl.durability_name r.Pair_explorer.mode)
+    r.Pair_explorer.target_node r.Pair_explorer.total_events
+    r.Pair_explorer.init_events r.Pair_explorer.crash_points
+    r.Pair_explorer.mid_ckpt_points r.Pair_explorer.runs
+    (List.length r.Pair_explorer.violations);
+  List.iteri
+    (fun i v ->
+      if i < 10 then
+        Printf.printf "  [%s] event %d, %s: %s\n"
+          (Explorer.source_label v.Explorer.source)
+          v.Explorer.crash_event v.Explorer.mode v.Explorer.detail)
+    r.Pair_explorer.violations;
+  (if List.length r.Pair_explorer.violations > 10 then
+     Printf.printf "  ... and %d more\n"
+       (List.length r.Pair_explorer.violations - 10));
+  r
+
+let pair_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Scenario seed.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 40
+      & info [ "ops" ] ~docv:"N" ~doc:"Generated operations per scenario.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt durability_conv Dstore_repl.Repl.Ack_all
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Replication durability swept: $(b,ack-one) or $(b,ack-all) \
+             ($(b,async) makes no backup promise and is rejected).")
+  in
+  let latency =
+    Arg.(
+      value & opt int 1_000
+      & info [ "latency-ns" ] ~docv:"NS" ~doc:"One-way link latency.")
+  in
+  let target =
+    Arg.(
+      value & opt int 1
+      & info [ "target" ] ~docv:"I"
+          ~doc:
+            "Node whose persistence events index the crash points: 0 = \
+             primary, 1 = backup (default — where the replicated-durability \
+             windows live).")
+  in
+  let subsets =
+    Arg.(
+      value & opt int 1
+      & info [ "subsets" ] ~docv:"N"
+          ~doc:"Sampled adversarial eviction subsets per crash point.")
+  in
+  let stride =
+    Arg.(
+      value & opt int 1
+      & info [ "stride" ] ~docv:"K"
+          ~doc:"Sweep every K-th persistence event (1 = exhaustive).")
+  in
+  let fault =
+    Arg.(
+      value
+      & opt fault_conv Config.No_fault
+      & info [ "fault" ] ~docv:"FAULT"
+          ~doc:
+            "Injected protocol bug on both engines: $(b,none), engine faults \
+             ($(b,skip-commit), ...) or the replication-protocol mutation \
+             $(b,skip-replica-ack) (backup acks a span before applying it).")
+  in
+  let expect =
+    Arg.(
+      value & flag
+      & info [ "expect-violations" ]
+          ~doc:"Exit 0 iff the sweep reports at least one violation.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON.")
+  in
+  let run seed ops mode latency target subsets stride clone fault expect json =
+    let r =
+      run_pair_sweep ~seed ~n_ops:ops ~subsets ~stride ~mode ~latency ~target
+        ~clone ~fault ~quiet:false ()
+    in
+    (match json with
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            output_string oc (Json.pretty (Pair_explorer.report_json r));
+            output_char oc '\n')
+    | None -> ());
+    let violated = r.Pair_explorer.violations <> [] in
+    (if violated && not expect then
+       Out_channel.with_open_text "CHECK_PAIR_FAIL.json" (fun oc ->
+           output_string oc (Json.pretty (Pair_explorer.report_json r));
+           output_char oc '\n';
+           Printf.printf "violation artifact written to CHECK_PAIR_FAIL.json\n"));
+    match (violated, expect) with
+    | false, false ->
+        print_endline "PASS: no oracle or fsck violations across the pair";
+        0
+    | true, true ->
+        print_endline "PASS: injected fault detected";
+        0
+    | true, false ->
+        print_endline "FAIL: violations on the unmutated pair";
+        1
+    | false, true ->
+        print_endline "FAIL: injected fault went undetected";
+        1
+  in
+  Cmd.v
+    (Cmd.info "pair"
+       ~doc:
+         "Whole-pair crash-point sweep of a replicated primary-backup \
+          deployment: crash both nodes at each swept event, then check both \
+          the promoted-backup state and the restarted-primary state against \
+          the oracle.")
+    Term.(
+      const run $ seed $ ops $ mode $ latency $ target $ subsets $ stride
+      $ clone_arg $ fault $ expect $ json)
+
 let selftest_cmd =
   let ops =
     Arg.(
@@ -360,6 +531,30 @@ let selftest_cmd =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Scenario seed.")
   in
   let run seed ops subsets =
+    let pair_case name fault expect_violations =
+      Printf.printf "--- %s\n%!" name;
+      let r =
+        run_pair_sweep ~seed ~n_ops:(max 24 (ops / 5)) ~subsets:1 ~stride:1
+          ~mode:Dstore_repl.Repl.Ack_all ~latency:1_000 ~target:1
+          ~clone:Config.Delta ~fault ~quiet:false ()
+      in
+      let violated = r.Pair_explorer.violations <> [] in
+      if violated <> expect_violations then begin
+        Out_channel.with_open_text
+          (Printf.sprintf "CHECK_FAIL_%s.json" name)
+          (fun oc ->
+            output_string oc (Json.pretty (Pair_explorer.report_json r));
+            output_char oc '\n');
+        Printf.printf "FAIL: %s %s\n" name
+          (if expect_violations then "missed the injected fault"
+           else "violated on the clean pair");
+        false
+      end
+      else begin
+        Printf.printf "ok: %s\n" name;
+        true
+      end
+    in
     let case name ?log_slots ~clone fault expect_violations =
       Printf.printf "--- %s\n%!" name;
       let r =
@@ -404,6 +599,14 @@ let selftest_cmd =
           (fun () ->
             case "skip-dirty" ~log_slots:96 ~clone:Config.Delta
               Config.Skip_dirty_track true);
+          (* Replicated pair: the clean protocol keeps every acked op on
+             the backup through whole-pair crashes; acking before the
+             apply (skip-replica-ack) does not. Smaller scenario — each
+             crash point replays a whole two-engine pair. *)
+          (fun () -> pair_case "pair-clean" Config.No_fault false);
+          (fun () ->
+            pair_case "pair-skip-replica-ack" Config.Skip_replica_ack_fence
+              true);
         ]
     in
     let ok = List.for_all Fun.id results in
@@ -428,4 +631,5 @@ let () =
     Cmd.info "dstore_check" ~version:"1.0"
       ~doc:"Crash-consistency model checker for the DStore reproduction."
   in
-  exit (Cmd.eval' (Cmd.group info [ sweep_cmd; cluster_cmd; selftest_cmd ]))
+  exit
+    (Cmd.eval' (Cmd.group info [ sweep_cmd; cluster_cmd; pair_cmd; selftest_cmd ]))

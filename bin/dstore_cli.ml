@@ -12,6 +12,20 @@
      --stagger         staggered checkpoint scheduling (default)
      --no-stagger      let every shard checkpoint whenever its log says so
      --batch N         group-commit batch size (default 1 = per-op commit)
+     --backups N       run the REPLICATED shell instead: a primary plus N
+                       backup engines with log shipping over simulated links
+     --repl MODE       replication durability: async, ack-one, ack-all
+                       (default ack-all; only with --backups)
+     --latency-ns N    one-way link latency (default 5000; only with --backups)
+
+   Replicated-shell commands (with --backups):
+     put/get/del/list/checkpoint as below, plus
+     repl status       epoch, durability mode, rseq / committed LSN, and per
+                       backup: shipped, acked, acked LSN, applied, lag
+     kill-primary      abrupt primary loss: power-fail its PMEM and fence it;
+                       ops fail until promote
+     promote           seal the epoch and fail over to the most-applied backup
+                       (replays its log via the recovery path)
 
    Commands:
      put KEY VALUE     store an object (routed to its owning shard)
@@ -341,8 +355,157 @@ let handle s line =
          metrics/tail/spans/trace/trace-shard/trace-clear/footprint/check/\n\
          crash/recover/quit)"
 
+(* --- Replicated shell (with --backups) ------------------------------------ *)
+
+module Repl = Dstore_repl.Repl
+module Group = Dstore_repl.Group
+module Backup = Dstore_repl.Backup
+module Primary = Dstore_repl.Primary
+
+type rsession = {
+  rsim : Sim.t;
+  rgroup : Group.t;
+  rctx : Group.ctx;  (* re-binds to the new primary transparently *)
+}
+
+(* Fenced is an expected answer at this shell (after kill-primary), not a
+   crash: report it and keep the loop alive. *)
+let repl_exec s f =
+  Sim.spawn s.rsim "cli" (fun () ->
+      try f ()
+      with Primary.Fenced ->
+        print_endline "(primary fenced/dead: 'promote' to fail over)");
+  Sim.run s.rsim
+
+let repl_status s =
+  let st = Group.status s.rgroup in
+  Printf.printf "epoch %d, mode %s, primary %s, rseq %d, committed lsn %d\n"
+    st.Group.epoch_
+    (Repl.durability_name st.Group.mode_)
+    (if st.Group.alive then Printf.sprintf "node%d" st.Group.primary_
+     else "DEAD (promote to fail over)")
+    st.Group.rseq st.Group.committed_lsn;
+  match st.Group.lines with
+  | [] -> print_endline "(no attached backups)"
+  | lines ->
+      let t =
+        Tablefmt.create
+          [ "backup"; "shipped"; "acked"; "acked lsn"; "applied"; "lag";
+            "in flight" ]
+      in
+      List.iter
+        (fun (l : Group.backup_line) ->
+          Tablefmt.row t
+            [
+              Printf.sprintf "node%d" l.Group.node;
+              string_of_int l.Group.shipped;
+              string_of_int l.Group.acked;
+              string_of_int l.Group.acked_lsn;
+              string_of_int l.Group.applied;
+              string_of_int l.Group.lag;
+              string_of_int l.Group.link_pending;
+            ])
+        lines;
+      Tablefmt.print t
+
+let repl_handle s line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "" ] -> ()
+  | "put" :: key :: rest when rest <> [] ->
+      let value = String.concat " " rest in
+      repl_exec s (fun () ->
+          Group.oput s.rctx key (Bytes.of_string value);
+          Printf.printf "ok (replicated, t=%d ns)\n" (Sim.now s.rsim))
+  | [ "get"; key ] ->
+      repl_exec s (fun () ->
+          match Group.oget s.rctx key with
+          | Some v -> Printf.printf "%S\n" (Bytes.to_string v)
+          | None -> print_endline "(not found)")
+  | [ "del"; key ] ->
+      repl_exec s (fun () ->
+          Printf.printf "%s\n"
+            (if Group.odelete s.rctx key then "deleted" else "(not found)"))
+  | [ "list" ] ->
+      if Group.primary_alive s.rgroup then begin
+        repl_exec s (fun () -> Group.iter_names s.rgroup print_endline);
+        Printf.printf "(%d objects)\n" (Group.object_count s.rgroup)
+      end
+      else print_endline "(primary dead: 'promote' first)"
+  | [ "checkpoint" ] ->
+      repl_exec s (fun () ->
+          Group.checkpoint_now s.rgroup;
+          print_endline "checkpoint complete (primary)")
+  | [ "repl"; "status" ] | [ "status" ] -> repl_status s
+  | [ "kill-primary" ] ->
+      if Group.primary_alive s.rgroup then
+        repl_exec s (fun () ->
+            Group.kill_primary ~crash:true s.rgroup;
+            Printf.printf
+              "primary node%d power-failed and fenced (epoch %d sealed)\n"
+              (Group.primary_index s.rgroup)
+              (Group.epoch s.rgroup))
+      else print_endline "(already dead)"
+  | [ "promote" ] ->
+      repl_exec s (fun () ->
+          match Group.promote s.rgroup with
+          | () ->
+              Printf.printf
+                "promoted node%d to primary (epoch %d, %d objects after log \
+                 replay)\n"
+                (Group.primary_index s.rgroup)
+                (Group.epoch s.rgroup)
+                (Group.object_count s.rgroup)
+          | exception Invalid_argument m -> Printf.printf "cannot promote: %s\n" m)
+  | [ "quit" ] | [ "exit" ] -> raise Exit
+  | _ ->
+      print_endline
+        "unknown command (put/get/del/list/checkpoint/repl status/\n\
+         kill-primary/promote/quit)"
+
+let repl_main backups mode latency_ns =
+  let sim = Sim.create () in
+  let platform = Sim_platform.make sim in
+  let nodes =
+    Array.init (backups + 1) (fun _ ->
+        {
+          Group.pm =
+            Pmem.create platform
+              {
+                Pmem.default_config with
+                size = Dipper.layout_bytes cfg;
+                crash_model = true;
+              };
+          ssd = Ssd.create platform { Ssd.default_config with pages = 16384 };
+        })
+  in
+  let link = { Link.default_config with Link.latency_ns } in
+  let g = ref None in
+  Sim.spawn sim "setup" (fun () ->
+      g := Some (Group.create ~mode ~link platform cfg nodes));
+  Sim.run sim;
+  let g = Option.get !g in
+  let s = { rsim = sim; rgroup = g; rctx = Group.ds_init g } in
+  Printf.printf
+    "dstore replicated shell ready (primary + %d backup%s, %s, link %d ns; \
+     'quit' to exit)\n"
+    backups
+    (if backups = 1 then "" else "s")
+    (Repl.durability_name mode) latency_ns;
+  (try
+     while true do
+       print_string "dstore> ";
+       match In_channel.input_line stdin with
+       | Some line -> repl_handle s line
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  print_endline "bye"
+
 let parse_args () =
   let shards = ref 1 and stagger = ref true and batch = ref 1 in
+  let backups = ref 0
+  and rmode = ref Repl.Ack_all
+  and latency = ref Link.default_config.Link.latency_ns in
   let rec go = function
     | [] -> ()
     | "--shards" :: n :: rest -> (
@@ -361,6 +524,30 @@ let parse_args () =
         | _ ->
             prerr_endline "--batch expects a positive integer";
             exit 2)
+    | "--backups" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 ->
+            backups := v;
+            go rest
+        | _ ->
+            prerr_endline "--backups expects a positive integer";
+            exit 2)
+    | "--repl" :: m :: rest -> (
+        match Repl.durability_of_string m with
+        | Some d ->
+            rmode := d;
+            go rest
+        | None ->
+            prerr_endline "--repl expects async, ack-one or ack-all";
+            exit 2)
+    | "--latency-ns" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 0 ->
+            latency := v;
+            go rest
+        | _ ->
+            prerr_endline "--latency-ns expects a non-negative integer";
+            exit 2)
     | "--stagger" :: rest ->
         stagger := true;
         go rest
@@ -369,14 +556,20 @@ let parse_args () =
         go rest
     | a :: _ ->
         Printf.eprintf
-          "unknown argument %s (try --shards N, --batch N, --no-stagger)\n" a;
+          "unknown argument %s (try --shards N, --batch N, --no-stagger, \
+           --backups N, --repl MODE, --latency-ns N)\n"
+          a;
         exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!shards, !stagger, !batch)
+  (!shards, !stagger, !batch, !backups, !rmode, !latency)
 
 let () =
-  let n_shards, stagger, batch = parse_args () in
+  let n_shards, stagger, batch, backups, rmode, latency = parse_args () in
+  if backups > 0 then begin
+    repl_main backups rmode latency;
+    exit 0
+  end;
   let sim = Sim.create () in
   let platform = Sim_platform.make sim in
   let bw = Pmem.Bw.create () in

@@ -1,0 +1,383 @@
+(* Whole-pair crash-point explorer. See pair_explorer.mli for semantics. *)
+
+open Dstore_platform
+open Dstore_pmem
+open Dstore_ssd
+open Dstore_core
+open Dstore_repl
+open Dstore_util
+module Obs = Dstore_obs.Obs
+module Metrics = Dstore_obs.Metrics
+module Trace = Dstore_obs.Trace
+module Json = Dstore_obs.Json
+
+type report = {
+  seed : int;
+  n_ops : int;
+  mode : Repl.durability;
+  target_node : int;
+  total_events : int;
+  init_events : int;
+  crash_points : int;
+  mid_ckpt_points : int;
+  runs : int;
+  violations : Explorer.violation list;
+}
+
+type fixture = {
+  sim : Sim.t;
+  platform : Platform.t;
+  nodes : Group.node array;
+}
+
+(* Unlike the cluster fixture, the two nodes are distinct machines: each
+   PMEM gets its own bandwidth domain (share = None). *)
+let make_fixture (cfg : Config.t) =
+  let sim = Sim.create () in
+  let platform = Sim_platform.make sim in
+  let nodes =
+    Array.init 2 (fun _ ->
+        {
+          Group.pm =
+            Pmem.create platform
+              {
+                Pmem.default_config with
+                size = Dipper.layout_bytes cfg;
+                crash_model = true;
+              };
+          ssd =
+            Ssd.create platform
+              { Ssd.default_config with pages = cfg.Config.ssd_blocks };
+        })
+  in
+  { sim; platform; nodes }
+
+(* Mirror of Cluster_explorer.apply_op over the replicated façade. The
+   oracle commits only after the group call returns — i.e. after the
+   quorum ack under Ack_one/Ack_all — so "committed in the oracle"
+   coincides with "acknowledged durable to the client". *)
+let apply_op oracle ctx page_size locked (op : Gen.op) =
+  match op with
+  | Gen.Put { key; size; vseed } ->
+      let v = Gen.value ~vseed size in
+      Oracle.begin_put oracle key v;
+      Group.oput ctx key v;
+      Oracle.commit_pending oracle
+  | Gen.Delete key ->
+      Oracle.begin_delete oracle key;
+      ignore (Group.odelete ctx key);
+      Oracle.commit_pending oracle
+  | Gen.Get key -> ignore (Group.oget ctx key)
+  | Gen.Write { key; off_pct; len; vseed } -> (
+      match Oracle.committed_value oracle key with
+      | None -> ()
+      | Some old ->
+          let osz = Bytes.length old in
+          let off = min osz (osz * off_pct / 100) in
+          let data = Gen.value ~vseed len in
+          Oracle.begin_write oracle ~key ~off ~data ~page_size;
+          ignore (Group.owrite ctx key ~off data);
+          Oracle.commit_pending oracle)
+  | Gen.Batch items ->
+      let effects =
+        List.map
+          (function
+            | Gen.B_put { key; size; vseed } -> (key, Some (Gen.value ~vseed size))
+            | Gen.B_del key -> (key, None))
+          items
+      in
+      Oracle.begin_batch oracle effects;
+      let ops =
+        List.map
+          (function
+            | key, Some v -> Dstore.Bput (key, v)
+            | key, None -> Dstore.Bdelete key)
+          effects
+      in
+      ignore (Group.obatch ctx ops);
+      Oracle.commit_pending oracle
+  | Gen.Lock key ->
+      if not (Hashtbl.mem locked key) then begin
+        Group.olock ctx key;
+        Hashtbl.add locked key ()
+      end
+  | Gen.Unlock key ->
+      if Hashtbl.mem locked key then begin
+        Hashtbl.remove locked key;
+        Group.ounlock ctx key
+      end
+
+let run_workload oracle ctx page_size ops =
+  let locked = Hashtbl.create 8 in
+  List.iter (apply_op oracle ctx page_size locked) ops
+
+type mode_spec = Drop | Subset of int
+
+let mode_label = function
+  | Drop -> "drop_all"
+  | Subset s -> Printf.sprintf "subset:%d" s
+
+let mode_for spec ~target j =
+  match spec with
+  | Drop -> Pmem.Drop_all
+  | Subset s ->
+      if j = target then Pmem.Random (Rng.create s)
+      else Pmem.Random (Rng.create (s + (131 * (j + 1))))
+
+let link_config latency_ns =
+  { Link.default_config with Link.latency_ns }
+
+let count_events (cfg : Config.t) ~mode ~link ~target ops =
+  let fx = make_fixture cfg in
+  let tpm = fx.nodes.(target).Group.pm in
+  let init_events = ref 0 in
+  Sim.spawn fx.sim "count" (fun () ->
+      let g = Group.create ~mode ~link fx.platform cfg fx.nodes in
+      init_events := Pmem.persist_events tpm;
+      let ctx = Group.ds_init g in
+      run_workload (Oracle.create ()) ctx
+        (Ssd.page_size fx.nodes.(0).Group.ssd)
+        ops;
+      Group.stop g);
+  let failure =
+    try
+      Sim.run fx.sim;
+      None
+    with e -> Some (Printexc.to_string e)
+  in
+  (!init_events, Pmem.persist_events tpm, failure)
+
+let target_mid_ckpt g target =
+  if Group.primary_alive g && Group.primary_index g = target then
+    Dipper.is_checkpoint_running (Dstore.engine (Group.store g))
+  else
+    match List.find_opt (fun (j, _) -> j = target) (Group.backups g) with
+    | Some (_, b) -> Dipper.is_checkpoint_running (Dstore.engine (Backup.store b))
+    | None -> false
+
+(* One crash run: stop the whole pair when the target node's PMEM hits
+   persistence event [k], power-fail both nodes, then check each
+   node's recovery story standalone: the backup as a promotion would see
+   it, the primary as a plain restart would. *)
+let crash_run (cfg : Config.t) ~mode ~link ~target ops ~k ~spec =
+  let fx = make_fixture cfg in
+  let oracle = Oracle.create () in
+  let tpm = fx.nodes.(target).Group.pm in
+  let group = ref None in
+  let mid_ckpt = ref false in
+  let label = mode_label spec in
+  Pmem.set_persist_hook tpm
+    (Some
+       (fun n ->
+         if n = k then begin
+           (match !group with
+           | Some g -> mid_ckpt := target_mid_ckpt g target
+           | None -> ());
+           raise (Explorer.Crash_point n)
+         end));
+  let finished = ref false in
+  Sim.spawn fx.sim "workload" (fun () ->
+      let g = Group.create ~mode ~link fx.platform cfg fx.nodes in
+      group := Some g;
+      let ctx = Group.ds_init g in
+      run_workload oracle ctx (Ssd.page_size fx.nodes.(0).Group.ssd) ops;
+      Group.stop g;
+      finished := true);
+  (try Sim.run fx.sim with Explorer.Crash_point _ -> ());
+  Pmem.set_persist_hook tpm None;
+  let mk source detail =
+    { Explorer.crash_event = k; mode = label; source; detail }
+  in
+  if !finished then
+    ( false,
+      [
+        mk Explorer.Recovery_failure
+          "replay diverged: workload finished before crash event";
+      ] )
+  else begin
+    Sim.clear_pending fx.sim;
+    Array.iteri
+      (fun j (nd : Group.node) -> Pmem.crash nd.Group.pm (mode_for spec ~target j))
+      fx.nodes;
+    let violations = ref [] in
+    Sim.spawn fx.sim "recovery" (fun () ->
+        (* [tag] "failover" = node 1 (the state promote would serve);
+           [tag] "primary" = node 0 (a plain restart). Each recovers the
+           node's devices standalone through the ordinary path. *)
+        let check_node tag idx =
+          let nd = fx.nodes.(idx) in
+          match Dstore.recover fx.platform nd.Group.pm nd.Group.ssd cfg with
+          | ds ->
+              let ctx = Dstore.ds_init ds in
+              let read key = Dstore.oget ctx key in
+              let names = ref [] in
+              Dstore.iter_names ds (fun n -> names := n :: !names);
+              let oracle_bad = Oracle.check oracle ~read ~names:!names in
+              let fsck_bad = Fsck.run ds in
+              violations :=
+                !violations
+                @ List.map
+                    (fun d ->
+                      mk Explorer.Oracle_violation
+                        (Printf.sprintf "%s(node%d): %s" tag idx d))
+                    oracle_bad
+                @ List.map
+                    (fun d ->
+                      mk Explorer.Fsck_violation
+                        (Printf.sprintf "%s(node%d): %s" tag idx d))
+                    fsck_bad;
+              Dstore.stop ds
+          | exception e ->
+              violations :=
+                !violations
+                @ [
+                    mk Explorer.Recovery_failure
+                      (Printf.sprintf "%s(node%d): recover raised %s" tag idx
+                         (Printexc.to_string e));
+                  ]
+        in
+        check_node "failover" 1;
+        check_node "primary" 0);
+    (try Sim.run fx.sim
+     with e ->
+       violations :=
+         mk Explorer.Recovery_failure
+           ("recovery run raised " ^ Printexc.to_string e)
+         :: !violations);
+    (!mid_ckpt, !violations)
+  end
+
+let default_subset_seeds = [ 11; 23 ]
+
+let sweep ?obs ?(subset_seeds = default_subset_seeds) ?(stride = 1)
+    ?(progress = fun ~done_:_ ~total:_ -> ()) ?(mode = Repl.Ack_all)
+    ?(link_latency_ns = 1_000) ?(target_node = 1) ~seed ~n_ops
+    (cfg : Config.t) =
+  if stride < 1 then invalid_arg "Pair_explorer.sweep: stride < 1";
+  if target_node < 0 || target_node > 1 then
+    invalid_arg "Pair_explorer.sweep: target_node must be 0 or 1";
+  if mode = Repl.Async then
+    invalid_arg
+      "Pair_explorer.sweep: Async promises nothing about the backup; sweep \
+       Ack_one or Ack_all";
+  let link = link_config link_latency_ns in
+  let ops = Gen.generate ~seed ~n:n_ops in
+  let init_events, total_events, baseline_failure =
+    count_events cfg ~mode ~link ~target:target_node ops
+  in
+  let points = ref [] in
+  let k = ref (init_events + 1) in
+  while !k <= total_events do
+    points := !k :: !points;
+    k := !k + stride
+  done;
+  let points = List.rev !points in
+  let c_points, c_runs, c_oracle, c_fsck, note =
+    match obs with
+    | None -> (None, None, None, None, fun _ -> ())
+    | Some o ->
+        let m = o.Obs.metrics in
+        ( Some (Metrics.counter m "check.pair_crash_points"),
+          Some (Metrics.counter m "check.pair_runs"),
+          Some (Metrics.counter m "check.pair_oracle_violations"),
+          Some (Metrics.counter m "check.pair_fsck_violations"),
+          fun s -> Trace.emit o.Obs.trace (Trace.Note s) )
+  in
+  let bump = function Some c -> Metrics.incr c | None -> () in
+  note
+    (Printf.sprintf
+       "check: pair sweep seed=%d ops=%d mode=%s target=%d events=%d points=%d"
+       seed n_ops (Repl.durability_name mode) target_node total_events
+       (List.length points));
+  let runs = ref 0 in
+  let mid_ckpt_points = ref 0 in
+  let violations =
+    ref
+      (match baseline_failure with
+      | None -> []
+      | Some msg ->
+          [
+            {
+              Explorer.crash_event = total_events;
+              mode = "none";
+              source = Explorer.Recovery_failure;
+              detail = "baseline (no-crash) run raised " ^ msg;
+            };
+          ])
+  in
+  let total = List.length points in
+  let done_ = ref 0 in
+  List.iter
+    (fun k ->
+      bump c_points;
+      let specs = Drop :: List.map (fun s -> Subset s) subset_seeds in
+      let mid_at_k = ref false in
+      List.iter
+        (fun spec ->
+          incr runs;
+          bump c_runs;
+          let mid, bad =
+            crash_run cfg ~mode ~link ~target:target_node ops ~k ~spec
+          in
+          if mid then mid_at_k := true;
+          List.iter
+            (fun (v : Explorer.violation) ->
+              (match v.Explorer.source with
+              | Explorer.Oracle_violation -> bump c_oracle
+              | Explorer.Fsck_violation -> bump c_fsck
+              | Explorer.Recovery_failure -> bump c_oracle);
+              note
+                (Printf.sprintf "check: PAIR VIOLATION event=%d mode=%s %s: %s"
+                   v.Explorer.crash_event v.Explorer.mode
+                   (Explorer.source_label v.Explorer.source) v.Explorer.detail))
+            bad;
+          violations := !violations @ bad)
+        specs;
+      if !mid_at_k then incr mid_ckpt_points;
+      incr done_;
+      progress ~done_:!done_ ~total)
+    points;
+  note
+    (Printf.sprintf
+       "check: pair sweep done runs=%d mid_ckpt_points=%d violations=%d" !runs
+       !mid_ckpt_points
+       (List.length !violations));
+  {
+    seed;
+    n_ops;
+    mode;
+    target_node;
+    total_events;
+    init_events;
+    crash_points = List.length points;
+    mid_ckpt_points = !mid_ckpt_points;
+    runs = !runs;
+    violations = !violations;
+  }
+
+let report_json r =
+  Json.Obj
+    [
+      ("seed", Json.Int r.seed);
+      ("ops", Json.Int r.n_ops);
+      ("mode", Json.String (Repl.durability_name r.mode));
+      ("target_node", Json.Int r.target_node);
+      ("total_events", Json.Int r.total_events);
+      ("init_events", Json.Int r.init_events);
+      ("crash_points", Json.Int r.crash_points);
+      ("mid_ckpt_points", Json.Int r.mid_ckpt_points);
+      ("runs", Json.Int r.runs);
+      ( "violations",
+        Json.List
+          (List.map
+             (fun (v : Explorer.violation) ->
+               Json.Obj
+                 [
+                   ("event", Json.Int v.Explorer.crash_event);
+                   ("mode", Json.String v.Explorer.mode);
+                   ( "source",
+                     Json.String (Explorer.source_label v.Explorer.source) );
+                   ("detail", Json.String v.Explorer.detail);
+                 ])
+             r.violations) );
+    ]

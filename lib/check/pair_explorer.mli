@@ -1,0 +1,63 @@
+(** Whole-pair crash-point explorer for replicated DStore.
+
+    Runs a generated workload through a {!Dstore_repl.Group} pair
+    (primary + one backup) with the oracle mirroring every op, stops the
+    {e whole world} when a chosen node's PMEM hits persistence event
+    [k] — so crash points land mid-span-ship on the primary, mid-replay
+    on the backup, and in the window between the backup's ack and the
+    primary's commit-return — power-fails {e both} nodes, and then
+    checks both recovery stories independently:
+
+    - {b failover}: recover the backup's devices standalone (what
+      [promote] does) and check the oracle against the promoted state.
+      This implements the replicated-durability rule: under
+      [Ack_one]/[Ack_all] every op acknowledged to the client was
+      applied and persisted by the backup before its ack, so it must
+      survive the loss of the primary. The op in flight at the crash is
+      covered by the oracle's pending (either-or) model. [Async] makes
+      no such promise and is rejected by {!sweep}.
+    - {b primary restart}: recover the primary's devices standalone and
+      check — replication must not have weakened the single-engine
+      crash contract.
+
+    [Config.Skip_replica_ack_fence] (backup acks before applying) opens
+    a window where an acked-durable op is missing from the promoted
+    state; the selftest proves this sweep catches it. *)
+
+open Dstore_core
+
+type report = {
+  seed : int;
+  n_ops : int;
+  mode : Dstore_repl.Repl.durability;
+  target_node : int;  (** 0 = primary's PMEM swept, 1 = backup's. *)
+  total_events : int;
+  init_events : int;
+  crash_points : int;
+  mid_ckpt_points : int;  (** Points inside the target engine's checkpoint. *)
+  runs : int;
+  violations : Explorer.violation list;
+}
+
+val sweep :
+  ?obs:Dstore_obs.Obs.t ->
+  ?subset_seeds:int list ->
+  ?stride:int ->
+  ?progress:(done_:int -> total:int -> unit) ->
+  ?mode:Dstore_repl.Repl.durability ->
+  ?link_latency_ns:int ->
+  ?target_node:int ->
+  seed:int ->
+  n_ops:int ->
+  Config.t ->
+  report
+(** Sweep every persistence event of the target node (default 1, the
+    backup — where the replicated-durability windows live), crashing the
+    whole pair at each: once with [Drop_all] on both nodes, once per
+    subset seed with per-node derived [Random] modes. [mode] defaults to
+    [Ack_all]; [Async] raises [Invalid_argument] (its acked ops are
+    allowed to die with the primary, so the failover check would flag
+    false positives). [cfg] configures both engines — a
+    [Skip_replica_ack_fence] fault in it is honored by the backup. *)
+
+val report_json : report -> Dstore_obs.Json.t

@@ -78,6 +78,12 @@ type fault =
           single commit persist pass (the coalesced flush + fence over the
           slot span): a batch acknowledged to all its callers can lose any
           or all of its commit words on power failure. *)
+  | Skip_replica_ack_fence
+      (** Replication-protocol mutation (honored by [Dstore_repl.Backup],
+          not the engine): the backup acks a shipped span {e before}
+          applying and persisting it, so an op acked durable under
+          [Ack_one]/[Ack_all] can vanish when the pair crashes and the
+          backup is promoted. *)
 
 type t = {
   checkpoint : checkpoint_mode;

@@ -159,6 +159,12 @@ type t = {
   deltas : delta array;  (* one dirty epoch per PMEM half *)
   st : stats;
   obs : Obs.t;
+  mutable commit_hook : ((int * Logrec.op) list -> unit) option;
+      (* Oplog span export seam (dstore_repl): called after a commit's
+         closing persist, with the (lsn, op) pairs the persisted span
+         covers — one pair for a singleton commit, the whole batch for a
+         group commit. Runs on the committing thread, outside the
+         frontend lock. *)
 }
 
 let platform t = t.platform
@@ -353,6 +359,7 @@ let make_engine ?obs platform pm (cfg : Config.t) hooks root =
       deltas;
       st;
       obs;
+      commit_hook = None;
     },
     raw,
     cow,
@@ -961,6 +968,13 @@ let locked_append ?ignore_ticket ?(span = Span.none) t ~key ~max_slots f =
 
 let with_frontend_lock t f = Platform.with_lock t.lock f
 
+let set_commit_hook t h = t.commit_hook <- h
+
+let fire_commit_hook t tks =
+  match t.commit_hook with
+  | None -> ()
+  | Some h -> h (List.map (fun tk -> (tk.lsn, tk.op)) tks)
+
 let commit t tk =
   let log_id, slot =
     Platform.with_lock t.lock (fun () ->
@@ -969,6 +983,7 @@ let commit t tk =
         (tk.log_id, tk.slot))
   in
   Oplog.persist_slot t.logs.(log_id) ~slot;
+  fire_commit_hook t [ tk ];
   (match tk.key with
   | Some k -> trace t (Trace.Write_step (Trace.W_commit, k))
   | None -> ());
@@ -1126,6 +1141,7 @@ let commit_batch t tks =
         (fun log_id (lo, hi) ->
           Oplog.persist_span t.logs.(log_id) ~slot:lo ~slots:(hi - lo))
         spans;
+      fire_commit_hook t tks;
       t.st.batches_committed <- t.st.batches_committed + 1;
       t.st.batch_records <- t.st.batch_records + List.length tks;
       Metrics.observe

@@ -161,6 +161,14 @@ val commit_batch : t -> ticket list -> unit
 
 val ticket_lsn : ticket -> int
 
+val set_commit_hook : t -> ((int * Logrec.op) list -> unit) option -> unit
+(** Oplog span export seam (dstore_repl). The hook fires after a commit's
+    closing persist — [commit] passes its single (lsn, op) pair,
+    [commit_batch] the whole just-persisted batch, mirroring the
+    [Oplog.persist_slot]/[persist_span] span that made them durable. It
+    runs on the committing thread, outside the frontend lock, so it may
+    take locks of its own but must not call back into the engine. *)
+
 val ticket_op : ticket -> Logrec.op
 (** The operation the ticket logged — [locked_append]'s callback may build
     it from under-lock state the caller wants back. *)

@@ -543,16 +543,24 @@ let oput_physical ctx t key value size =
   write_data t !data_extents value size;
   Dipper.commit t.engine ticket
 
-let oput ctx key value =
+(* [?span] lets a wrapper (the replication façade) own the span's
+   lifecycle: the engine books its segments and stalls into the caller's
+   span but does not finish it, so post-return waits (backup acks) land
+   in the same record and the partition invariant still holds. *)
+let oput ?span ctx key value =
   check_ctx ctx;
   let t = ctx.store in
   let size = Bytes.length value in
   let t0 = now t in
   (match t.cfg.logging with
   | Config.Logical ->
-      let span = Span.start t.obs.Obs.spans Span.Put key in
-      oput_logical ctx t span key value size;
-      Span.finish span
+      let sp, owned =
+        match span with
+        | Some s -> (s, false)
+        | None -> (Span.start t.obs.Obs.spans Span.Put key, true)
+      in
+      oput_logical ctx t sp key value size;
+      if owned then Span.finish sp
   | Config.Physical -> oput_physical ctx t key value size);
   Metrics.observe t.h_put (now t - t0)
 
@@ -649,13 +657,17 @@ let oexists ctx key =
 
 (* --- delete ----------------------------------------------------------------- *)
 
-let odelete ctx key =
+let odelete ?span:caller_span ctx key =
   check_ctx ctx;
   let t = ctx.store in
   let tstart = now t in
-  let span = Span.start t.obs.Obs.spans Span.Delete key in
+  let span, owned =
+    match caller_span with
+    | Some s -> (s, false)
+    | None -> (Span.start t.obs.Obs.spans Span.Delete key, true)
+  in
   let observe_done r =
-    Span.finish span;
+    if owned then Span.finish span;
     Metrics.observe t.h_del (now t - tstart);
     r
   in
@@ -861,7 +873,7 @@ let exec_sub_batch ctx t span ops =
     posts;
   List.map snd posts
 
-let obatch ctx ops =
+let obatch ?span:caller_span ctx ops =
   check_ctx ctx;
   let t = ctx.store in
   match ops with
@@ -873,14 +885,18 @@ let obatch ctx ops =
         | Config.Logical ->
             (* One Batch span covers the whole group commit; attribution
                weights it by op count (every op observes batch latency). *)
-            let span =
-              Span.start t.obs.Obs.spans ~n_ops:(List.length ops) Span.Batch
-                "(batch)"
+            let span, owned =
+              match caller_span with
+              | Some s -> (s, false)
+              | None ->
+                  ( Span.start t.obs.Obs.spans ~n_ops:(List.length ops)
+                      Span.Batch "(batch)",
+                    true )
             in
             let r =
               List.concat_map (exec_sub_batch ctx t span) (split_batches t ops)
             in
-            Span.finish span;
+            if owned then Span.finish span;
             r
         | Config.Physical ->
             (* Physical logging captures redo images inside the critical
@@ -1024,7 +1040,7 @@ let oread o buf ~size ~off =
   Metrics.observe t.h_read (now t - tstart);
   result
 
-let owrite o buf ~size ~off =
+let owrite ?span:caller_span o buf ~size ~off =
   check_obj o;
   if o.mode = `Rd then invalid_arg "DStore.owrite: object opened read-only";
   let t = o.octx.store in
@@ -1034,7 +1050,11 @@ let owrite o buf ~size ~off =
     let ps = page_size t in
     let name = o.name in
     let new_end = off + size in
-    let span = Span.start t.obs.Obs.spans Span.Write name in
+    let span, owned =
+      match caller_span with
+      | Some s -> (s, false)
+      | None -> (Span.start t.obs.Obs.spans Span.Write name, true)
+    in
     let plan = ref None in
     let ticket =
       Dipper.locked_append
@@ -1095,7 +1115,7 @@ let owrite o buf ~size ~off =
     Span.seg span Span.S_data;
     Dipper.commit t.engine ticket;
     Span.seg span Span.S_fence;
-    Span.finish span;
+    if owned then Span.finish span;
     Metrics.observe t.h_write (now t - tstart);
     size
   end

@@ -63,8 +63,14 @@ val ds_finalize : ctx -> unit
 
 (** {1 Key-value API} *)
 
-val oput : ctx -> string -> Bytes.t -> unit
-(** Store the whole object (create or replace). Durable on return. *)
+val oput : ?span:Dstore_obs.Span.t -> ctx -> string -> Bytes.t -> unit
+(** Store the whole object (create or replace). Durable on return.
+
+    [?span] (here and on [odelete]/[obatch]/[owrite]) lets a wrapper own
+    the operation's causal span: the engine books segments and stalls
+    into the caller's span but does not finish it, so the replication
+    façade can charge post-return ack waits ([Span.Repl_wait]) to the
+    same record before closing it. *)
 
 val oget : ctx -> string -> Bytes.t option
 (** Fetch the whole object. *)
@@ -73,7 +79,7 @@ val oget_into : ctx -> string -> Bytes.t -> int
 (** Zero-copy-ish variant: read into the caller's buffer, return the
     object size; -1 if absent. The buffer must be large enough. *)
 
-val odelete : ctx -> string -> bool
+val odelete : ?span:Dstore_obs.Span.t -> ctx -> string -> bool
 (** Remove an object; [false] if it did not exist. Durable on return. *)
 
 val oexists : ctx -> string -> bool
@@ -97,7 +103,7 @@ type batch_op = Bput of string * Bytes.t | Bdelete of string
 
 val batch_key : batch_op -> string
 
-val obatch : ctx -> batch_op list -> bool list
+val obatch : ?span:Dstore_obs.Span.t -> ctx -> batch_op list -> bool list
 (** Execute a batch of updates under group commit; results in input
     order ([Bput] → [true], [Bdelete] → whether the key existed). Under
     [Physical] logging the ops run individually (redo-image capture is
@@ -126,7 +132,7 @@ val oread : obj -> Bytes.t -> size:int -> off:int -> int
 (** Read up to [size] bytes at object offset [off]; returns bytes read
     (short at end of object). *)
 
-val owrite : obj -> Bytes.t -> size:int -> off:int -> int
+val owrite : ?span:Dstore_obs.Span.t -> obj -> Bytes.t -> size:int -> off:int -> int
 (** Write [size] bytes at object offset [off], extending the object if
     needed. In-place page overwrites log nothing (§4.3); extensions log a
     metadata record. Durable on return. *)

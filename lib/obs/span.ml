@@ -33,8 +33,9 @@ type cause =
   | Conflict_retry  (* per-key conflict ticket wait + retry *)
   | Batch_wait  (* group commit: co-batched with (n-1) other ops *)
   | Ssd_queue  (* SSD channel queueing *)
+  | Repl_wait  (* replication: waiting for backup span acks *)
 
-let n_causes = 5
+let n_causes = 6
 
 let cause_index = function
   | Ckpt_interference -> 0
@@ -42,9 +43,13 @@ let cause_index = function
   | Conflict_retry -> 2
   | Batch_wait -> 3
   | Ssd_queue -> 4
+  | Repl_wait -> 5
 
 let cause_names =
-  [| "ckpt_interference"; "log_full"; "conflict_retry"; "batch_wait"; "ssd_queue" |]
+  [|
+    "ckpt_interference"; "log_full"; "conflict_retry"; "batch_wait";
+    "ssd_queue"; "repl_wait";
+  |]
 
 let cause_label i = cause_names.(i)
 

@@ -22,6 +22,7 @@ type cause =
   | Conflict_retry  (** Per-key conflict-ticket wait + retry. *)
   | Batch_wait  (** Group commit: co-batched with (n-1) other ops. *)
   | Ssd_queue  (** SSD channel queueing. *)
+  | Repl_wait  (** Replication: waiting for backup span acks. *)
 
 val n_causes : int
 val cause_index : cause -> int

@@ -1,0 +1,100 @@
+(* Backup engine: see backup.mli. *)
+
+open Dstore_platform
+open Dstore_core
+
+type t = {
+  platform : Platform.t;
+  store : Dstore.t;
+  ctx : Dstore.ctx;
+  data : Repl.ship_msg Link.t;
+  ack : Repl.ack_msg Link.t;
+  mutable epoch : int;
+  mutable applied_rseq : int;
+  mutable applied_lsn : int;
+  mutable rejects : int;
+  mutable stopped : bool;
+}
+
+let create platform ~data ~ack ~epoch store =
+  {
+    platform;
+    store;
+    ctx = Dstore.ds_init store;
+    data;
+    ack;
+    epoch;
+    applied_rseq = 0;
+    applied_lsn = 0;
+    rejects = 0;
+    stopped = false;
+  }
+
+let reattach t ~data ~ack ~epoch =
+  {
+    t with
+    data;
+    ack;
+    epoch = max epoch t.epoch;
+    stopped = false;
+  }
+
+let ack_fence_skipped t =
+  (Dstore.config t.store).Config.fault = Config.Skip_replica_ack_fence
+
+let send_ack t (e : Repl.entry) =
+  Link.send t.ack
+    { Repl.a_epoch = t.epoch; a_rseq = e.Repl.rseq; a_lsn = e.Repl.lsn; a_ok = true }
+
+let apply t (e : Repl.entry) =
+  if e.Repl.rseq > t.applied_rseq then
+    if ack_fence_skipped t then begin
+      (* Protocol mutation: the ack races ahead of durability — the
+         primary may acknowledge the op to its caller while the span is
+         still being applied here, so a pair crash inside that window
+         loses an "acked durable" op on failover. *)
+      send_ack t e;
+      Repl.apply_entry t.ctx e.Repl.op;
+      t.applied_rseq <- e.Repl.rseq;
+      t.applied_lsn <- e.Repl.lsn
+    end
+    else begin
+      Repl.apply_entry t.ctx e.Repl.op;
+      t.applied_rseq <- e.Repl.rseq;
+      t.applied_lsn <- e.Repl.lsn;
+      send_ack t e
+    end
+
+let serve t =
+  let rec loop () =
+    match Link.recv t.data with
+    | exception Link.Closed -> ()
+    | m ->
+        (if m.Repl.s_epoch < t.epoch then begin
+           t.rejects <- t.rejects + 1;
+           Link.send t.ack
+             { Repl.a_epoch = t.epoch; a_rseq = 0; a_lsn = 0; a_ok = false }
+         end
+         else begin
+           if m.Repl.s_epoch > t.epoch then t.epoch <- m.Repl.s_epoch;
+           List.iter (apply t) m.Repl.entries
+         end);
+        loop ()
+  in
+  loop ()
+
+let start t = t.platform.Platform.spawn "repl.backup" (fun () -> serve t)
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Link.close t.data;
+    Link.close t.ack;
+    Dstore.stop t.store
+  end
+
+let store t = t.store
+let epoch t = t.epoch
+let applied_rseq t = t.applied_rseq
+let applied_lsn t = t.applied_lsn
+let rejects t = t.rejects

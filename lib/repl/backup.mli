@@ -1,0 +1,53 @@
+(** Backup engine: a full [Dstore.t] on its own devices that receives
+    shipped spans, re-executes them through the Table 2 API (durable on
+    return: append-and-persist), and acks each applied entry.
+
+    Epoch fence: a ship whose epoch is older than the backup's is
+    rejected with a negative ack carrying the backup's epoch — this is
+    what actually stops a sealed old primary from making progress after
+    failover. A ship with a {e newer} epoch is adopted (the backup
+    learns of its new primary from the stream itself).
+
+    [Config.Skip_replica_ack_fence] on the backup's config inverts the
+    apply/ack order — the ack leaves before the span is applied and
+    persisted — which is exactly the protocol bug the pair explorer's
+    selftest must catch. *)
+
+open Dstore_platform
+open Dstore_core
+
+type t
+
+val create :
+  Platform.t ->
+  data:Repl.ship_msg Link.t ->
+  ack:Repl.ack_msg Link.t ->
+  epoch:int ->
+  Dstore.t ->
+  t
+(** Wrap a (fresh or recovered) store as a backup. Call {!start} to
+    spawn the receive loop. *)
+
+val reattach :
+  t -> data:Repl.ship_msg Link.t -> ack:Repl.ack_msg Link.t -> epoch:int -> t
+(** After failover: rebind a surviving backup to a new primary's links
+    under the new epoch, keeping its store and applied watermark. Call
+    {!start} on the result. *)
+
+val start : t -> unit
+(** Spawn the receive loop (exits when the data link closes). *)
+
+val stop : t -> unit
+(** Close both links (receive loop exits) and stop the store. *)
+
+val store : t -> Dstore.t
+
+val epoch : t -> int
+
+val applied_rseq : t -> int
+(** Highest applied-and-persisted replication sequence number. *)
+
+val applied_lsn : t -> int
+
+val rejects : t -> int
+(** Stale-epoch ships rejected. *)

@@ -1,0 +1,295 @@
+(* Replicated DStore façade: see group.mli. *)
+
+open Dstore_platform
+open Dstore_pmem
+open Dstore_ssd
+open Dstore_core
+
+type node = { pm : Pmem.t; ssd : Ssd.t }
+
+type t = {
+  platform : Platform.t;
+  gmode : Repl.durability;
+  link_cfg : Link.config;
+  cfg : Config.t;
+  bcfg : Config.t;
+  nodes : node array;
+  journal_on : bool;
+  mutable gepoch : int;
+  mutable pidx : int;
+  mutable gstore : Dstore.t;  (* current primary's store *)
+  mutable prim : Primary.t;  (* stale (fenced) handle after a kill *)
+  mutable alive : bool;
+  mutable atts : (int * Backup.t) list;  (* attached backups *)
+  mutable generation : int;  (* bumps on promote; ctxs re-bind *)
+  mutable link_seq : int;  (* distinct deterministic link seeds *)
+  mutable journal_acc : Repl.entry list;  (* shipped under past epochs *)
+}
+
+type ctx = { g : t; mutable gen : int; mutable c : Dstore.ctx }
+
+let fresh_link g =
+  g.link_seq <- g.link_seq + 1;
+  Link.create g.platform
+    { g.link_cfg with Link.seed = g.link_cfg.Link.seed + (1000 * g.link_seq) }
+
+let create ?(mode = Repl.Ack_all) ?(link = Link.default_config) ?bcfg
+    ?(journal = false) ?obs platform cfg nodes =
+  if Array.length nodes = 0 then invalid_arg "Group.create: no nodes";
+  let bcfg = Option.value bcfg ~default:cfg in
+  let store = Dstore.create ?obs platform nodes.(0).pm nodes.(0).ssd cfg in
+  let link_seq = ref 0 in
+  let mk_link () =
+    incr link_seq;
+    Link.create platform
+      { link with Link.seed = link.Link.seed + (1000 * !link_seq) }
+  in
+  let atts = ref [] and slots = ref [] in
+  for i = 1 to Array.length nodes - 1 do
+    let data = mk_link () in
+    let ack = mk_link () in
+    let bstore = Dstore.create platform nodes.(i).pm nodes.(i).ssd bcfg in
+    let b = Backup.create platform ~data ~ack ~epoch:1 bstore in
+    Backup.start b;
+    atts := (i, b) :: !atts;
+    slots := (i, data, ack, 0) :: !slots
+  done;
+  let prim =
+    Primary.create platform ~mode ~epoch:1 ~journal store
+      (Array.of_list (List.rev !slots))
+  in
+  {
+    platform;
+    gmode = mode;
+    link_cfg = link;
+    cfg;
+    bcfg;
+    nodes;
+    journal_on = journal;
+    gepoch = 1;
+    pidx = 0;
+    gstore = store;
+    prim;
+    alive = true;
+    atts = List.rev !atts;
+    generation = 0;
+    link_seq = !link_seq;
+    journal_acc = [];
+  }
+
+let ds_init g = { g; gen = g.generation; c = Dstore.ds_init g.gstore }
+
+let ds_finalize cx = Dstore.ds_finalize cx.c
+
+(* Re-bind a context that outlived a failover to the new primary. *)
+let ctx_of cx =
+  if cx.gen <> cx.g.generation then begin
+    cx.c <- Dstore.ds_init cx.g.gstore;
+    cx.gen <- cx.g.generation
+  end;
+  cx.c
+
+let check_alive g = if not g.alive then raise Primary.Fenced
+
+let oput cx key v =
+  check_alive cx.g;
+  Primary.oput cx.g.prim (ctx_of cx) key v
+
+let oget cx key =
+  check_alive cx.g;
+  Primary.oget cx.g.prim (ctx_of cx) key
+
+let oget_into cx key buf =
+  check_alive cx.g;
+  Primary.oget_into cx.g.prim (ctx_of cx) key buf
+
+let odelete cx key =
+  check_alive cx.g;
+  Primary.odelete cx.g.prim (ctx_of cx) key
+
+let oexists cx key =
+  check_alive cx.g;
+  Primary.oexists cx.g.prim (ctx_of cx) key
+
+let obatch cx ops =
+  check_alive cx.g;
+  Primary.obatch cx.g.prim (ctx_of cx) ops
+
+let oput_batch cx kvs =
+  ignore (obatch cx (List.map (fun (k, v) -> Dstore.Bput (k, v)) kvs))
+
+let odelete_batch cx keys =
+  obatch cx (List.map (fun k -> Dstore.Bdelete k) keys)
+
+let ocreate cx key =
+  check_alive cx.g;
+  Primary.ocreate cx.g.prim (ctx_of cx) key
+
+let owrite cx key ~off data =
+  check_alive cx.g;
+  Primary.owrite cx.g.prim (ctx_of cx) key ~off data
+
+let olock cx key =
+  check_alive cx.g;
+  Primary.olock cx.g.prim (ctx_of cx) key
+
+let ounlock cx key =
+  check_alive cx.g;
+  Primary.ounlock cx.g.prim (ctx_of cx) key
+
+let olist cx ~prefix =
+  check_alive cx.g;
+  Dstore.olist (ctx_of cx) ~prefix
+
+let checkpoint_now g =
+  check_alive g;
+  Dstore.checkpoint_now g.gstore
+
+let object_count g = Dstore.object_count g.gstore
+let iter_names g f = Dstore.iter_names g.gstore f
+let store g = g.gstore
+let obs g = Dstore.obs g.gstore
+let primary g = g.prim
+let backups g = g.atts
+let epoch g = g.gepoch
+let primary_index g = g.pidx
+let primary_alive g = g.alive
+let mode g = g.gmode
+
+(* [drain]: finish in-flight ops (and their durability waits) before
+   fencing — what a planned stop or handover owes its callers. A failure
+   drill ([kill_primary]) seals abruptly instead: suspended waiters take
+   {!Primary.Fenced}, exactly as a real primary loss would look. *)
+let seal ?(drain = true) g =
+  if g.alive then begin
+    if drain then Primary.quiesce g.prim;
+    g.journal_acc <- g.journal_acc @ Primary.journal g.prim;
+    Primary.fence g.prim;
+    Primary.close_links g.prim;
+    Dstore.stop g.gstore;
+    g.alive <- false
+  end
+
+let kill_primary ?(crash = false) g =
+  if g.alive then begin
+    seal ~drain:false g;
+    if crash then Pmem.crash g.nodes.(g.pidx).pm Pmem.Drop_all
+  end
+
+let promote ?index g =
+  (* Validate before sealing: a promote that cannot succeed must not
+     take down a live primary. *)
+  if g.atts = [] then invalid_arg "Group.promote: no attached backup";
+  (match index with
+  | Some i when not (List.exists (fun (j, _) -> j = i) g.atts) ->
+      invalid_arg "Group.promote: not an attached backup"
+  | _ -> ());
+  seal g;
+  match g.atts with
+  | [] -> invalid_arg "Group.promote: no attached backup"
+  | bs ->
+      let idx, chosen =
+        match index with
+        | Some i -> (
+            match List.find_opt (fun (j, _) -> j = i) bs with
+            | Some pair -> pair
+            | None -> invalid_arg "Group.promote: not an attached backup")
+        | None ->
+            (* The backup with the highest applied watermark holds a
+               superset of every other's acked state. *)
+            List.fold_left
+              (fun ((_, bb) as best) ((_, b) as cand) ->
+                if Backup.applied_rseq b > Backup.applied_rseq bb then cand
+                else best)
+              (List.hd bs) (List.tl bs)
+      in
+      g.gepoch <- g.gepoch + 1;
+      Backup.stop chosen;
+      let nd = g.nodes.(idx) in
+      (* The existing recovery path replays the backup's log. *)
+      let store = Dstore.recover g.platform nd.pm nd.ssd g.cfg in
+      let base = Backup.applied_rseq chosen in
+      let keep = List.filter (fun (j, _) -> j <> idx) bs in
+      let attach, detach =
+        List.partition (fun (_, b) -> Backup.applied_rseq b = base) keep
+      in
+      (* Laggards would need entries only the old primary had; without a
+         re-sync protocol they are detached rather than left diverged. *)
+      List.iter (fun (_, b) -> Backup.stop b) detach;
+      let rebound =
+        List.map
+          (fun (j, b) ->
+            let data = fresh_link g in
+            let ack = fresh_link g in
+            let b' = Backup.reattach b ~data ~ack ~epoch:g.gepoch in
+            Backup.start b';
+            ((j, data, ack, Backup.applied_rseq b'), (j, b')))
+          attach
+      in
+      g.atts <- List.map snd rebound;
+      g.gstore <- store;
+      g.pidx <- idx;
+      g.prim <-
+        Primary.create g.platform ~mode:g.gmode ~epoch:g.gepoch ~rseq_base:base
+          ~journal:g.journal_on store
+          (Array.of_list (List.map fst rebound));
+      g.alive <- true;
+      g.generation <- g.generation + 1
+
+let quiesce g = if g.alive && g.atts <> [] then Primary.quiesce g.prim
+
+let stop g =
+  seal g;
+  List.iter (fun (_, b) -> Backup.stop b) g.atts;
+  g.atts <- []
+
+type backup_line = {
+  node : int;
+  shipped : int;
+  acked : int;
+  acked_lsn : int;
+  applied : int;
+  lag : int;
+  link_pending : int;
+}
+
+type status = {
+  epoch_ : int;
+  mode_ : Repl.durability;
+  primary_ : int;
+  alive : bool;
+  rseq : int;
+  committed_lsn : int;
+  lines : backup_line list;
+}
+
+let status g =
+  let ps = Primary.status g.prim in
+  let applied_of node =
+    match List.find_opt (fun (j, _) -> j = node) g.atts with
+    | Some (_, b) -> Backup.applied_rseq b
+    | None -> 0
+  in
+  {
+    epoch_ = g.gepoch;
+    mode_ = g.gmode;
+    primary_ = (if g.alive then g.pidx else -1);
+    alive = g.alive;
+    rseq = ps.Primary.s_rseq;
+    committed_lsn = ps.Primary.s_committed_lsn;
+    lines =
+      List.map
+        (fun (b : Primary.backup_status) ->
+          {
+            node = b.Primary.b_node;
+            shipped = b.Primary.b_shipped;
+            acked = b.Primary.b_acked;
+            acked_lsn = b.Primary.b_acked_lsn;
+            applied = applied_of b.Primary.b_node;
+            lag = ps.Primary.s_rseq - b.Primary.b_acked;
+            link_pending = b.Primary.b_link_pending;
+          })
+        ps.Primary.s_backups;
+  }
+
+let journal g = g.journal_acc @ Primary.journal g.prim

@@ -1,0 +1,131 @@
+(** Replicated DStore: a primary plus one or more backups behind the
+    Table 2 API, with epoch-based failover.
+
+    A {e pair} (one backup) is the common deployment; [Group]
+    generalizes to N backups with the same protocol. Node 0 starts as
+    primary; each backup runs a full engine on its own devices and
+    receives the primary's shipped spans over a simulated {!Link}.
+
+    Failover: {!promote} seals the current epoch (fencing the old
+    primary if it is still alive), picks the backup with the highest
+    applied watermark (or the given index), replays its log via the
+    {e existing recovery path} ([Dstore.recover]), and serves under
+    epoch+1. Remaining backups that are exactly caught up with the
+    promoted node are re-attached under the new epoch; laggards are
+    detached (re-sync is out of scope — see DESIGN.md). A fenced old
+    primary rejects post-seal appends with {!Primary.Fenced}, and a
+    primary that missed the seal self-fences on the first stale-epoch
+    reject from a promoted backup. *)
+
+open Dstore_platform
+open Dstore_pmem
+open Dstore_ssd
+open Dstore_core
+
+type node = { pm : Pmem.t; ssd : Ssd.t }
+
+type t
+
+type ctx
+(** Per-thread context; transparently re-bound to the new primary after
+    a promote. *)
+
+val create :
+  ?mode:Repl.durability ->
+  ?link:Link.config ->
+  ?bcfg:Config.t ->
+  ?journal:bool ->
+  ?obs:Dstore_obs.Obs.t ->
+  Platform.t ->
+  Config.t ->
+  node array ->
+  t
+(** Format all nodes fresh; node 0 serves. [bcfg] overrides the backup
+    engines' config (defaults to the primary's — this is where
+    [Skip_replica_ack_fence] goes); [obs] is handed to the primary
+    store. Defaults: [Ack_all], {!Link.default_config}. *)
+
+val ds_init : t -> ctx
+val ds_finalize : ctx -> unit
+
+(** {1 Table 2 surface} (raises {!Primary.Fenced} after [kill_primary]
+    until the next [promote]) *)
+
+val oput : ctx -> string -> Bytes.t -> unit
+val oget : ctx -> string -> Bytes.t option
+val oget_into : ctx -> string -> Bytes.t -> int
+val odelete : ctx -> string -> bool
+val oexists : ctx -> string -> bool
+val obatch : ctx -> Dstore.batch_op list -> bool list
+val oput_batch : ctx -> (string * Bytes.t) list -> unit
+val odelete_batch : ctx -> string list -> bool list
+val ocreate : ctx -> string -> unit
+val owrite : ctx -> string -> off:int -> Bytes.t -> int
+val olock : ctx -> string -> unit
+val ounlock : ctx -> string -> unit
+val olist : ctx -> prefix:string -> string list
+
+(** {1 Management} *)
+
+val checkpoint_now : t -> unit
+val object_count : t -> int
+val iter_names : t -> (string -> unit) -> unit
+
+val store : t -> Dstore.t
+(** The current primary's store (obs handle, verification seams). *)
+
+val obs : t -> Dstore_obs.Obs.t
+
+val primary : t -> Primary.t
+(** The current primary handle — stale after [promote]/[kill_primary];
+    a retained old handle raises {!Primary.Fenced}, which is the point. *)
+
+val backups : t -> (int * Backup.t) list
+(** (node index, backup) for each attached backup. *)
+
+val epoch : t -> int
+val primary_index : t -> int
+val primary_alive : t -> bool
+val mode : t -> Repl.durability
+
+val kill_primary : ?crash:bool -> t -> unit
+(** Failover drill: stop the primary (with [crash], also power-fail its
+    PMEM, dropping unflushed lines) and close its links. Ops raise
+    {!Primary.Fenced} until {!promote}. *)
+
+val promote : ?index:int -> t -> unit
+(** Seal the epoch and fail over (see module doc). Raises
+    [Invalid_argument] with no attached backup, or if [index] names a
+    node that is not an attached backup. *)
+
+val quiesce : t -> unit
+(** Block until every attached backup has acked everything shipped
+    (no-op under no backups or a dead primary). *)
+
+val stop : t -> unit
+
+type backup_line = {
+  node : int;
+  shipped : int;
+  acked : int;
+  acked_lsn : int;
+  applied : int;
+  lag : int;  (** rseq - acked. *)
+  link_pending : int;
+}
+
+type status = {
+  epoch_ : int;
+  mode_ : Repl.durability;
+  primary_ : int;  (** Node index; -1 if dead. *)
+  alive : bool;
+  rseq : int;
+  committed_lsn : int;
+  lines : backup_line list;
+}
+
+val status : t -> status
+
+val journal : t -> Repl.entry list
+(** Shipped entries in rseq order (requires [~journal:true] at create;
+    survives within one primary incarnation). *)

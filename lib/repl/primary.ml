@@ -1,0 +1,340 @@
+(* Primary: see primary.mli. *)
+
+open Dstore_platform
+open Dstore_core
+module Obs = Dstore_obs.Obs
+module Metrics = Dstore_obs.Metrics
+module Span = Dstore_obs.Span
+
+exception Fenced
+
+type slot = {
+  node : int;
+  data : Repl.ship_msg Link.t;
+  ack : Repl.ack_msg Link.t;
+  mutable shipped : int;
+  mutable acked : int;
+  mutable acked_lsn : int;
+}
+
+type t = {
+  platform : Platform.t;
+  store : Dstore.t;
+  mode : Repl.durability;
+  mutable epoch : int;
+  mutable fenced : bool;
+  slots : slot array;
+  lock : Platform.mutex;
+  ack_cond : Platform.cond;
+  mutable rseq : int;
+  mutable in_flight : int;  (* mutating ops between entry and ship+ack *)
+  mutable committed_lsn : int;  (* engine commit-hook watermark *)
+  journal_on : bool;
+  mutable journal_rev : Repl.entry list;
+  (* stats (exported as repl.* gauge views) *)
+  mutable ships : int;
+  mutable acks : int;
+  mutable rejects : int;
+  mutable waits : int;
+  mutable wait_ns : int;
+  mutable lag_max : int;  (* peak rseq - min(acked) observed *)
+}
+
+let store t = t.store
+let mode t = t.mode
+let epoch t = t.epoch
+let fenced t = t.fenced
+let rseq t = t.rseq
+let committed_lsn t = t.committed_lsn
+let wait_ns t = t.wait_ns
+let journal t = List.rev t.journal_rev
+
+let min_acked t =
+  Array.fold_left (fun m s -> min m s.acked) max_int t.slots
+
+let register_views t =
+  let m = (Dstore.obs t.store).Obs.metrics in
+  Metrics.gauge_fn m "repl.epoch" (fun () -> t.epoch);
+  Metrics.gauge_fn m "repl.rseq" (fun () -> t.rseq);
+  Metrics.gauge_fn m "repl.committed_lsn" (fun () -> t.committed_lsn);
+  Metrics.gauge_fn m "repl.ships" (fun () -> t.ships);
+  Metrics.gauge_fn m "repl.acks" (fun () -> t.acks);
+  Metrics.gauge_fn m "repl.rejects" (fun () -> t.rejects);
+  Metrics.gauge_fn m "repl.waits" (fun () -> t.waits);
+  Metrics.gauge_fn m "repl.wait_ns" (fun () -> t.wait_ns);
+  Metrics.gauge_fn m "repl.lag" (fun () ->
+      if Array.length t.slots = 0 then 0 else t.rseq - min_acked t);
+  Metrics.gauge_fn m "repl.lag_max" (fun () -> t.lag_max)
+
+let ack_loop t slot =
+  let rec loop () =
+    match Link.recv slot.ack with
+    | exception Link.Closed -> ()
+    | a ->
+        Platform.with_lock t.lock (fun () ->
+            if a.Repl.a_ok then begin
+              t.acks <- t.acks + 1;
+              if a.Repl.a_rseq > slot.acked then begin
+                slot.acked <- a.Repl.a_rseq;
+                slot.acked_lsn <- a.Repl.a_lsn
+              end
+            end
+            else begin
+              (* A reject means someone with a newer epoch owns the
+                 stream: self-fence (split-brain protection for a
+                 primary that missed the explicit seal). *)
+              t.rejects <- t.rejects + 1;
+              if a.Repl.a_epoch > t.epoch then t.fenced <- true
+            end;
+            t.ack_cond.Platform.broadcast ());
+        loop ()
+  in
+  loop ()
+
+let create platform ~mode ~epoch ?(rseq_base = 0) ?(journal = false) store
+    slot_specs =
+  let slots =
+    Array.map
+      (fun (node, data, ack, acked0) ->
+        { node; data; ack; shipped = acked0; acked = acked0; acked_lsn = 0 })
+      slot_specs
+  in
+  let t =
+    {
+      platform;
+      store;
+      mode;
+      epoch;
+      fenced = false;
+      slots;
+      lock = platform.Platform.new_mutex ();
+      ack_cond = platform.Platform.new_cond ();
+      rseq = rseq_base;
+      in_flight = 0;
+      committed_lsn = 0;
+      journal_on = journal;
+      journal_rev = [];
+      ships = 0;
+      acks = 0;
+      rejects = 0;
+      waits = 0;
+      wait_ns = 0;
+      lag_max = 0;
+    }
+  in
+  (* Oplog span export seam: every commit's persisted span reports its
+     (lsn, op) pairs here; the watermark is what shipped entries carry
+     as their LSN coordinate. *)
+  Dipper.set_commit_hook (Dstore.engine store)
+    (Some
+       (fun pairs ->
+         List.iter
+           (fun (lsn, _) -> if lsn > t.committed_lsn then t.committed_lsn <- lsn)
+           pairs));
+  register_views t;
+  Array.iter
+    (fun s -> platform.Platform.spawn "repl.ack" (fun () -> ack_loop t s))
+    slots;
+  t
+
+let fence t =
+  Platform.with_lock t.lock (fun () ->
+      t.fenced <- true;
+      t.ack_cond.Platform.broadcast ())
+
+let close_links t =
+  Dipper.set_commit_hook (Dstore.engine t.store) None;
+  Array.iter
+    (fun s ->
+      Link.close s.data;
+      Link.close s.ack)
+    t.slots
+
+let check_fenced t = if t.fenced then raise Fenced
+
+(* Mutating ops hold an in-flight count from entry until their ship has
+   been acked (or skipped), so a clean shutdown can drain: a fence
+   between an op's local commit and its ship would otherwise raise
+   {!Fenced} into a caller whose op was about to become fully durable. *)
+let with_op t f =
+  check_fenced t;
+  Platform.with_lock t.lock (fun () -> t.in_flight <- t.in_flight + 1);
+  Fun.protect
+    ~finally:(fun () ->
+      Platform.with_lock t.lock (fun () ->
+          t.in_flight <- t.in_flight - 1;
+          t.ack_cond.Platform.broadcast ()))
+    f
+
+(* Assign the rseq and send under one lock hold: the link is FIFO, so
+   holding the lock across the sends guarantees stream order matches
+   rseq order even with concurrent committers. [Link.send] never blocks
+   (delivery is a spawned sleeper), so the hold is short. *)
+let ship t op =
+  if Array.length t.slots = 0 && not t.journal_on then None
+  else begin
+    let bytes = 64 + Repl.rop_bytes op in
+    Some
+      (Platform.with_lock t.lock (fun () ->
+           if t.fenced then raise Fenced;
+           t.rseq <- t.rseq + 1;
+           t.ships <- t.ships + 1;
+           let entry =
+             { Repl.rseq = t.rseq; epoch = t.epoch; lsn = t.committed_lsn; op }
+           in
+           if t.journal_on then t.journal_rev <- entry :: t.journal_rev;
+           if Array.length t.slots > 0 then
+             t.lag_max <- max t.lag_max (t.rseq - min_acked t);
+           Array.iter
+             (fun s ->
+               Link.send s.data ~bytes
+                 { Repl.s_epoch = entry.Repl.epoch; entries = [ entry ] };
+               s.shipped <- max s.shipped entry.Repl.rseq)
+             t.slots;
+           entry))
+  end
+
+let wait_durable t span (entry : Repl.entry) =
+  if Array.length t.slots > 0 then
+    match t.mode with
+    | Repl.Async -> ()
+    | Repl.Ack_one | Repl.Ack_all ->
+        let t0 = t.platform.Platform.now () in
+        Platform.with_lock t.lock (fun () ->
+            let reached () =
+              match t.mode with
+              | Repl.Ack_one ->
+                  Array.exists (fun s -> s.acked >= entry.Repl.rseq) t.slots
+              | _ -> Array.for_all (fun s -> s.acked >= entry.Repl.rseq) t.slots
+            in
+            while not (t.fenced || reached ()) do
+              t.ack_cond.Platform.wait t.lock
+            done;
+            if t.fenced && not (reached ()) then raise Fenced);
+        let dt = t.platform.Platform.now () - t0 in
+        t.waits <- t.waits + 1;
+        t.wait_ns <- t.wait_ns + dt;
+        Span.stall span Span.Repl_wait dt
+
+let replicate t span op =
+  match ship t op with None -> () | Some e -> wait_durable t span e
+
+let spans t = (Dstore.obs t.store).Obs.spans
+
+let oput t ctx key value =
+  with_op t (fun () ->
+      let span = Span.start (spans t) Span.Put key in
+      Dstore.oput ~span ctx key value;
+      replicate t span (Repl.R_put (key, value));
+      Span.finish span)
+
+let odelete t ctx key =
+  with_op t (fun () ->
+      let span = Span.start (spans t) Span.Delete key in
+      let existed = Dstore.odelete ~span ctx key in
+      replicate t span (Repl.R_delete key);
+      Span.finish span;
+      existed)
+
+let obatch t ctx ops =
+  match ops with
+  | [] -> []
+  | _ ->
+      with_op t (fun () ->
+          let span =
+            Span.start (spans t) ~n_ops:(List.length ops) Span.Batch "(batch)"
+          in
+          let rs = Dstore.obatch ~span ctx ops in
+          replicate t span (Repl.R_batch ops);
+          Span.finish span;
+          rs)
+
+let ocreate t ctx key =
+  with_op t (fun () ->
+      let o = Dstore.oopen ctx key ~create:true Dstore.Wr in
+      Dstore.oclose o;
+      replicate t Span.none (Repl.R_create key))
+
+let owrite t ctx key ~off data =
+  with_op t (fun () ->
+      let span = Span.start (spans t) Span.Write key in
+      let o = Dstore.oopen ctx key ~create:false Dstore.Rdwr in
+      let n = Dstore.owrite ~span o data ~size:(Bytes.length data) ~off in
+      Dstore.oclose o;
+      replicate t span (Repl.R_write { key; off; data });
+      Span.finish span;
+      n)
+
+let oget t ctx key =
+  check_fenced t;
+  Dstore.oget ctx key
+
+let oget_into t ctx key buf =
+  check_fenced t;
+  Dstore.oget_into ctx key buf
+
+let oexists t ctx key =
+  check_fenced t;
+  Dstore.oexists ctx key
+
+let olock t ctx key =
+  check_fenced t;
+  Dstore.olock ctx key
+
+let ounlock t ctx key =
+  check_fenced t;
+  Dstore.ounlock ctx key
+
+(* Block until no op is in flight and every slot has acked everything
+   shipped so far (or the primary is fenced). A clean stop drains
+   through this before fencing, so suspended callers finish their waits
+   instead of taking {!Fenced}; failover drills and tests use it to make
+   "the acked prefix" mean "everything" before comparing states. *)
+let quiesce t =
+  Platform.with_lock t.lock (fun () ->
+      while
+        (not t.fenced)
+        && (t.in_flight > 0
+           || Array.exists (fun s -> s.acked < t.rseq) t.slots)
+      do
+        t.ack_cond.Platform.wait t.lock
+      done)
+
+type backup_status = {
+  b_node : int;
+  b_shipped : int;
+  b_acked : int;
+  b_acked_lsn : int;
+  b_link_pending : int;
+}
+
+type status = {
+  s_epoch : int;
+  s_mode : Repl.durability;
+  s_fenced : bool;
+  s_rseq : int;
+  s_committed_lsn : int;
+  s_backups : backup_status list;
+}
+
+let status t =
+  Platform.with_lock t.lock (fun () ->
+      {
+        s_epoch = t.epoch;
+        s_mode = t.mode;
+        s_fenced = t.fenced;
+        s_rseq = t.rseq;
+        s_committed_lsn = t.committed_lsn;
+        s_backups =
+          Array.to_list
+            (Array.map
+               (fun s ->
+                 {
+                   b_node = s.node;
+                   b_shipped = s.shipped;
+                   b_acked = s.acked;
+                   b_acked_lsn = s.acked_lsn;
+                   b_link_pending = Link.pending s.data;
+                 })
+               t.slots);
+      })

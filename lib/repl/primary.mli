@@ -1,0 +1,113 @@
+(** Primary: wraps one [Dstore.t] with span shipping and durability
+    waits.
+
+    Every mutating Table 2 call runs locally first (local commit
+    persists as usual), then ships as one replication entry — a whole
+    group commit ships as one [R_batch] entry, mirroring the
+    [Oplog.flush_batch]/[persist_span] boundaries — to every attached
+    backup, in rseq order. Under [Ack_one]/[Ack_all] the call then
+    blocks until the quorum acks the entry; that wait is charged to the
+    op's causal span as [Span.Repl_wait] blame, so tail attribution
+    explains replication stalls by name.
+
+    Epoch fencing: {!fence} seals the primary — every subsequent call
+    (and every in-progress durability wait) raises {!Fenced}. A primary
+    that misses the seal fences itself on the first stale-epoch reject
+    ack it receives from a promoted backup.
+
+    Metrics ([repl.*]) register on the store's registry: epoch, rseq,
+    committed LSN watermark (from the engine's commit hook), ship / ack
+    / reject / wait counters, and the current replication lag. *)
+
+open Dstore_platform
+open Dstore_core
+module Span = Dstore_obs.Span
+
+exception Fenced
+(** The op ran on a sealed (or dead) primary and was not made durable
+    under the configured quorum. *)
+
+type t
+
+val create :
+  Platform.t ->
+  mode:Repl.durability ->
+  epoch:int ->
+  ?rseq_base:int ->
+  ?journal:bool ->
+  Dstore.t ->
+  (int * Repl.ship_msg Link.t * Repl.ack_msg Link.t * int) array ->
+  t
+(** [create p ~mode ~epoch store slots] with one
+    [(node_id, data, ack, acked0)] slot per backup; [acked0] is the
+    backup's already-applied rseq (0 for a fresh pair, the applied
+    watermark when re-attaching after failover). [rseq_base] continues
+    an existing sequence. Installs the engine commit hook and spawns one
+    ack-receiver process per slot. [journal] retains every shipped entry
+    in DRAM (test seam — see {!journal}). *)
+
+val store : t -> Dstore.t
+val mode : t -> Repl.durability
+val epoch : t -> int
+val fenced : t -> bool
+val rseq : t -> int
+val committed_lsn : t -> int
+
+val fence : t -> unit
+(** Seal: reject every later append and wake blocked durability waits. *)
+
+val close_links : t -> unit
+(** Close both links of every slot (backup receive loops exit) and
+    uninstall the commit hook. *)
+
+(** {1 Replicated Table 2 surface}
+
+    Mutators ship; reads are served locally but still refuse a fenced
+    primary (a sealed node must not serve possibly-stale state). *)
+
+val oput : t -> Dstore.ctx -> string -> Bytes.t -> unit
+val odelete : t -> Dstore.ctx -> string -> bool
+val obatch : t -> Dstore.ctx -> Dstore.batch_op list -> bool list
+val ocreate : t -> Dstore.ctx -> string -> unit
+(** [oopen ~create:true] + [oclose], shipped as [R_create]. *)
+
+val owrite : t -> Dstore.ctx -> string -> off:int -> Bytes.t -> int
+(** Ranged write on an existing object, shipped as [R_write]. *)
+
+val oget : t -> Dstore.ctx -> string -> Bytes.t option
+val oget_into : t -> Dstore.ctx -> string -> Bytes.t -> int
+val oexists : t -> Dstore.ctx -> string -> bool
+val olock : t -> Dstore.ctx -> string -> unit
+val ounlock : t -> Dstore.ctx -> string -> unit
+
+(** {1 Status} *)
+
+type backup_status = {
+  b_node : int;
+  b_shipped : int;
+  b_acked : int;
+  b_acked_lsn : int;
+  b_link_pending : int;  (** Entries in flight + queued on the data link. *)
+}
+
+type status = {
+  s_epoch : int;
+  s_mode : Repl.durability;
+  s_fenced : bool;
+  s_rseq : int;
+  s_committed_lsn : int;
+  s_backups : backup_status list;
+}
+
+val status : t -> status
+
+val quiesce : t -> unit
+(** Block until every backup has acked everything shipped so far (or the
+    primary is fenced). *)
+
+val wait_ns : t -> int
+(** Cumulative durability-wait time (also exported as [repl.wait_ns]). *)
+
+val journal : t -> Repl.entry list
+(** Shipped entries in rseq order; empty unless created with
+    [~journal:true]. *)

@@ -295,7 +295,7 @@ let oopen ctx name ?create mode = Dstore.oopen (route ctx name) name ?create mod
 
 let oread = Dstore.oread
 
-let owrite = Dstore.owrite
+let owrite o buf ~size ~off = Dstore.owrite o buf ~size ~off
 
 let oclose = Dstore.oclose
 

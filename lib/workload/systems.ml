@@ -281,6 +281,72 @@ let sharded ?(shards = 4) ?(stagger = true) ?label platform scale :
     obs = Some (Cluster.obs c);
   }
 
+(* A replicated primary-backup group. Every node is a distinct machine:
+   full-scale devices each, with its own bandwidth domain (replication
+   adds hardware, it does not split it). The returned [Group.t] exposes
+   status/lag and the failover controls to experiments and the CLI. *)
+let replicated ?(backups = 1) ?mode ?link_latency_ns ?label platform scale :
+    Kv_intf.system * Dstore_repl.Group.t =
+  let open Dstore_repl in
+  if backups < 1 then invalid_arg "Systems.replicated: backups < 1";
+  let cfg = dstore_config scale in
+  let nodes =
+    Array.init (backups + 1) (fun _ ->
+        {
+          Group.pm = make_pmem platform scale (Dipper.layout_bytes cfg);
+          ssd = make_ssd platform scale;
+        })
+  in
+  let link =
+    match link_latency_ns with
+    | None -> Link.default_config
+    | Some latency_ns -> { Link.default_config with Link.latency_ns }
+  in
+  let g = Group.create ?mode ~link platform cfg nodes in
+  let name =
+    match label with
+    | Some l -> l
+    | None ->
+        Printf.sprintf "DStore repl x%d (%s)" backups
+          (Repl.durability_name (Group.mode g))
+  in
+  ( {
+      Kv_intf.name;
+      client =
+        (fun () ->
+          let ctx = Group.ds_init g in
+          (* The runner's clean shutdown can race a client sleeping in
+             its think time across the window deadline: the group is
+             sealed before that client issues its next op. Every other
+             system tolerates post-stop ops, so the harness adapter
+             absorbs the Fenced those see — group/primary semantics stay
+             strict everywhere else. *)
+          let absorb default f =
+            try f () with Primary.Fenced when not (Group.primary_alive g) ->
+              default
+          in
+          {
+            Kv_intf.put = (fun k v -> absorb () (fun () -> Group.oput ctx k v));
+            get = (fun k buf -> absorb 0 (fun () -> Group.oget_into ctx k buf));
+            delete =
+              (fun k -> absorb () (fun () -> ignore (Group.odelete ctx k)));
+            put_batch =
+              Some (fun kvs -> absorb () (fun () -> Group.oput_batch ctx kvs));
+          });
+      checkpoint_now = Some (fun () -> Group.checkpoint_now g);
+      stop = (fun () -> Group.stop g);
+      footprint =
+        (fun () ->
+          let f = Dstore.footprint (Group.store g) in
+          (f.Dstore.dram, f.Dstore.pmem, f.Dstore.ssd));
+      pms =
+        Array.to_list (Array.map (fun (nd : Group.node) -> nd.Group.pm) nodes);
+      ssds =
+        Array.to_list (Array.map (fun (nd : Group.node) -> nd.Group.ssd) nodes);
+      obs = Some (Group.obs g);
+    },
+    g )
+
 let inline ?label platform scale : Kv_intf.system =
   let cfg =
     {

@@ -65,6 +65,20 @@ val lsm_no_stall : ?label:string -> Platform.t -> scale -> Kv_intf.system
 val inline : ?label:string -> Platform.t -> scale -> Kv_intf.system
 (** The MongoDB-PMSE-like uncached inline-persistence baseline. *)
 
+val replicated :
+  ?backups:int ->
+  ?mode:Dstore_repl.Repl.durability ->
+  ?link_latency_ns:int ->
+  ?label:string ->
+  Platform.t -> scale ->
+  Kv_intf.system * Dstore_repl.Group.t
+(** A {!Dstore_repl.Group} — primary plus [backups] (default 1) backup
+    engines on full-scale devices of their own (each node is a distinct
+    machine) — behind the uniform interface, plus the group handle for
+    replication status and failover control. [mode] defaults to
+    [Ack_all]; [link_latency_ns] overrides the one-way link latency of
+    {!Dstore_platform.Link.default_config}. *)
+
 val sharded :
   ?shards:int -> ?stagger:bool -> ?label:string -> Platform.t -> scale ->
   Kv_intf.system

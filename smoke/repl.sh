@@ -1,0 +1,34 @@
+#!/bin/sh
+# Replication smoke: the three acceptance gates of the repl subsystem.
+#
+#  1. Whole-pair crash sweep (expect clean): power-fail primary+backup
+#     at every persistence event of the backup, then check BOTH
+#     recovery stories — failover (the promoted backup must serve every
+#     acked op) and primary restart — against the durability oracle.
+#  2. Skip_replica_ack_fence fault (expect caught): a backup that acks
+#     before its span is applied and persisted must produce failover
+#     violations — proof the sweep can see the ack/apply race at all.
+#  3. `bench repl` attribution gate: on the ack-all run the link
+#     round-trip lives inside every acked write; at least 90% of the
+#     >=p9999 latency mass must be attributed to named causes with
+#     repl_wait among them (it prints REPL-ATTRIBUTION OK only then).
+#
+# Extra arguments are forwarded to both checker sweeps, e.g.
+#
+#   smoke/repl.sh --mode ack-one            # quorum-of-one durability
+#
+# Equivalent dune alias: `dune build @torture`.
+set -eu
+cd "$(dirname "$0")/.."
+echo "== Pair crash sweep (expect clean) =="
+dune exec bin/dstore_checker.exe -- pair --ops 24 --subsets 1 "$@"
+echo
+echo "== Skip_replica_ack_fence fault (expect caught) =="
+dune exec bin/dstore_checker.exe -- pair --ops 24 --subsets 1 \
+  --fault skip-replica-ack --expect-violations "$@"
+echo
+echo "== Replication tail attribution (expect REPL-ATTRIBUTION OK) =="
+out=$(dune exec bench/main.exe -- repl --objects 3000 --window-ms 400 \
+  --clients 12)
+printf '%s\n' "$out"
+printf '%s\n' "$out" | grep -q "REPL-ATTRIBUTION OK"

@@ -17,4 +17,5 @@ let () =
       ("baselines", Test_baselines.suite);
       ("workload", Test_workload.suite);
       ("shard", Test_shard.suite);
+      ("repl", Test_repl.suite);
     ]

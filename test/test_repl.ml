@@ -1,0 +1,382 @@
+(* Tests for the replication subsystem (lib/repl): Link delivery
+   semantics, epoch fencing, failover round-trips, and the byte-identity
+   property — a promoted backup's published space must equal a
+   single-engine replay of the acked prefix, byte for byte. *)
+
+open Dstore_platform
+open Dstore_pmem
+open Dstore_ssd
+open Dstore_memory
+open Dstore_core
+open Dstore_check
+open Dstore_repl
+open Alcotest
+
+(* Same shape as the checker's pair fixture: small enough that scenarios
+   run fast, big enough that no structure overflows. *)
+let pair_cfg =
+  {
+    Config.default with
+    log_slots = 512;
+    space_bytes = 4 * 1024 * 1024;
+    meta_entries = 1024;
+    ssd_blocks = 4096;
+    checkpoint_workers = 2;
+  }
+
+let make_nodes platform cfg n =
+  Array.init n (fun _ ->
+      {
+        Group.pm =
+          Pmem.create platform
+            {
+              Pmem.default_config with
+              size = Dipper.layout_bytes cfg;
+              crash_model = true;
+            };
+        ssd =
+          Ssd.create platform
+            { Ssd.default_config with pages = cfg.Config.ssd_blocks };
+      })
+
+(* --- Link: delivery semantics ----------------------------------------- *)
+
+(* FIFO even under jitter and size-dependent serialization: delivery
+   times are clamped monotone per link, like a TCP stream. *)
+let test_link_fifo_under_jitter () =
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let l =
+    Link.create p
+      { latency_ns = 2_000; gbps = 1.0; jitter_ns = 10_000; drop_prob = 0.0;
+        seed = 9 }
+  in
+  let n = 25 in
+  let got = ref [] in
+  Sim.spawn sim "t" (fun () ->
+      for i = 0 to n - 1 do
+        (* Varying sizes: without the monotone clamp the bandwidth and
+           jitter terms would reorder deliveries. *)
+        Link.send l ~bytes:(16 + (i * 37 mod 300)) i
+      done;
+      Link.close l;
+      (try
+         while true do
+           got := Link.recv l :: !got
+         done
+       with Link.Closed -> ()));
+  Sim.run sim;
+  check (list int) "messages arrive in send order" (List.init n Fun.id)
+    (List.rev !got);
+  check int "sent" n (Link.sent l);
+  check int "delivered" n (Link.delivered l);
+  check int "dropped" 0 (Link.dropped l)
+
+let test_link_drop () =
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let l =
+    Link.create p
+      { Link.default_config with Link.drop_prob = 0.6; seed = 42 }
+  in
+  let n = 40 in
+  let got = ref [] in
+  Sim.spawn sim "t" (fun () ->
+      for i = 0 to n - 1 do
+        Link.send l i
+      done;
+      Link.close l;
+      (try
+         while true do
+           got := Link.recv l :: !got
+         done
+       with Link.Closed -> ()));
+  Sim.run sim;
+  let got = List.rev !got in
+  check bool "some messages dropped" true (Link.dropped l > 0);
+  check bool "some messages survive" true (got <> []);
+  check int "sent = delivered + dropped" n
+    (Link.delivered l + Link.dropped l);
+  (* Survivors keep their relative order. *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a < b && sorted rest
+    | _ -> true
+  in
+  check bool "survivors in order" true (sorted got)
+
+let test_link_closed () =
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let l = Link.create p Link.default_config in
+  let in_flight = ref None in
+  let after_close = ref false in
+  let drained = ref false in
+  Sim.spawn sim "t" (fun () ->
+      Link.send l 7;
+      Link.close l;
+      (* In-flight messages are still delivered after close... *)
+      in_flight := Some (Link.recv l);
+      (* ...then the drained link raises. *)
+      (try ignore (Link.recv l) with Link.Closed -> drained := true);
+      try Link.send l 8 with Link.Closed -> after_close := true);
+  Sim.run sim;
+  check (option int) "in-flight delivered after close" (Some 7) !in_flight;
+  check bool "recv raises once drained" true !drained;
+  check bool "send raises after close" true !after_close
+
+(* --- Epoch fencing ----------------------------------------------------- *)
+
+(* A primary whose epoch is stale gets its ships rejected by the backup,
+   and the reject makes it fence itself: split-brain protection for an
+   old primary that missed the explicit seal. *)
+let test_stale_epoch_ship_rejected () =
+  let cfg = pair_cfg in
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let nodes = make_nodes p cfg 2 in
+  let fenced = ref false in
+  let b_ref = ref None in
+  Sim.spawn sim "t" (fun () ->
+      let data = Link.create p Link.default_config in
+      let ack = Link.create p Link.default_config in
+      let bstore = Dstore.create p nodes.(1).Group.pm nodes.(1).Group.ssd cfg in
+      (* The backup already lives in epoch 2 ... *)
+      let b = Backup.create p ~data ~ack ~epoch:2 bstore in
+      Backup.start b;
+      b_ref := Some b;
+      (* ... while this primary still believes it owns epoch 1. *)
+      let store = Dstore.create p nodes.(0).Group.pm nodes.(0).Group.ssd cfg in
+      let prim =
+        Primary.create p ~mode:Repl.Ack_all ~epoch:1 store
+          [| (1, data, ack, 0) |]
+      in
+      let ctx = Dstore.ds_init store in
+      (try Primary.oput prim ctx "stale" (Bytes.make 32 'x')
+       with Primary.Fenced -> fenced := true);
+      check bool "primary self-fenced on reject" true (Primary.fenced prim);
+      Primary.close_links prim;
+      Backup.stop b;
+      Dstore.stop store);
+  Sim.run sim;
+  let b = Option.get !b_ref in
+  check bool "acked-durable wait raised Fenced" true !fenced;
+  check int "backup rejected the stale ship" 1 (Backup.rejects b);
+  check int "backup applied nothing" 0 (Backup.applied_rseq b)
+
+(* After kill_primary every Table 2 call on the group raises Fenced;
+   promote installs a new epoch and the same contexts work again. *)
+let test_group_fencing_and_promote () =
+  let cfg = pair_cfg in
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let nodes = make_nodes p cfg 2 in
+  Sim.spawn sim "t" (fun () ->
+      let g = Group.create ~mode:Repl.Ack_all p cfg nodes in
+      let ctx = Group.ds_init g in
+      Group.oput ctx "k" (Bytes.of_string "before failover");
+      let stale = Group.primary g in
+      Group.kill_primary g;
+      check bool "group not alive" false (Group.primary_alive g);
+      let put_fenced =
+        try
+          Group.oput ctx "k2" (Bytes.make 8 'y');
+          false
+        with Primary.Fenced -> true
+      in
+      check bool "put on dead group raises Fenced" true put_fenced;
+      let get_fenced =
+        try
+          ignore (Group.oget ctx "k");
+          false
+        with Primary.Fenced -> true
+      in
+      check bool "get on dead group raises Fenced" true get_fenced;
+      Group.promote g;
+      check int "promote bumps the epoch" 2 (Group.epoch g);
+      check int "backup node is the new primary" 1 (Group.primary_index g);
+      (* The old primary handle someone may still hold stays fenced. *)
+      check bool "stale primary handle stays fenced" true
+        (Primary.fenced stale);
+      (* The surviving context re-binds to the new primary. *)
+      check (option bytes) "acked write survived failover"
+        (Some (Bytes.of_string "before failover"))
+        (Group.oget ctx "k");
+      Group.oput ctx "k2" (Bytes.of_string "after failover");
+      check (option bytes) "new epoch accepts writes"
+        (Some (Bytes.of_string "after failover"))
+        (Group.oget ctx "k2");
+      Group.stop g);
+  Sim.run sim
+
+(* Failover round-trip with a crashed primary: every op acked under
+   Ack_all must be served by the promoted backup. *)
+let test_failover_round_trip () =
+  let cfg = pair_cfg in
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let nodes = make_nodes p cfg 2 in
+  let n = 40 in
+  let value i = Bytes.of_string (Printf.sprintf "value-%03d" i) in
+  Sim.spawn sim "t" (fun () ->
+      let g = Group.create ~mode:Repl.Ack_all p cfg nodes in
+      let ctx = Group.ds_init g in
+      for i = 0 to n - 1 do
+        Group.oput ctx (Printf.sprintf "k%02d" (i mod 16)) (value i)
+      done;
+      ignore (Group.odelete ctx "k03");
+      (* Drop power on the primary's PMEM: nothing of node 0 survives. *)
+      Group.kill_primary ~crash:true g;
+      Group.promote g;
+      for i = n - 16 to n - 1 do
+        let key = Printf.sprintf "k%02d" (i mod 16) in
+        if key <> "k03" then
+          check (option bytes)
+            (Printf.sprintf "acked %s served after failover" key)
+            (Some (value i)) (Group.oget ctx key)
+      done;
+      check (option bytes) "acked delete survived failover" None
+        (Group.oget ctx "k03");
+      check int "object count matches acked state" 15 (Group.object_count g);
+      Group.stop g);
+  Sim.run sim
+
+(* --- Byte identity: promoted backup = replay of the acked prefix ------- *)
+
+(* Oversized log + high threshold: no automatic checkpoint fires on
+   either side, so both engines publish their first checkpoint from
+   the comparison point. Same shape as the delta-identity property in
+   test_check.ml. *)
+let identity_cfg =
+  {
+    Config.default with
+    log_slots = 4096;
+    checkpoint_threshold = 2.0;
+    checkpoint_workers = 1;
+    space_bytes = 4 * 1024 * 1024;
+    meta_entries = 1024;
+    ssd_blocks = 4096;
+  }
+
+(* Drive Gen ops through the group. Locks are advisory and never
+   shipped, so the op stream for this property skips them; [sizes]
+   mirrors committed object sizes to resolve Write offsets the way the
+   explorer's oracle does. *)
+let drive_group ctx sizes (op : Gen.op) =
+  match op with
+  | Gen.Put { key; size; vseed } ->
+      Group.oput ctx key (Gen.value ~vseed size);
+      Hashtbl.replace sizes key size
+  | Gen.Delete key ->
+      ignore (Group.odelete ctx key);
+      Hashtbl.remove sizes key
+  | Gen.Get key -> ignore (Group.oget ctx key)
+  | Gen.Write { key; off_pct; len; vseed } -> (
+      match Hashtbl.find_opt sizes key with
+      | None -> ()
+      | Some osz ->
+          let off = min osz (osz * off_pct / 100) in
+          ignore (Group.owrite ctx key ~off (Gen.value ~vseed len));
+          Hashtbl.replace sizes key (max osz (off + len)))
+  | Gen.Batch items ->
+      let ops =
+        List.map
+          (function
+            | Gen.B_put { key; size; vseed } ->
+                Hashtbl.replace sizes key size;
+                Dstore.Bput (key, Gen.value ~vseed size)
+            | Gen.B_del key ->
+                Hashtbl.remove sizes key;
+                Dstore.Bdelete key)
+          items
+      in
+      ignore (Group.obatch ctx ops)
+  | Gen.Lock _ | Gen.Unlock _ -> ()
+
+(* Run the generated ops against an Ack_all pair with the journal on,
+   crash the primary, promote, publish — and return the promoted space
+   plus the journal of everything that was shipped (= acked: quiesced
+   first, so the acked prefix is the whole sequence). *)
+let run_promoted ~seed ~n_ops =
+  let cfg = identity_cfg in
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let nodes = make_nodes p cfg 2 in
+  let ops = Gen.generate ~seed ~n:n_ops in
+  let result = ref None in
+  Sim.spawn sim "w" (fun () ->
+      let g = Group.create ~mode:Repl.Ack_all ~journal:true p cfg nodes in
+      let ctx = Group.ds_init g in
+      let sizes = Hashtbl.create 16 in
+      List.iter (drive_group ctx sizes) ops;
+      Group.quiesce g;
+      let journal = Group.journal g in
+      Group.kill_primary ~crash:true g;
+      Group.promote g;
+      Group.checkpoint_now g;
+      let shadow = Dipper.shadow_space (Dstore.engine (Group.store g)) in
+      result := Some (Space.mem shadow, Space.used_bytes shadow, journal);
+      Group.stop g);
+  Sim.run sim;
+  Option.get !result
+
+(* Replay a journal against a fresh single engine via the same
+   [Repl.apply_entry] the backup uses, and publish. *)
+let run_replay journal =
+  let cfg = identity_cfg in
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let pm =
+    Pmem.create p
+      {
+        Pmem.default_config with
+        size = Dipper.layout_bytes cfg;
+        crash_model = true;
+      }
+  in
+  let ssd =
+    Ssd.create p { Ssd.default_config with pages = cfg.Config.ssd_blocks }
+  in
+  let result = ref None in
+  Sim.spawn sim "w" (fun () ->
+      let st = Dstore.create p pm ssd cfg in
+      let ctx = Dstore.ds_init st in
+      List.iter (fun (e : Repl.entry) -> Repl.apply_entry ctx e.Repl.op) journal;
+      Dstore.checkpoint_now st;
+      let shadow = Dipper.shadow_space (Dstore.engine st) in
+      result := Some (Space.mem shadow, Space.used_bytes shadow);
+      Dstore.stop st);
+  Sim.run sim;
+  Option.get !result
+
+let prop_promoted_backup_byte_identity =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"promoted backup = single-engine replay of acked prefix (bytes)"
+       ~count:10
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         Seed_report.attempt ~test:"promoted backup byte identity" ~seed
+           ~repro:
+             (Printf.sprintf
+                "dune exec test/test_main.exe -- test repl  # seed %d" seed)
+         @@ fun () ->
+         let prom_mem, prom_used, journal = run_promoted ~seed ~n_ops:60 in
+         if journal = [] then failwith "scenario shipped nothing";
+         let replay_mem, replay_used = run_replay journal in
+         prom_used = replay_used
+         && Mem.equal_range prom_mem replay_mem ~off:0 ~len:prom_used))
+
+let suite =
+  [
+    test_case "link: FIFO under jitter + bandwidth" `Quick
+      test_link_fifo_under_jitter;
+    test_case "link: drop model counts and keeps order" `Quick test_link_drop;
+    test_case "link: close semantics" `Quick test_link_closed;
+    test_case "fencing: stale-epoch ship rejected, primary self-fences" `Quick
+      test_stale_epoch_ship_rejected;
+    test_case "fencing: dead group raises, promote revives" `Quick
+      test_group_fencing_and_promote;
+    test_case "failover: every acked op served after promote" `Quick
+      test_failover_round_trip;
+    prop_promoted_backup_byte_identity;
+  ]
