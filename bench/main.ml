@@ -31,6 +31,7 @@ let experiments : (string * string * (Common.opts -> unit)) list =
     ("batch", "group-commit batch-size sweep", Exp_batch.run);
     ("tail", "per-op causal spans + tail-latency attribution", Exp_tail.run);
     ("repl", "replication durability modes / link latency sweep", Exp_repl.run);
+    ("txn", "OCC transaction abort/throughput sweep vs contention", Exp_txn.run);
   ]
 
 let usage () =

@@ -44,6 +44,7 @@ let fault_conv =
     | "skip-dirty" -> Ok Config.Skip_dirty_track
     | "skip-batch-commit" -> Ok Config.Skip_batch_commit_fence
     | "skip-replica-ack" -> Ok Config.Skip_replica_ack_fence
+    | "skip-txn-commit" -> Ok Config.Skip_txn_commit_record
     | s -> Error (`Msg (Printf.sprintf "unknown fault %S" s))
   in
   let print fmt f =
@@ -54,7 +55,8 @@ let fault_conv =
       | Config.Skip_payload_flush -> "skip-flush"
       | Config.Skip_dirty_track -> "skip-dirty"
       | Config.Skip_batch_commit_fence -> "skip-batch-commit"
-      | Config.Skip_replica_ack_fence -> "skip-replica-ack")
+      | Config.Skip_replica_ack_fence -> "skip-replica-ack"
+      | Config.Skip_txn_commit_record -> "skip-txn-commit")
   in
   Arg.conv (parse, print)
 
@@ -142,9 +144,10 @@ let sweep_cmd =
           ~doc:
             "Injected protocol bug: $(b,none), $(b,skip-commit) (commit \
              word never flushed), $(b,skip-flush) (payload lines of \
-             multi-slot records never flushed), $(b,skip-dirty) or \
+             multi-slot records never flushed), $(b,skip-dirty), \
              $(b,skip-batch-commit) (group-commit words set but the \
-             batch's single persist pass skipped).")
+             batch's single persist pass skipped) or $(b,skip-txn-commit) \
+             (transaction commit record stored but never flushed).")
   in
   let expect =
     Arg.(
@@ -593,6 +596,14 @@ let selftest_cmd =
           (fun () ->
             case "skip-batch-commit" ~clone:Config.Delta
               Config.Skip_batch_commit_fence true);
+          (* OCC transactions: the commit record's LSN word is stored but
+             never flushed, so a checkpoint replay (memory image) sees the
+             span committed while a power failure drops it wholesale — an
+             acknowledged transaction evaporates. The oracle's
+             all-or-nothing clause catches the acked-then-vanished span. *)
+          (fun () ->
+            case "skip-txn-commit" ~clone:Config.Delta
+              Config.Skip_txn_commit_record true);
           (* A 96-slot log checkpoints every ~30 ops, so the scenario runs
              several delta clones — the second one is the first that can
              miss the untracked dirt. *)

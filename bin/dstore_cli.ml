@@ -35,6 +35,17 @@
                        are staged and committed together (one fence per
                        group) once N are pending; any other command — or
                        `batch 1` — flushes the stage first
+     txn begin         open an OCC transaction; it binds to the shard its
+                       first key routes to, and later keys on other shards
+                       are rejected (transactions are single-shard)
+     txn get KEY       read inside the transaction (read-your-own-writes;
+                       records the key's version for commit validation)
+     txn put KEY VALUE buffer a write (invisible until commit)
+     txn del KEY       buffer a delete
+     txn commit        OCC-validate the read-set and append the write-set
+                       as one all-or-nothing log span; prints `aborted:`
+                       with the conflicting key if validation fails
+     txn abort         discard the open transaction
      list              object names in global order
      checkpoint        force a checkpoint on every shard
      ckpt              force a checkpoint and print per-shard clone mode,
@@ -76,6 +87,11 @@ let cfg =
     log_slots = 1024;
   }
 
+(* An interactive transaction: bound lazily to the shard its first key
+   routes to (a txn is single-shard by construction — see Cluster.txn);
+   later keys on other shards are rejected without touching the handle. *)
+type txn_state = { mutable bound : (int * Dstore_txn.t) option }
+
 type session = {
   sim : Sim.t;
   platform : Platform.t;
@@ -86,6 +102,7 @@ type session = {
   mutable ctx : Cluster.ctx option;
   mutable batch : int;  (* group-commit size: 1 = classic per-op commit *)
   mutable staged : Dstore.batch_op list;  (* newest first *)
+  mutable txn : txn_state option;  (* open interactive transaction *)
   rng : Rng.t;
 }
 
@@ -133,6 +150,31 @@ let stage s op =
   Printf.printf "staged (%d/%d pending)\n" n s.batch;
   if n >= s.batch then flush_staged s
 
+(* Resolve the handle for a keyed txn command, binding the open
+   transaction to the key's shard on first use. Later keys that route
+   elsewhere are rejected here — the same single-shard rule Cluster.txn
+   enforces up front. *)
+let txn_bind s key =
+  match s.txn with
+  | None -> Error "no open transaction (txn begin first)"
+  | Some st -> (
+      let c = cluster s in
+      let shard = Cluster.shard_of c key in
+      match st.bound with
+      | Some (i, tx) when i = shard -> Ok tx
+      | Some (i, _) ->
+          Error
+            (Printf.sprintf
+               "cross-shard: %S routes to shard %d but this transaction is \
+                bound to shard %d (transactions are single-shard)"
+               key shard i)
+      | None ->
+          let tx =
+            Dstore_txn.create (Dstore.ds_init (Cluster.shard_store c shard))
+          in
+          st.bound <- Some (shard, tx);
+          Ok tx)
+
 let handle s line =
   let words = String.split_on_char ' ' (String.trim line) in
   (* Any command other than a staging put/del acts on the real store, so
@@ -175,6 +217,56 @@ let handle s line =
       exec s (fun () ->
           Printf.printf "%s\n"
             (if Cluster.odelete (ctx s) key then "deleted" else "(not found)"))
+  | [ "txn"; "begin" ] ->
+      if s.txn <> None then print_endline "transaction already open"
+      else begin
+        s.txn <- Some { bound = None };
+        print_endline "txn open (binds to its first key's shard)"
+      end
+  | [ "txn"; "get"; key ] -> (
+      match txn_bind s key with
+      | Error e -> print_endline e
+      | Ok tx ->
+          exec s (fun () ->
+              match Dstore_txn.get tx key with
+              | Some v -> Printf.printf "%S\n" (Bytes.to_string v)
+              | None -> print_endline "(not found)"))
+  | "txn" :: "put" :: key :: rest when rest <> [] -> (
+      match txn_bind s key with
+      | Error e -> print_endline e
+      | Ok tx ->
+          Dstore_txn.put tx key (Bytes.of_string (String.concat " " rest));
+          print_endline "buffered (visible at commit)")
+  | [ "txn"; "del"; key ] -> (
+      match txn_bind s key with
+      | Error e -> print_endline e
+      | Ok tx ->
+          Dstore_txn.delete tx key;
+          print_endline "buffered (visible at commit)")
+  | [ "txn"; "commit" ] -> (
+      match s.txn with
+      | None -> print_endline "no open transaction (txn begin first)"
+      | Some { bound = None } ->
+          s.txn <- None;
+          print_endline "ok (empty transaction)"
+      | Some { bound = Some (i, tx) } ->
+          s.txn <- None;
+          exec s (fun () ->
+              match Dstore_txn.commit tx with
+              | Ok () ->
+                  Printf.printf "committed (shard %d, t=%d ns)\n" i
+                    (Sim.now s.sim)
+              | Error r ->
+                  Printf.printf "aborted: %s\n" (Dstore_txn.pp_abort r)))
+  | [ "txn"; "abort" ] -> (
+      match s.txn with
+      | None -> print_endline "no open transaction"
+      | Some st ->
+          (match st.bound with
+          | Some (_, tx) -> Dstore_txn.abort tx
+          | None -> ());
+          s.txn <- None;
+          print_endline "aborted (buffered writes discarded)")
   | [ "list" ] ->
       exec s (fun () -> Cluster.iter_names (cluster s) print_endline);
       Printf.printf "(%d objects on %d shards)\n"
@@ -271,7 +363,8 @@ let handle s line =
       Printf.printf
         "records appended: %d, checkpoints: %d, replayed: %d, moved: %d,\n\
          conflict waits: %d, log-full stalls: %d,\n\
-         batches committed: %d, batched records: %d\n"
+         batches committed: %d, batched records: %d,\n\
+         txns committed: %d, txns aborted: %d, txn member records: %d\n"
         (sum (fun st -> st.Dipper.records_appended))
         (sum (fun st -> st.Dipper.checkpoints))
         (sum (fun st -> st.Dipper.records_replayed))
@@ -280,6 +373,9 @@ let handle s line =
         (sum (fun st -> st.Dipper.log_full_stalls))
         (sum (fun st -> st.Dipper.batches_committed))
         (sum (fun st -> st.Dipper.batch_records))
+        (sum (fun st -> st.Dipper.txns_committed))
+        (sum (fun st -> st.Dipper.txns_aborted))
+        (sum (fun st -> st.Dipper.txn_member_records))
   | [ "metrics" ] -> Metrics.print (Cluster.aggregate_metrics (cluster s))
   | [ "tail" ] -> Span.print_report (Cluster.tail_recorder (cluster s))
   | [ "spans" ] -> Span.print_spans ~n:20 (Cluster.tail_recorder (cluster s))
@@ -325,6 +421,12 @@ let handle s line =
               List.iter (fun m -> Printf.printf "VIOLATION: %s\n" m) bad;
               Printf.printf "(%d violations)\n" (List.length bad))
   | [ "crash" ] ->
+      (match s.txn with
+      | Some _ ->
+          s.txn <- None;
+          print_endline
+            "(open transaction discarded by the crash — never committed)"
+      | None -> ());
       Cluster.crash (cluster s) (fun _ -> Pmem.Random (Rng.split s.rng));
       Sim.clear_pending s.sim;
       s.cluster <- None;
@@ -351,9 +453,10 @@ let handle s line =
   | [ "quit" ] | [ "exit" ] -> raise Exit
   | _ ->
       print_endline
-        "unknown command (put/get/del/batch/list/checkpoint/ckpt/shards/stats/\n\
-         metrics/tail/spans/trace/trace-shard/trace-clear/footprint/check/\n\
-         crash/recover/quit)"
+        "unknown command (put/get/del/batch/txn/list/checkpoint/ckpt/shards/\n\
+         stats/metrics/tail/spans/trace/trace-shard/trace-clear/footprint/\n\
+         check/crash/recover/quit; txn subcommands: begin/get/put/del/commit/\n\
+         abort)"
 
 (* --- Replicated shell (with --backups) ------------------------------------ *)
 
@@ -604,6 +707,7 @@ let () =
       ctx = None;
       batch;
       staged = [];
+      txn = None;
       rng = Rng.create 7;
     }
   in

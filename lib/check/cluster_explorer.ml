@@ -98,6 +98,35 @@ let apply_op oracle ctx page_size locked (op : Gen.op) =
       in
       ignore (Cluster.obatch ctx ops);
       Oracle.commit_pending oracle
+  | Gen.Txn { reads; items } ->
+      let effects =
+        List.map
+          (function
+            | Gen.B_put { key; size; vseed } ->
+                (key, Some (Gen.value ~vseed size))
+            | Gen.B_del key -> (key, None))
+          items
+      in
+      let keys = reads @ List.map fst effects in
+      Oracle.begin_txn oracle effects;
+      (match
+         Cluster.txn ~retries:0 ctx ~keys (fun tx ->
+             List.iter (fun k -> ignore (Dstore_txn.get tx k)) reads;
+             List.iter
+               (function
+                 | k, Some v -> Dstore_txn.put tx k v
+                 | k, None -> Dstore_txn.delete tx k)
+               effects)
+       with
+      | Ok () -> Oracle.commit_pending oracle
+      | Error (Dstore_txn.Cross_shard _) ->
+          (* The cluster fast path rejects multi-shard key sets up front:
+             nothing was staged, the store is untouched. *)
+          Oracle.abort_pending oracle
+      | Error r ->
+          failwith
+            ("cluster explorer: single-client txn aborted: "
+            ^ Dstore_txn.pp_abort r))
   | Gen.Lock key ->
       if not (Hashtbl.mem locked key) then begin
         Cluster.olock ctx key;

@@ -107,6 +107,31 @@ let apply_op oracle ctx ssd locked (op : Gen.op) =
       in
       ignore (Dstore.obatch ctx ops);
       Oracle.commit_pending oracle
+  | Gen.Txn { reads; items } ->
+      let effects =
+        List.map
+          (function
+            | Gen.B_put { key; size; vseed } -> (key, Some (Gen.value ~vseed size))
+            | Gen.B_del key -> (key, None))
+          items
+      in
+      Oracle.begin_txn oracle effects;
+      (* Single client: validation cannot race a concurrent commit, so
+         the txn must succeed on the first attempt ([retries:0]); an
+         abort here is a harness bug, not a store property. *)
+      (match
+         Dstore_txn.txn ~retries:0 ctx (fun tx ->
+             List.iter (fun k -> ignore (Dstore_txn.get tx k)) reads;
+             List.iter
+               (function
+                 | key, Some v -> Dstore_txn.put tx key v
+                 | key, None -> Dstore_txn.delete tx key)
+               effects)
+       with
+      | Ok () -> Oracle.commit_pending oracle
+      | Error r ->
+          Oracle.abort_pending oracle;
+          failwith ("explorer: single-client txn aborted: " ^ Dstore_txn.pp_abort r))
   | Gen.Lock key ->
       if not (Hashtbl.mem locked key) then begin
         Dstore.olock ctx key;

@@ -12,6 +12,7 @@ type op =
   | Lock of string
   | Unlock of string
   | Batch of batch_item list
+  | Txn of { reads : string list; items : batch_item list }
 
 (* Deterministic object contents: the value for (vseed, size) is the same
    in every run, which is what lets a crash replay reproduce the counting
@@ -71,6 +72,22 @@ let generate ~seed ~n =
     done;
     List.rev !items
   in
+  (* A transaction: a batch-shaped write-set plus 0–2 read-set keys. All
+     keys avoid lock-held names — a txn's member records conflict-scan
+     like any write, and its reads wait out in-flight tickets, so the
+     single-client driver would deadlock on its own advisory NOOP. *)
+  let txn () =
+    match batch () with
+    | [] -> None
+    | items ->
+        let reads = ref [] in
+        for _ = 1 to Rng.int rng 3 do
+          let key = pick_key rng in
+          if not (Hashtbl.mem locked key || List.mem key !reads) then
+            reads := key :: !reads
+        done;
+        Some (Txn { reads = List.rev !reads; items })
+  in
   let rec op () =
     let key = pick_key rng in
     match Rng.int rng 100 with
@@ -84,8 +101,9 @@ let generate ~seed ~n =
             vseed = vseed ();
           }
     | r when r < 65 -> Delete key
-    | r when r < 75 -> (
+    | r when r < 71 -> (
         match batch () with [] -> op () | items -> Batch items)
+    | r when r < 75 -> ( match txn () with None -> op () | Some t -> t)
     | r when r < 85 -> Get key
     | r when r < 93 ->
         if Hashtbl.mem locked key then op ()
@@ -120,6 +138,9 @@ let pp_op = function
   | Unlock k -> "unlock " ^ k
   | Batch items ->
       Printf.sprintf "batch[%s]" (String.concat ", " (List.map pp_item items))
+  | Txn { reads; items } ->
+      Printf.sprintf "txn[reads:%s; %s]" (String.concat "," reads)
+        (String.concat ", " (List.map pp_item items))
 
 let pp_ops ops = String.concat "; " (List.map pp_op ops)
 

@@ -24,6 +24,12 @@ type op =
       (** Group-commit batch over 2–4 pairwise-distinct, unlocked keys —
           drivers issue it through [obatch] and mirror it with
           [Oracle.begin_batch] (any-subset crash semantics). *)
+  | Txn of { reads : string list; items : batch_item list }
+      (** OCC transaction: a batch-shaped write-set plus a read-set of
+          unlocked keys — drivers issue it through [Dstore_txn.txn] and
+          mirror it with [Oracle.begin_txn] (all-or-nothing crash
+          semantics). Single-client sequences always validate, so the
+          driver treats an abort as a harness error. *)
 
 val value : vseed:int -> int -> Bytes.t
 (** The deterministic contents for a (seed, size) pair. *)

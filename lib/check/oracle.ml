@@ -17,6 +17,11 @@ type pending =
          delete) on pairwise-distinct keys. Any subset may survive a
          crash, so each key independently shows either its committed value
          or its batch effect. *)
+  | P_txn of (string * Bytes.t option) list
+      (* OCC transaction in flight: same per-key effect shape as P_batch
+         but with the all-or-nothing contract — a crash must leave either
+         every member at its committed value or every member at its txn
+         effect, never a mix (cross-key check in [check]). *)
 
 type t = {
   (* key -> durably-acknowledged value; None = durably absent. Every key
@@ -71,19 +76,24 @@ let begin_write t ~key ~off ~data ~page_size =
       t.pending <-
         P_write { key; off; data = Bytes.copy data; page_size; old_value = old })
 
-let begin_batch t effects =
-  require_idle t "Oracle.begin_batch";
+let distinct_effects fn t effects =
   let seen = Hashtbl.create 8 in
   List.iter
     (fun (key, _) ->
       if Hashtbl.mem seen key then
-        invalid_arg "Oracle.begin_batch: repeated key in batch";
+        invalid_arg (fn ^ ": repeated key");
       Hashtbl.add seen key ();
       touch t key)
     effects;
-  t.pending <-
-    P_batch
-      (List.map (fun (k, v) -> (k, Option.map Bytes.copy v)) effects)
+  List.map (fun (k, v) -> (k, Option.map Bytes.copy v)) effects
+
+let begin_batch t effects =
+  require_idle t "Oracle.begin_batch";
+  t.pending <- P_batch (distinct_effects "Oracle.begin_batch" t effects)
+
+let begin_txn t effects =
+  require_idle t "Oracle.begin_txn";
+  t.pending <- P_txn (distinct_effects "Oracle.begin_txn" t effects)
 
 let commit_pending t =
   (match t.pending with
@@ -92,7 +102,7 @@ let commit_pending t =
   | P_delete { key } -> Hashtbl.replace t.committed key None
   | P_write { key; off; data; old_value; _ } ->
       Hashtbl.replace t.committed key (Some (splice ~old:old_value ~off ~data))
-  | P_batch effects ->
+  | P_batch effects | P_txn effects ->
       List.iter (fun (key, v) -> Hashtbl.replace t.committed key v) effects);
   t.pending <- P_none
 
@@ -139,6 +149,10 @@ let acceptable t key =
       (* Any-subset survival: this key's op committed or it didn't,
          independently of the rest of the batch. *)
       [ committed; List.assoc key effects ]
+  | P_txn effects when List.mem_assoc key effects ->
+      (* Per-key view only; the all-or-nothing coupling across members is
+         enforced by the cross-key clause in [check]. *)
+      [ committed; List.assoc key effects ]
   | _ -> [ committed ]
 
 let show_value = function
@@ -164,4 +178,24 @@ let check t ~read ~names =
       if not (Hashtbl.mem t.committed name) then
         err "oracle: phantom object %S (never written by the workload)" name)
     names;
+  (* All-or-nothing coupling for an in-flight transaction: the per-key
+     clause above already constrains each member to {committed, effect};
+     here the members must additionally agree — all old or all new. *)
+  (match t.pending with
+  | P_txn effects when effects <> [] ->
+      let all_old =
+        List.for_all (fun (k, _) -> read k = committed_value t k) effects
+      in
+      let all_new = List.for_all (fun (k, e) -> read k = e) effects in
+      if not (all_old || all_new) then
+        err "oracle: torn transaction — members recovered mixed: %s"
+          (String.concat ", "
+             (List.map
+                (fun (k, e) ->
+                  Printf.sprintf "%S=%s" k
+                    (if read k = e then "txn-effect"
+                     else if read k = committed_value t k then "pre-txn"
+                     else "other"))
+                effects))
+  | _ -> ());
   List.rev !bad

@@ -41,6 +41,13 @@ val begin_batch : t -> (string * Bytes.t option) list -> unit
     independently shows either its committed value or its batch effect;
     after it, every effect is durable. *)
 
+val begin_txn : t -> (string * Bytes.t option) list -> unit
+(** OCC transaction in flight: per-key effects as in {!begin_batch}, but
+    with the {e all-or-nothing} contract — after a crash, either every
+    member key shows its committed value or every member shows its txn
+    effect. A mixed recovery (some members old, some new) is a torn
+    transaction and {!check} reports it. *)
+
 val commit_pending : t -> unit
 (** The store call returned: fold the in-flight op into the committed
     model. *)

@@ -96,6 +96,28 @@ let apply_op oracle ctx page_size locked (op : Gen.op) =
       in
       ignore (Group.obatch ctx ops);
       Oracle.commit_pending oracle
+  | Gen.Txn { items; _ } ->
+      (* The replication group has no transactional entry point (txns are
+         a Cluster-level fast path): ship the write-set as a group commit
+         and mirror its any-subset crash semantics. *)
+      let effects =
+        List.map
+          (function
+            | Gen.B_put { key; size; vseed } ->
+                (key, Some (Gen.value ~vseed size))
+            | Gen.B_del key -> (key, None))
+          items
+      in
+      Oracle.begin_batch oracle effects;
+      let ops =
+        List.map
+          (function
+            | key, Some v -> Dstore.Bput (key, v)
+            | key, None -> Dstore.Bdelete key)
+          effects
+      in
+      ignore (Group.obatch ctx ops);
+      Oracle.commit_pending oracle
   | Gen.Lock key ->
       if not (Hashtbl.mem locked key) then begin
         Group.olock ctx key;

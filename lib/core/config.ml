@@ -84,6 +84,12 @@ type fault =
           applying and persisting it, so an op acked durable under
           [Ack_one]/[Ack_all] can vanish when the pair crashes and the
           backup is promoted. *)
+  | Skip_txn_commit_record
+      (** Store a transaction's commit-record LSN word but never flush it:
+          the commit point of the whole span is left in the cache, so an
+          acknowledged multi-key transaction can evaporate wholesale on
+          power failure — the torn-transaction bug the transactional
+          oracle must catch. *)
 
 type t = {
   checkpoint : checkpoint_mode;

@@ -41,6 +41,9 @@ type stats = {
   mutable append_flush_ns : int;
   mutable batches_committed : int;
   mutable batch_records : int;
+  mutable txns_committed : int;
+  mutable txns_aborted : int;
+  mutable txn_member_records : int;
   mutable records_replayed : int;
   mutable records_moved : int;
   mutable cow_faults : int;
@@ -68,6 +71,9 @@ let fresh_stats () =
     append_flush_ns = 0;
     batches_committed = 0;
     batch_records = 0;
+    txns_committed = 0;
+    txns_aborted = 0;
+    txn_member_records = 0;
     records_replayed = 0;
     records_moved = 0;
     cow_faults = 0;
@@ -146,6 +152,15 @@ type t = {
   mutable current_space : int;
   mutable last_applied : int;
   in_flight : (int, ticket) Hashtbl.t;
+  versions : (string, int) Hashtbl.t;
+      (* Per-key committed-version counter for OCC transaction validation:
+         bumped under the frontend lock each time a record on the key
+         commits (including Noop commits — an in-place [owrite] changes
+         bytes under a Noop record, so any commit conservatively
+         invalidates readers). Volatile: versions restart at 0 after
+         recovery, which is safe because read observations never survive a
+         crash. *)
+  mutable next_txn : int;  (* transaction ids, engine-local *)
   lock : Platform.mutex;
   cond_ckpt : Platform.cond;  (* manager sleeps here *)
   cond_space : Platform.cond;  (* writers wait for log space *)
@@ -208,6 +223,9 @@ let register_stat_views m (st : stats) =
   M.gauge_fn m "dipper.append_flush_ns" (fun () -> st.append_flush_ns);
   M.gauge_fn m "dipper.batches_committed" (fun () -> st.batches_committed);
   M.gauge_fn m "dipper.batch_records" (fun () -> st.batch_records);
+  M.gauge_fn m "dipper.txns_committed" (fun () -> st.txns_committed);
+  M.gauge_fn m "dipper.txns_aborted" (fun () -> st.txns_aborted);
+  M.gauge_fn m "dipper.txn_member_records" (fun () -> st.txn_member_records);
   M.gauge_fn m "dipper.records_replayed" (fun () -> st.records_replayed);
   M.gauge_fn m "dipper.records_moved" (fun () -> st.records_moved);
   M.gauge_fn m "dipper.cow_faults" (fun () -> st.cow_faults);
@@ -346,6 +364,8 @@ let make_engine ?obs platform pm (cfg : Config.t) hooks root =
       current_space = 0;
       last_applied = 0;
       in_flight = Hashtbl.create 64;
+      versions = Hashtbl.create 256;
+      next_txn = 1;
       lock = platform.Platform.new_mutex ();
       cond_ckpt = platform.Platform.new_cond ();
       cond_space = platform.Platform.new_cond ();
@@ -411,8 +431,13 @@ let swap_logs t =
     tickets;
   arch
 
+(* The shared replay-visibility filter (checkpoint replay AND recovery):
+   resolve transaction spans first — members surface as committed iff
+   their span's Txn_commit record persisted, the pending-transaction
+   buffer of §3.6 extended to multi-key spans — then keep committed
+   records beyond the watermark, minus Noops. *)
 let committed_entries log ~above =
-  Oplog.scan log
+  Oplog.scan log |> Oplog.resolve_txn_spans
   |> List.filter (fun e ->
          e.Oplog.committed && e.Oplog.lsn > above
          && match e.Oplog.op with Logrec.Noop _ -> false | _ -> true)
@@ -852,6 +877,45 @@ let conflict_for ?(ignore = []) t key =
    with Exit -> ());
   !found
 
+(* Multi-key conflict scan: ONE pass over the in-flight table for a whole
+   key set (a membership table the caller builds once), instead of one
+   full table scan per key. Shared by the group-commit batch path and the
+   transaction validation pass; call under the frontend lock. *)
+let conflict_for_keys ?(ignore = []) t keys =
+  let skip tk = List.memq tk ignore in
+  let found = ref None in
+  (try
+     Hashtbl.iter
+       (fun _ tk ->
+         match tk.key with
+         | Some k when Hashtbl.mem keys k && not (skip tk) ->
+             found := Some (k, tk);
+             raise Exit
+         | _ -> ())
+       t.in_flight
+   with Exit -> ());
+  !found
+
+let keyset_of keys =
+  let h = Hashtbl.create (max 4 (List.length keys)) in
+  List.iter (fun k -> Hashtbl.replace h k ()) keys;
+  h
+
+(* --- per-key committed versions (OCC transactions) ----------------------- *)
+
+let bump_version t key =
+  Hashtbl.replace t.versions key
+    (1 + Option.value (Hashtbl.find_opt t.versions key) ~default:0)
+
+let bump_ticket_version t tk =
+  match tk.key with Some k -> bump_version t k | None -> ()
+
+let version_locked t key =
+  Option.value (Hashtbl.find_opt t.versions key) ~default:0
+
+let key_version t key =
+  Platform.with_lock t.lock (fun () -> version_locked t key)
+
 let spin_ns = 200
 
 (* Spin with exponential backoff: the paper's CC spins on the commit flag;
@@ -980,6 +1044,7 @@ let commit t tk =
     Platform.with_lock t.lock (fun () ->
         Oplog.set_commit_word t.logs.(tk.log_id) ~slot:tk.slot;
         Hashtbl.remove t.in_flight tk.lsn;
+        bump_ticket_version t tk;
         (tk.log_id, tk.slot))
   in
   Oplog.persist_slot t.logs.(log_id) ~slot;
@@ -1007,20 +1072,13 @@ let locked_append_batch ?(ignore_tickets = []) ?(span = Span.none) t items =
       in
       if total_slots > Oplog.capacity t.logs.(t.active_log) then
         raise Log_full;
+      (* One membership table for the whole batch, built once: the
+         conflict check is then a single pass over the in-flight table
+         rather than one full scan per batch item. *)
+      let keys = keyset_of (List.map (fun (key, _, _) -> key) items) in
       let rec attempt () =
         t.lock.Platform.lock ();
-        let conflict =
-          List.fold_left
-            (fun acc (key, _, _) ->
-              match acc with
-              | Some _ -> acc
-              | None ->
-                  Option.map
-                    (fun tk -> (key, tk))
-                    (conflict_for ~ignore:ignore_tickets t key))
-            None items
-        in
-        match conflict with
+        match conflict_for_keys ~ignore:ignore_tickets t keys with
         | Some (key, tk) ->
             t.lock.Platform.unlock ();
             t.st.conflict_waits <- t.st.conflict_waits + 1;
@@ -1124,6 +1182,7 @@ let commit_batch t tks =
               (fun tk ->
                 Oplog.set_commit_word t.logs.(tk.log_id) ~slot:tk.slot;
                 Hashtbl.remove t.in_flight tk.lsn;
+                bump_ticket_version t tk;
                 (tk.log_id, tk.slot, Logrec.slots_needed tk.op))
               tks)
       in
@@ -1154,6 +1213,191 @@ let commit_batch t tks =
           | None -> ());
           Atomic.set tk.done_ true)
         tks
+
+(* --- OCC transactions (§3.4 extended to multi-key spans) ------------------- *)
+
+(* A transaction appends its whole write-set as one contiguous log span —
+   Txn_begin, the member records, Txn_commit — staged under a single
+   frontend-lock hold (which also runs the OCC validation), then persisted
+   in two steps: the begin + members via the coalesced batch pass, and the
+   commit record alone as the span's atomic commit point. Member records
+   never receive commit words; replay visibility is governed entirely by
+   the commit record's validity (see [Oplog.resolve_txn_spans]). Every
+   span record holds an in-flight ticket until commit, so conflict scans
+   block concurrent writers on member keys and a concurrent log swap
+   re-homes the span wholesale, keeping it contiguous. *)
+
+type txn_tickets = {
+  txn_id : int;
+  frame_begin : ticket;
+  members : ticket list;
+  frame_commit : ticket;
+}
+
+let txn_members tx = tx.members
+
+let txn_stale_locked t reads =
+  List.find_opt (fun (k, v) -> version_locked t k <> v) reads
+
+(* Read-only transaction commit: validate the read-set against current
+   committed versions under the frontend lock; nothing to append. *)
+let txn_validate t ~reads =
+  Platform.with_lock t.lock (fun () ->
+      match txn_stale_locked t reads with
+      | Some (k, _) ->
+          t.st.txns_aborted <- t.st.txns_aborted + 1;
+          Error k
+      | None ->
+          t.st.txns_committed <- t.st.txns_committed + 1;
+          Ok ())
+
+let conflicting_ticket_any ?(ignore = []) t keys =
+  let keys = keyset_of keys in
+  Platform.with_lock t.lock (fun () -> conflict_for_keys ~ignore t keys)
+
+let txn_append ?(ignore_tickets = []) ?(span = Span.none) t ~reads ~items =
+  let member_slots = List.fold_left (fun acc (_, n, _) -> acc + n) 0 items in
+  let total_slots = member_slots + 2 (* begin + commit framing *) in
+  if total_slots > Oplog.capacity t.logs.(t.active_log) then raise Log_full;
+  let keys = keyset_of (List.map (fun (key, _, _) -> key) items) in
+  let rec attempt () =
+    t.lock.Platform.lock ();
+    match conflict_for_keys ~ignore:ignore_tickets t keys with
+    | Some (key, tk) ->
+        t.lock.Platform.unlock ();
+        t.st.conflict_waits <- t.st.conflict_waits + 1;
+        trace t (Trace.Conflict_wait key);
+        if Span.live span then begin
+          let tw = t.platform.Platform.now () in
+          wait_ticket t tk;
+          Span.stall span Span.Conflict_retry (t.platform.Platform.now () - tw)
+        end
+        else wait_ticket t tk;
+        attempt ()
+    | None ->
+        if Oplog.free_slots t.logs.(t.active_log) < total_slots then begin
+          if t.cfg.checkpoint = Config.No_checkpoint then begin
+            t.lock.Platform.unlock ();
+            raise Log_full
+          end;
+          request_checkpoint_locked t;
+          t.st.log_full_stalls <- t.st.log_full_stalls + 1;
+          trace t Trace.Log_full_stall;
+          if Span.live span then begin
+            let tw = t.platform.Platform.now () in
+            t.cond_space.Platform.wait t.lock;
+            Span.stall span Span.Log_full (t.platform.Platform.now () - tw)
+          end
+          else t.cond_space.Platform.wait t.lock;
+          t.lock.Platform.unlock ();
+          attempt ()
+        end
+        else begin
+          (* OCC validation shares this lock hold with the append: no
+             conflicting record is in flight (the scan above), so a read
+             is stale exactly when a commit bumped its key's version
+             after the transaction observed it. *)
+          match txn_stale_locked t reads with
+          | Some (key, _) ->
+              t.st.txns_aborted <- t.st.txns_aborted + 1;
+              t.lock.Platform.unlock ();
+              Error key
+          | None ->
+              let txn_id = t.next_txn in
+              t.next_txn <- txn_id + 1;
+              let log = t.logs.(t.active_log) in
+              let log_id = t.active_log in
+              let stage key op =
+                let slot, lsn =
+                  Option.get (Oplog.reserve log (Logrec.slots_needed op))
+                in
+                Oplog.write_record log ~slot ~lsn op;
+                t.platform.Platform.consume t.cfg.costs.log_cpu_ns;
+                let tk =
+                  { lsn; log_id; slot; op; key; done_ = Atomic.make false }
+                in
+                Hashtbl.add t.in_flight lsn tk;
+                (tk, (slot, lsn, op))
+              in
+              let b =
+                stage None
+                  (Logrec.Txn_begin
+                     { txn = txn_id; members = List.length items })
+              in
+              let staged =
+                List.map
+                  (fun (key, max_slots, f) ->
+                    trace t (Trace.Write_step (Trace.W_lock, key));
+                    trace t (Trace.Write_step (Trace.W_conflict_check, key));
+                    let op = f () in
+                    assert (Logrec.slots_needed op <= max_slots);
+                    stage (Some key) op)
+                  items
+              in
+              let c = stage None (Logrec.Txn_commit { txn = txn_id }) in
+              if
+                t.cfg.checkpoint <> Config.No_checkpoint
+                && float_of_int (Oplog.tail log)
+                   >= t.cfg.checkpoint_threshold
+                      *. float_of_int (Oplog.capacity log)
+              then request_checkpoint_locked t;
+              Span.seg span Span.S_lock;
+              t.lock.Platform.unlock ();
+              (* Persist begin + members with the coalesced batch pass.
+                 The commit record's LSN word stays unwritten — the span
+                 is durable but uncommitted until [txn_commit]. *)
+              let tf = t.platform.Platform.now () in
+              Oplog.flush_batch log (snd b :: List.map snd staged);
+              t.st.append_flush_ns <-
+                t.st.append_flush_ns + (t.platform.Platform.now () - tf);
+              t.st.records_appended <-
+                t.st.records_appended + 2 + List.length staged;
+              List.iter
+                (fun (tk, _) ->
+                  match tk.key with
+                  | Some k -> trace t (Trace.Write_step (Trace.W_log_append, k))
+                  | None -> ())
+                staged;
+              Span.seg span Span.S_append;
+              Ok
+                {
+                  txn_id;
+                  frame_begin = fst b;
+                  members = List.map fst staged;
+                  frame_commit = fst c;
+                }
+        end
+  in
+  attempt ()
+
+(* Transaction step 9: locate the commit record's current home under the
+   lock (a concurrent swap may have re-homed the span), retire every span
+   ticket, bump the write-set versions, then make the commit record valid
+   — the single persist that commits the whole span. *)
+let txn_commit ?(span = Span.none) t tx =
+  let log_id, slot, lsn =
+    Platform.with_lock t.lock (fun () ->
+        List.iter
+          (fun tk ->
+            Hashtbl.remove t.in_flight tk.lsn;
+            bump_ticket_version t tk)
+          (tx.frame_begin :: tx.members);
+        let c = tx.frame_commit in
+        Hashtbl.remove t.in_flight c.lsn;
+        (c.log_id, c.slot, c.lsn))
+  in
+  Oplog.flush_txn_commit t.logs.(log_id) ~slot ~lsn tx.frame_commit.op;
+  fire_commit_hook t tx.members;
+  t.st.txns_committed <- t.st.txns_committed + 1;
+  t.st.txn_member_records <- t.st.txn_member_records + List.length tx.members;
+  List.iter
+    (fun tk ->
+      (match tk.key with
+      | Some k -> trace t (Trace.Write_step (Trace.W_commit, k))
+      | None -> ());
+      Atomic.set tk.done_ true)
+    (tx.frame_begin :: tx.frame_commit :: tx.members);
+  Span.seg span Span.S_commit
 
 (* --- physical logging capture ------------------------------------------------ *)
 

@@ -161,6 +161,68 @@ val commit_batch : t -> ticket list -> unit
 
 val ticket_lsn : ticket -> int
 
+(** {1 OCC transactions}
+
+    The engine half of [lib/txn]: a transaction's write-set is appended as
+    one contiguous log span — [Txn_begin], the member records,
+    [Txn_commit] — staged under a single frontend-lock hold that also runs
+    the OCC validation. The begin + member records are persisted by the
+    coalesced batch pass; the commit record alone is persisted by
+    {!txn_commit} and its validity {e is} the transaction's commit point:
+    after a crash, recovery surfaces the members iff the commit record
+    persisted (all-or-nothing, see [Oplog.resolve_txn_spans]). Member
+    records hold in-flight tickets until commit, so concurrent writers on
+    member keys wait exactly as for single ops and a concurrent log swap
+    re-homes the span wholesale. *)
+
+type txn_tickets
+(** An appended, uncommitted transaction span. *)
+
+val txn_members : txn_tickets -> ticket list
+(** The member tickets in item order (builders may be inspected via
+    {!ticket_op}, as with the batch path). *)
+
+val txn_append :
+  ?ignore_tickets:ticket list ->
+  ?span:Dstore_obs.Span.t ->
+  t ->
+  reads:(string * int) list ->
+  items:(string * int * (unit -> Logrec.op)) list ->
+  (txn_tickets, string) result
+(** Validate + append under one lock hold. [reads] is the read-set as
+    [(key, observed version)] pairs (see {!key_version}); [items] is the
+    write-set in {!locked_append_batch} item form (pairwise-distinct
+    keys). Conflicting in-flight records on write-set keys are waited out
+    first (same machinery as the batch path); then, still under the lock,
+    the read-set is validated against current committed versions —
+    [Error key] reports the first stale read (nothing appended, stats
+    count an abort). On [Ok], the span is staged and the begin + member
+    records are persisted; the commit record stays invalid until
+    {!txn_commit}. Raises {!Log_full} if the span can never fit. *)
+
+val txn_commit : ?span:Dstore_obs.Span.t -> t -> txn_tickets -> unit
+(** The span's commit point: retire every span ticket, bump write-set
+    versions, persist the commit record (the single line whose durability
+    commits the whole transaction), fire the commit hook with the member
+    records. On return the transaction is durable and conflict waiters
+    release. *)
+
+val txn_validate : t -> reads:(string * int) list -> (unit, string) result
+(** Read-only transaction commit: validate the read-set under the
+    frontend lock; [Error key] on the first stale read. *)
+
+val key_version : t -> string -> int
+(** The key's committed-version counter (bumped at every commit on the
+    key). Observe it {e before} reading the value: validation then aborts
+    any transaction whose read raced a commit. *)
+
+val conflicting_ticket_any :
+  ?ignore:ticket list -> t -> string list -> (string * ticket) option
+(** One-pass multi-key conflict scan (takes and releases the frontend
+    lock): the first in-flight record whose key is in the set, with its
+    key. The same single pass backs {!locked_append_batch}'s conflict
+    check and {!txn_append}'s validation — exposed for tests. *)
+
 val set_commit_hook : t -> ((int * Logrec.op) list -> unit) option -> unit
 (** Oplog span export seam (dstore_repl). The hook fires after a commit's
     closing persist — [commit] passes its single (lsn, op) pair,
@@ -247,6 +309,12 @@ type stats = {
       (** Records committed through group commits — [batch_records /
           batches_committed] is the mean batch fill (full distribution in
           the [dipper.batch_fill] histogram). *)
+  mutable txns_committed : int;
+      (** OCC transactions committed (including read-only validations). *)
+  mutable txns_aborted : int;
+      (** OCC validation failures — each retry attempt counts once. *)
+  mutable txn_member_records : int;
+      (** Write-set records committed through transaction spans. *)
   mutable records_replayed : int;
   mutable records_moved : int;  (** Uncommitted records re-homed at swaps. *)
   mutable cow_faults : int;  (** Client-absorbed CoW page copies. *)

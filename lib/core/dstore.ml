@@ -116,6 +116,8 @@ let engine t = t.engine
 
 let config t = t.cfg
 
+let ctx_store ctx = ctx.store
+
 (* Verification seam (dstore_check): structure handles over the volatile
    space and over the published PMEM shadow, so a checker can walk the
    index, metadata zone and bitmap pools of a recovered store. *)
@@ -189,6 +191,9 @@ let prepare_op h (op : Logrec.op) =
       Bitpool.free h.metapool meta
   | Logrec.Noop _ -> ()
   | Logrec.Phys _ -> ()
+  (* Transaction framing never reaches replay: [Oplog.resolve_txn_spans]
+     consumes it before the hooks run. *)
+  | Logrec.Txn_begin _ | Logrec.Txn_commit _ -> ()
 
 (* Phase 2: key-indexed structure updates (what the frontend did outside
    the lock, under observational equivalence). *)
@@ -216,6 +221,7 @@ let apply_op platform (cfg : Config.t) h (op : Logrec.op) =
       platform.Platform.consume costs.meta_ns;
       let m = Space.mem h.hspace in
       List.iter (fun (off, bytes) -> Mem.write_string m ~off bytes) images
+  | Logrec.Txn_begin _ | Logrec.Txn_commit _ -> ()
 
 (* Replay hooks run per record; re-attaching four structure handles each
    time dominates replay cost, so memoize per space (physical equality —
@@ -1145,6 +1151,150 @@ let ounlock ctx name =
   match entry with
   | Some (_, tk) -> Dipper.commit t.engine tk
   | None -> invalid_arg (Printf.sprintf "DStore.ounlock: %S is not locked" name)
+
+(* --- OCC transaction write path (backend of lib/txn) --------------------------- *)
+
+type txn_write = Tput of string * Bytes.t | Tdelete of string
+
+let txn_write_key = function Tput (k, _) -> k | Tdelete k -> k
+
+let key_version ctx key =
+  check_ctx ctx;
+  Dipper.key_version ctx.store.engine key
+
+(* Version BEFORE value: if a commit lands between the two reads, the
+   recorded version is stale and validation aborts the transaction —
+   never the reverse interleaving (fresh version, old value), which
+   validation could not detect. *)
+let oget_versioned ctx key =
+  check_ctx ctx;
+  let v = Dipper.key_version ctx.store.engine key in
+  (v, oget ctx key)
+
+(* Commit a transaction's buffered write-set against its read-set.
+   Mirrors [exec_sub_batch] — stage allocations and SSD payloads before
+   the append (freshly allocated ids are unreachable until commit and the
+   pools are volatile, so an abort or crash needs only the in-memory
+   frees below) — but the append is [Dipper.txn_append]: OCC validation
+   and span staging under one lock hold, all-or-nothing after a crash. *)
+let txn_commit_writes ?(span = Span.none) ctx ~reads ~writes =
+  check_ctx ctx;
+  let t = ctx.store in
+  if t.cfg.logging <> Config.Logical then
+    invalid_arg "DStore.txn_commit_writes: transactions require logical logging";
+  match writes with
+  | [] ->
+      (* Read-only transaction: validation is the whole commit. *)
+      Dipper.txn_validate t.engine ~reads
+  | _ ->
+      let ignore_tickets =
+        List.filter_map (fun w -> own_lock ctx (txn_write_key w)) writes
+      in
+      let staged =
+        Dipper.with_frontend_lock t.engine (fun () ->
+            List.map
+              (fun w ->
+                match w with
+                | Tput (key, value) ->
+                    let nblocks = blocks_for t (Bytes.length value) in
+                    let extents = alloc_blocks t nblocks in
+                    let meta = alloc_meta t in
+                    trace t (Trace.Write_step (Trace.W_alloc, key));
+                    (w, Some (meta, extents))
+                | Tdelete _ -> (w, None))
+              writes)
+      in
+      Span.seg span Span.S_stage;
+      par_iter t
+        (List.filter_map
+           (function
+             | Tput (key, value), Some (_, extents) -> Some (key, value, extents)
+             | _ -> None)
+           staged)
+        (fun (key, value, extents) ->
+          write_data ~span t extents value (Bytes.length value);
+          trace t (Trace.Write_step (Trace.W_data_write, key)));
+      Span.seg span Span.S_data;
+      let items =
+        List.map
+          (fun (w, alloc) ->
+            match (w, alloc) with
+            | Tput (key, value), Some (meta, extents) ->
+                let size = Bytes.length value in
+                ( key,
+                  put_max_slots key (blocks_for t size),
+                  fun () ->
+                    let freed_meta, freed_extents =
+                      match Btree.find t.h.btree key with
+                      | Some old_meta ->
+                          let _, exts = Metazone.read_object t.h.zone old_meta in
+                          (old_meta, of_mz exts)
+                      | None -> (-1, [])
+                    in
+                    trace t (Trace.Write_step (Trace.W_find_old, key));
+                    Logrec.Put
+                      { key; size; meta; extents; freed_meta; freed_extents } )
+            | Tdelete key, _ ->
+                ( key,
+                  put_max_slots key 1,
+                  fun () ->
+                    match Btree.find t.h.btree key with
+                    | None -> Logrec.Noop { key }
+                    | Some meta ->
+                        let _, exts = Metazone.read_object t.h.zone meta in
+                        Logrec.Delete { key; meta; extents = of_mz exts } )
+            | Tput _, None -> assert false)
+          staged
+      in
+      (match Dipper.txn_append ~ignore_tickets ~span t.engine ~reads ~items with
+      | Error key ->
+          (* Stale read: nothing was appended. Give back the staged
+             allocations (volatile pools — a plain free suffices). *)
+          Dipper.with_frontend_lock t.engine (fun () ->
+              List.iter
+                (function
+                  | _, Some (meta, extents) ->
+                      List.iter
+                        (fun (s, l) ->
+                          for b = s to s + l - 1 do
+                            Bitpool.free t.h.blockpool b
+                          done)
+                        extents;
+                      Bitpool.free t.h.metapool meta
+                  | _, None -> ())
+                staged);
+          Error key
+      | Ok tx ->
+          let posts =
+            List.map2
+              (fun (w, _) tk ->
+                match (w, Dipper.ticket_op tk) with
+                | ( Tput (key, _),
+                    Logrec.Put { size; meta; extents; freed_meta; freed_extents; _ }
+                  ) ->
+                    Dipper.wait_readers t.engine t.rc key;
+                    with_structs t (fun () ->
+                        put_structures t key meta size extents freed_meta);
+                    Some (freed_meta, freed_extents)
+                | Tdelete key, Logrec.Delete { meta; extents; _ } ->
+                    Dipper.wait_readers t.engine t.rc key;
+                    with_structs t (fun () ->
+                        t.platform.Platform.consume t.cfg.costs.btree_ns;
+                        ignore (Btree.delete t.h.btree key));
+                    Some (meta, extents)
+                | Tdelete _, Logrec.Noop _ -> None
+                | _ -> assert false)
+              staged (Dipper.txn_members tx)
+          in
+          Span.seg span Span.S_structs;
+          Dipper.txn_commit ~span t.engine tx;
+          List.iter
+            (function
+              | Some (freed_meta, freed_extents) ->
+                  release_freed t freed_meta freed_extents
+              | None -> ())
+            posts;
+          Ok ())
 
 (* --- introspection -------------------------------------------------------------- *)
 

@@ -61,6 +61,9 @@ val ds_init : t -> ctx
 
 val ds_finalize : ctx -> unit
 
+val ctx_store : ctx -> t
+(** The store this context was created on. *)
+
 (** {1 Key-value API} *)
 
 val oput : ?span:Dstore_obs.Span.t -> ctx -> string -> Bytes.t -> unit
@@ -146,6 +149,41 @@ val olock : ctx -> string -> unit
 
 val ounlock : ctx -> string -> unit
 (** Release: commits the NOOP record. *)
+
+(** {1 OCC transactions (backend of [lib/txn])}
+
+    The store half of the transaction pipeline: versioned reads to build a
+    read-set, and a single commit entry point that validates the read-set
+    and appends the whole write-set as one all-or-nothing log span
+    ([Txn_begin], members, [Txn_commit] — see [Dipper]). The user-facing
+    handle with buffering and retry lives in [Dstore_txn]. *)
+
+type txn_write = Tput of string * Bytes.t | Tdelete of string
+(** A buffered write-set entry. *)
+
+val txn_write_key : txn_write -> string
+
+val key_version : ctx -> string -> int
+(** The key's committed-version counter (see [Dipper.key_version]). *)
+
+val oget_versioned : ctx -> string -> int * Bytes.t option
+(** [oget] preceded by a {!key_version} observation — the version is read
+    strictly {e before} the value, so a racing commit can only make the
+    observation stale (caught by validation), never silently fresh. *)
+
+val txn_commit_writes :
+  ?span:Dstore_obs.Span.t ->
+  ctx ->
+  reads:(string * int) list ->
+  writes:txn_write list ->
+  (unit, string) result
+(** Atomically commit [writes] provided every [(key, version)] in [reads]
+    still matches the committed state. Keys in [writes] must be pairwise
+    distinct. [Error key] names the first stale read; nothing is logged
+    or applied and staged allocations are returned. On [Ok ()], the whole
+    write-set is durable (single transaction span) and structure updates
+    are applied. An empty write-set validates only (read-only commit).
+    Requires [Logical] logging. *)
 
 (** {1 Introspection} *)
 

@@ -14,12 +14,14 @@ type op =
   | Delete of { key : string; meta : int; extents : extent list }
   | Noop of { key : string }
   | Phys of { images : (int * string) list }
+  | Txn_begin of { txn : int; members : int }
+  | Txn_commit of { txn : int }
 
 let op_key = function
   | Put { key; _ } | Create { key; _ } | Write { key; _ } | Delete { key; _ }
   | Noop { key } ->
       Some key
-  | Phys _ -> None
+  | Phys _ | Txn_begin _ | Txn_commit _ -> None
 
 let header_bytes = 24
 
@@ -32,6 +34,8 @@ let tag_of_op = function
   | Delete _ -> 4
   | Noop _ -> 5
   | Phys _ -> 6
+  | Txn_begin _ -> 7
+  | Txn_commit _ -> 8
 
 (* --- little-endian append helpers on Buffer --- *)
 
@@ -88,7 +92,11 @@ let encode_payload op =
         (fun (off, bytes) ->
           add_u64 buf off;
           add_str buf bytes)
-        images);
+        images
+  | Txn_begin { txn; members } ->
+      add_u64 buf txn;
+      add_u16 buf members
+  | Txn_commit { txn } -> add_u64 buf txn);
   Buffer.to_bytes buf
 
 (* --- decoding --- *)
@@ -162,6 +170,11 @@ let decode_payload ~tag b =
               (off, bytes))
         in
         Phys { images }
+    | 7 ->
+        let txn = get_u64 c in
+        let members = get_u16 c in
+        Txn_begin { txn; members }
+    | 8 -> Txn_commit { txn = get_u64 c }
     | t -> failwith (Printf.sprintf "Logrec: unknown op tag %d" t)
   with Invalid_argument _ -> failwith "Logrec: truncated payload"
 

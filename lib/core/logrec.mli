@@ -42,9 +42,19 @@ type op =
           conflict scans. *)
   | Phys of { images : (int * string) list }
       (** Physical logging baseline: redo images [(space_offset, bytes)]. *)
+  | Txn_begin of { txn : int; members : int }
+      (** Opens a transaction span: the next [members] records (in slot
+          order, contiguous by construction — the whole span is staged
+          under one frontend-lock hold) are the transaction's write-set. *)
+  | Txn_commit of { txn : int }
+      (** Closes a transaction span. Its validity (LSN line durable) {e is}
+          the transaction's commit point: replay surfaces the member
+          records iff this record probes valid, regardless of the members'
+          own commit words — all-or-nothing by construction. *)
 
 val op_key : op -> string option
-(** The object name an operation conflicts on ([None] for [Phys]). *)
+(** The object name an operation conflicts on ([None] for [Phys] and the
+    transaction framing records). *)
 
 val header_bytes : int
 (** 24. *)

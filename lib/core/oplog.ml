@@ -184,6 +184,20 @@ let flush_batch t items =
       else Pmem.flush t.pm (slot_off t lo) span;
       Pmem.fence t.pm
 
+(* Transaction commit point: make the span's Txn_commit record valid. The
+   members were already persisted (flush_batch), so storing + flushing the
+   commit record's LSN line is the single atomic step that commits the
+   whole span. Under [Skip_txn_commit_record] the LSN word is stored but
+   never flushed — recovery still sees the commit in the cache-warm image
+   (checkpoint replay reads memory), but a power failure can drop the
+   line, evaporating an acknowledged transaction wholesale. *)
+let flush_txn_commit t ~slot ~lsn op =
+  assert (Logrec.slots_needed op = 1);
+  ignore op;
+  Pmem.set_u64 t.pm (slot_off t slot) lsn;
+  if t.fault <> Config.Skip_txn_commit_record then
+    Pmem.persist t.pm (slot_off t slot) slot_bytes
+
 (* Batch-commit persistence: one flush+fence over the contiguous slot span
    holding the batch's commit words. Skipped entirely under
    [Skip_batch_commit_fence] — in this PMEM model a flushed line is durable
@@ -247,6 +261,53 @@ let scan t =
       | None -> go (s + 1) acc
   in
   go 0 []
+
+(* Resolve transaction span framing over one log's scan (ascending slot
+   order). A Txn_begin opens a span: its member records follow at
+   contiguous slots (staged under one frontend-lock hold; a log swap
+   re-homes the whole span together, so contiguity survives). The span is
+   committed iff the full member chain is intact AND the matching
+   Txn_commit record probes valid at the expected slot — members of a
+   committed span are surfaced with [committed = true] (they carry no
+   commit words of their own), members of a torn span are dropped, and
+   framing records never escape. A record that breaks the chain (a torn
+   member made scan skip ahead) is outside the span and re-enters the
+   normal stream, where its own commit word governs. *)
+let resolve_txn_spans entries =
+  let rec go = function
+    | [] -> []
+    | e :: rest -> (
+        match e.op with
+        | Logrec.Txn_commit _ -> go rest (* orphan commit: no open span *)
+        | Logrec.Txn_begin { txn; members } ->
+            let rec take k expected acc l =
+              if k = 0 then (List.rev acc, expected, l)
+              else
+                match l with
+                | m :: tl
+                  when m.slot = expected
+                       && (match m.op with
+                          | Logrec.Txn_begin _ | Logrec.Txn_commit _ -> false
+                          | _ -> true) ->
+                    take (k - 1)
+                      (expected + Logrec.slots_needed m.op)
+                      (m :: acc) tl
+                | _ -> (List.rev acc, -1, l)
+            in
+            let mems, expected, rest' =
+              take members (e.slot + Logrec.slots_needed e.op) [] rest
+            in
+            (match rest' with
+            | c :: tl
+              when expected >= 0 && c.slot = expected
+                   && (match c.op with
+                      | Logrec.Txn_commit tc -> tc.txn = txn
+                      | _ -> false) ->
+                List.map (fun m -> { m with committed = true }) mems @ go tl
+            | _ -> go rest')
+        | _ -> e :: go rest)
+  in
+  go entries
 
 let recover_tail t =
   let entries = scan t in

@@ -77,6 +77,14 @@ val flush_batch : t -> (int * int * Logrec.op) list -> unit
     crash any subset of the batch may survive, each member individually
     valid-or-absent. Call outside the frontend lock. *)
 
+val flush_txn_commit : t -> slot:int -> lsn:int -> Logrec.op -> unit
+(** Transaction commit point: store the single-slot [Txn_commit] record's
+    LSN word and persist its line — the one atomic step that makes the
+    whole preceding span (already durable via {!flush_batch}) replayable.
+    Under [Config.Skip_txn_commit_record] the persist is skipped (checker
+    fault): an acknowledged transaction's span can then evaporate
+    wholesale on power failure. Call outside the frontend lock. *)
+
 val persist_span : t -> slot:int -> slots:int -> unit
 (** Persist [slots] consecutive slots starting at [slot] with one flush +
     fence — the batch-commit counterpart of {!persist_slot}. A no-op under
@@ -98,6 +106,15 @@ type entry = { lsn : int; slot : int; committed : bool; op : Logrec.op }
 
 val scan : t -> entry list
 (** All valid records in ascending LSN order, skipping torn/stale slots. *)
+
+val resolve_txn_spans : entry list -> entry list
+(** Resolve transaction framing over one log's {!scan}: members of a span
+    whose [Txn_commit] record probed valid (the commit point) are
+    surfaced with [committed = true]; members of a torn span (missing or
+    broken chain, or no valid commit record) are dropped; the framing
+    records themselves never escape. Non-member records pass through
+    untouched. Callers that feed replay must run this before filtering on
+    [committed] — it is the engine's pending-transaction buffer. *)
 
 val recover_tail : t -> unit
 (** Set {!tail} to the first slot after the last valid record, so appends

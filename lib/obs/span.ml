@@ -34,8 +34,9 @@ type cause =
   | Batch_wait  (* group commit: co-batched with (n-1) other ops *)
   | Ssd_queue  (* SSD channel queueing *)
   | Repl_wait  (* replication: waiting for backup span acks *)
+  | Txn_retry  (* OCC transaction: aborted attempt + backoff before retry *)
 
-let n_causes = 6
+let n_causes = 7
 
 let cause_index = function
   | Ckpt_interference -> 0
@@ -44,11 +45,12 @@ let cause_index = function
   | Batch_wait -> 3
   | Ssd_queue -> 4
   | Repl_wait -> 5
+  | Txn_retry -> 6
 
 let cause_names =
   [|
     "ckpt_interference"; "log_full"; "conflict_retry"; "batch_wait";
-    "ssd_queue"; "repl_wait";
+    "ssd_queue"; "repl_wait"; "txn_retry";
   |]
 
 let cause_label i = cause_names.(i)
@@ -105,7 +107,7 @@ let seg_names =
 
 let seg_label i = seg_names.(i)
 
-type kind = Put | Get | Delete | Write | Read | Batch | Checkpoint | Recovery
+type kind = Put | Get | Delete | Write | Read | Batch | Txn | Checkpoint | Recovery
 
 let kind_name = function
   | Put -> "put"
@@ -114,6 +116,7 @@ let kind_name = function
   | Write -> "write"
   | Read -> "read"
   | Batch -> "batch"
+  | Txn -> "txn"
   | Checkpoint -> "checkpoint"
   | Recovery -> "recovery"
 

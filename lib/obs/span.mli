@@ -23,6 +23,7 @@ type cause =
   | Batch_wait  (** Group commit: co-batched with (n-1) other ops. *)
   | Ssd_queue  (** SSD channel queueing. *)
   | Repl_wait  (** Replication: waiting for backup span acks. *)
+  | Txn_retry  (** OCC transaction: aborted attempt + backoff before retry. *)
 
 val n_causes : int
 val cause_index : cause -> int
@@ -52,7 +53,7 @@ val n_segs : int
 val seg_index : seg -> int
 val seg_label : int -> string
 
-type kind = Put | Get | Delete | Write | Read | Batch | Checkpoint | Recovery
+type kind = Put | Get | Delete | Write | Read | Batch | Txn | Checkpoint | Recovery
 
 val kind_name : kind -> string
 

@@ -305,6 +305,19 @@ let olock ctx key = Dstore.olock (route ctx key) key
 
 let ounlock ctx key = Dstore.ounlock (route ctx key) key
 
+(* Single-shard transaction fast path: a txn is routed by its declared
+   footprint's first key and runs entirely on that shard's engine (one
+   log span, one validation). Cross-shard footprints are rejected up
+   front — DStore has no distributed commit, and silently spanning
+   shards would break the all-or-nothing crash contract. *)
+let txn ?retries ?backoff_ns ctx ~keys fn =
+  let s = match keys with [] -> 0 | k :: _ -> Shard_map.shard_of ctx.c.map k in
+  match
+    List.find_opt (fun k -> Shard_map.shard_of ctx.c.map k <> s) keys
+  with
+  | Some k -> Error (Dstore_txn.Cross_shard k)
+  | None -> Dstore_txn.txn ?retries ?backoff_ns ctx.ctxs.(s) fn
+
 let olist ctx ~prefix =
   Array.fold_left
     (fun acc sctx -> List.rev_append (Dstore.olist sctx ~prefix) acc)

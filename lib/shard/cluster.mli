@@ -151,6 +151,22 @@ val olock : ctx -> string -> unit
 
 val ounlock : ctx -> string -> unit
 
+val txn :
+  ?retries:int ->
+  ?backoff_ns:int ->
+  ctx ->
+  keys:string list ->
+  (Dstore_txn.t -> 'a) ->
+  ('a, Dstore_txn.abort_reason) result
+(** Single-shard transaction fast path: [keys] declares the footprint;
+    the txn is routed by the first key and runs wholly on that shard
+    (one log span, one OCC validation — see {!Dstore_txn.txn}). If any
+    key routes to a different shard the call returns
+    [Error (Cross_shard key)] without running [fn]: DStore has no
+    distributed commit, and spanning shards would silently break the
+    all-or-nothing crash contract. An empty footprint routes to shard
+    0 (read-only or single-shard-by-construction uses). *)
+
 val olist : ctx -> prefix:string -> string list
 (** Union of every shard's listing, re-sorted lexicographically. *)
 

@@ -1,0 +1,120 @@
+(* Multi-key OCC transactions over the logical log.
+
+   A transaction handle buffers a read-set (key -> first observed
+   committed version) and a write-set (last-wins per key, first-touch
+   order); nothing touches the store until commit. Commit hands both
+   sets to [Dstore.txn_commit_writes], which validates the read-set
+   under the engine's frontend lock and appends the write-set as one
+   all-or-nothing log span (Txn_begin, members, Txn_commit) — see
+   DESIGN.md "Transactions". The [txn] wrapper re-runs the caller's
+   function on abort with bounded exponential backoff, booking the
+   wasted attempts as [Span.Txn_retry] blame. *)
+
+open Dstore_core
+open Dstore_platform
+module Span = Dstore_obs.Span
+module Obs = Dstore_obs.Obs
+
+type abort_reason =
+  | Conflict of string
+  | Cross_shard of string
+
+let pp_abort = function
+  | Conflict k -> Printf.sprintf "conflict on %S" k
+  | Cross_shard k -> Printf.sprintf "key %S routes to another shard" k
+
+type state = Active | Committed | Aborted
+
+type t = {
+  ctx : Dstore.ctx;
+  reads : (string, int) Hashtbl.t;
+  mutable writes : (string * Dstore.txn_write) list;  (* first-touch order *)
+  mutable state : state;
+}
+
+let create ctx = { ctx; reads = Hashtbl.create 8; writes = []; state = Active }
+
+let check tx =
+  match tx.state with
+  | Active -> ()
+  | Committed -> invalid_arg "Dstore_txn: transaction already committed"
+  | Aborted -> invalid_arg "Dstore_txn: transaction already aborted"
+
+let set_write tx key w =
+  if List.mem_assoc key tx.writes then
+    tx.writes <-
+      List.map (fun (k, old) -> if k = key then (k, w) else (k, old)) tx.writes
+  else tx.writes <- tx.writes @ [ (key, w) ]
+
+(* Read-your-own-writes: the write-set shadows the store. A store read
+   records the key's version on first observation only — commit-time
+   validation checks exactly what the transaction's logic depended on. *)
+let get tx key =
+  check tx;
+  match List.assoc_opt key tx.writes with
+  | Some (Dstore.Tput (_, v)) -> Some (Bytes.copy v)
+  | Some (Dstore.Tdelete _) -> None
+  | None ->
+      let v, value = Dstore.oget_versioned tx.ctx key in
+      if not (Hashtbl.mem tx.reads key) then Hashtbl.replace tx.reads key v;
+      value
+
+let put tx key value =
+  check tx;
+  set_write tx key (Dstore.Tput (key, Bytes.copy value))
+
+let delete tx key =
+  check tx;
+  set_write tx key (Dstore.Tdelete key)
+
+let abort tx =
+  check tx;
+  tx.state <- Aborted
+
+let commit ?span tx =
+  check tx;
+  let reads = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tx.reads [] in
+  let writes = List.map snd tx.writes in
+  match Dstore.txn_commit_writes ?span tx.ctx ~reads ~writes with
+  | Ok () ->
+      tx.state <- Committed;
+      Ok ()
+  | Error key ->
+      tx.state <- Aborted;
+      Error (Conflict key)
+
+(* --- retry wrapper -------------------------------------------------------- *)
+
+let default_retries = 8
+
+let default_backoff_ns = 2 * Platform.ns_per_us
+
+let txn ?(retries = default_retries) ?(backoff_ns = default_backoff_ns) ctx fn =
+  let store = Dstore.ctx_store ctx in
+  let p = Dipper.platform (Dstore.engine store) in
+  let span = Span.start (Dstore.obs store).Obs.spans Span.Txn "(txn)" in
+  let rec attempt n =
+    let tx = create ctx in
+    let result = fn tx in
+    match tx.state with
+    | Aborted -> Error (Conflict "(explicit abort)")
+    | Committed -> Ok result
+    | Active -> (
+        match commit ~span tx with
+        | Ok () -> Ok result
+        | Error reason ->
+            if n >= retries then Error reason
+            else begin
+              (* Wasted attempt: back off (exponential, capped) and blame
+                 the wait so tail forensics can attribute txn latency. *)
+              let wait = backoff_ns * (1 lsl min n 6) in
+              let t0 = p.Platform.now () in
+              if wait > 0 then p.Platform.sleep wait;
+              Span.stall span Span.Txn_retry (p.Platform.now () - t0);
+              attempt (n + 1)
+            end)
+  in
+  let r = attempt 0 in
+  Span.seg span Span.S_commit;
+  Span.finish span;
+  r

@@ -1,0 +1,66 @@
+(** Multi-key OCC transactions over the logical log.
+
+    A transaction buffers reads and writes against one store context and
+    commits atomically: the read-set (each key's committed version at
+    first observation) is validated under the engine's frontend lock, and
+    the write-set is appended as a single all-or-nothing log span —
+    [Txn_begin], the member records, [Txn_commit] — whose commit record's
+    durability is the transaction's commit point. After a crash, recovery
+    surfaces either every member or none (see DESIGN.md "Transactions").
+
+    Optimistic concurrency: [get]/[put]/[delete] never block other
+    clients; conflicts surface at commit as an abort, and {!txn} retries
+    the whole function with exponential backoff. Writes are invisible to
+    other clients (and to crash recovery) until commit succeeds. *)
+
+type abort_reason =
+  | Conflict of string  (** Validation failed: this key's version moved. *)
+  | Cross_shard of string
+      (** Cluster fast path: this key routes to a different shard than the
+          transaction's first key ([Cluster.txn] only). *)
+
+val pp_abort : abort_reason -> string
+
+type t
+(** An open transaction handle. Single-threaded: use from the owning
+    client only. *)
+
+val create : Dstore_core.Dstore.ctx -> t
+(** Begin a transaction (manual control — the CLI's [txn begin]). Most
+    callers should use {!txn} instead. *)
+
+val get : t -> string -> Bytes.t option
+(** Read through the transaction: the buffered write-set shadows the
+    store (read-your-own-writes); a store read records the key's version
+    for commit-time validation. *)
+
+val put : t -> string -> Bytes.t -> unit
+(** Buffer a whole-object put (last write per key wins). *)
+
+val delete : t -> string -> unit
+(** Buffer a delete. *)
+
+val commit : ?span:Dstore_obs.Span.t -> t -> (unit, abort_reason) result
+(** Validate and atomically apply the write-set. [Error (Conflict key)]
+    if any read observation is stale — the store is untouched and the
+    handle is dead. A transaction with no writes validates only. *)
+
+val abort : t -> unit
+(** Discard the transaction (nothing to undo — writes were buffered). *)
+
+val default_retries : int
+
+val default_backoff_ns : int
+
+val txn :
+  ?retries:int ->
+  ?backoff_ns:int ->
+  Dstore_core.Dstore.ctx ->
+  (t -> 'a) ->
+  ('a, abort_reason) result
+(** [txn ctx fn] runs [fn] with a fresh handle and commits; on abort it
+    retries (up to [retries] more attempts, default 8) with capped
+    exponential backoff starting at [backoff_ns]. Retry waits are booked
+    as [Span.Txn_retry] blame on the transaction's span. [fn] may call
+    {!abort} to give up (no retry) or {!commit} itself; a handle left
+    active is committed on return. *)

@@ -201,6 +201,36 @@ let test_oracle_pending_batch () =
     | exception Invalid_argument _ -> true
     | () -> false)
 
+let test_oracle_pending_txn () =
+  (* All-or-nothing: while a txn span is in flight each member key alone
+     may show old or new (per-key check), but the cross-key clause must
+     reject a MIXED recovery — some members old, some new — which is
+     exactly what per-key batch semantics would wrongly accept. *)
+  let o = Oracle.create () in
+  Oracle.begin_put o "a" (bytes_of "a0");
+  Oracle.commit_pending o;
+  Oracle.begin_put o "b" (bytes_of "b0");
+  Oracle.commit_pending o;
+  Oracle.begin_txn o
+    [ ("a", Some (bytes_of "a1")); ("b", None); ("c", Some (bytes_of "c1")) ];
+  let ok tbl names =
+    Oracle.check o ~read:(fun k -> List.assoc_opt k tbl) ~names = []
+  in
+  let all = [ "a"; "b"; "c" ] in
+  check bool "all old acceptable" true
+    (ok [ ("a", bytes_of "a0"); ("b", bytes_of "b0") ] all);
+  check bool "all new acceptable" true
+    (ok [ ("a", bytes_of "a1"); ("c", bytes_of "c1") ] all);
+  check bool "mixed members rejected (torn)" false
+    (ok [ ("a", bytes_of "a1"); ("b", bytes_of "b0") ] all);
+  check bool "foreign value rejected" false
+    (ok [ ("a", bytes_of "zz"); ("b", bytes_of "b0") ] all);
+  Oracle.commit_pending o;
+  check bool "after commit all effects durable" true
+    (ok [ ("a", bytes_of "a1"); ("c", bytes_of "c1") ] all);
+  check bool "after commit old state rejected" false
+    (ok [ ("a", bytes_of "a0"); ("b", bytes_of "b0") ] all)
+
 let test_oracle_phantom () =
   let o = Oracle.create () in
   Oracle.begin_put o "a" (bytes_of "v");
@@ -416,10 +446,24 @@ let test_sweep_detects_skip_payload_flush () =
    evaporate wholesale at a crash. Gen mixes ~10% Batch ops into the
    sequence, so an event-by-event sweep must trip the oracle. *)
 let test_sweep_detects_skip_batch_commit () =
+  (* Seed picked so the generated mix actually contains Batch ops (the
+     txn-bearing distribution reshuffled the old seed's draws). *)
   let r =
-    sweep ~fault:Config.Skip_batch_commit_fence ~seed:7 ~n_ops:40 ~stride:1
+    sweep ~fault:Config.Skip_batch_commit_fence ~seed:42 ~n_ops:40 ~stride:1
   in
   check bool "skipped batch commit persist detected" true
+    (r.Explorer.violations <> [])
+
+(* Transactions: the commit record's LSN word is stored but its line is
+   never flushed, so an acknowledged txn evaporates wholesale at a power
+   loss while partial-span crashes still roll back — only the
+   transactional oracle's all-or-nothing clause can tell the difference.
+   Gen mixes ~4% Txn ops into the sequence. *)
+let test_sweep_detects_skip_txn_commit () =
+  let r =
+    sweep ~fault:Config.Skip_txn_commit_record ~seed:7 ~n_ops:60 ~stride:1
+  in
+  check bool "skipped txn commit persist detected" true
     (r.Explorer.violations <> [])
 
 (* Losing delta dirty tracking feeds a stale half back into the pipeline;
@@ -519,6 +563,27 @@ let run_for_identity clone ~seed ~n_ops ~ckpt_every =
                         | key, None -> Dstore.Bdelete key)
                       effects));
               Oracle.commit_pending oracle
+          | Gen.Txn { reads; items } ->
+              let effects =
+                List.map
+                  (function
+                    | Gen.B_put { key; size; vseed } ->
+                        (key, Some (Gen.value ~vseed size))
+                    | Gen.B_del key -> (key, None))
+                  items
+              in
+              Oracle.begin_txn oracle effects;
+              (match
+                 Dstore_txn.txn ~retries:0 ctx (fun tx ->
+                     List.iter (fun k -> ignore (Dstore_txn.get tx k)) reads;
+                     List.iter
+                       (function
+                         | key, Some v -> Dstore_txn.put tx key v
+                         | key, None -> Dstore_txn.delete tx key)
+                       effects)
+               with
+              | Ok () -> Oracle.commit_pending oracle
+              | Error _ -> failwith "identity run: single-client txn aborted")
           | Gen.Lock key ->
               if not (Hashtbl.mem locked key) then begin
                 Dstore.olock ctx key;
@@ -581,7 +646,12 @@ let keys_of_ops ops =
          | Gen.Batch items ->
              List.map
                (function Gen.B_put { key; _ } -> key | Gen.B_del key -> key)
-               items)
+               items
+         | Gen.Txn { reads; items } ->
+             reads
+             @ List.map
+                 (function Gen.B_put { key; _ } -> key | Gen.B_del key -> key)
+                 items)
        ops)
 
 (* Execute a Gen sequence with puts/deletes coalesced into obatch calls
@@ -591,7 +661,7 @@ let keys_of_ops ops =
    both schedules observe the same store state; a shadow table of full
    object values — updated at submission time, identically under every
    partition — steers the Write offset and skip decisions. *)
-let run_partitioned ~chunk ~seed ~n_ops =
+let run_partitioned ?(txn_as_ops = false) ~chunk ~seed ~n_ops () =
   let cfg =
     {
       (identity_cfg Config.Delta) with
@@ -675,6 +745,39 @@ let run_partitioned ~chunk ~seed ~n_ops =
                   let o = Dstore.oopen ctx key ~create:false Dstore.Rdwr in
                   ignore (Dstore.owrite o data ~size:len ~off);
                   Dstore.oclose o)
+          | Gen.Txn { reads; items } when txn_as_ops ->
+              (* Reference schedule for the equivalence property: the same
+                 write-set applied as plain individual ops. *)
+              flush ();
+              List.iter (fun k -> ignore (Dstore.oget ctx k)) reads;
+              List.iter
+                (function
+                  | Gen.B_put { key; size; vseed } ->
+                      let v = Gen.value ~vseed size in
+                      Hashtbl.replace shadow key (Bytes.copy v);
+                      Dstore.oput ctx key v
+                  | Gen.B_del key ->
+                      Hashtbl.remove shadow key;
+                      ignore (Dstore.odelete ctx key))
+                items
+          | Gen.Txn { reads; items } ->
+              flush ();
+              (match
+                 Dstore_txn.txn ~retries:0 ctx (fun tx ->
+                     List.iter (fun k -> ignore (Dstore_txn.get tx k)) reads;
+                     List.iter
+                       (function
+                         | Gen.B_put { key; size; vseed } ->
+                             let v = Gen.value ~vseed size in
+                             Hashtbl.replace shadow key (Bytes.copy v);
+                             Dstore_txn.put tx key v
+                         | Gen.B_del key ->
+                             Hashtbl.remove shadow key;
+                             Dstore_txn.delete tx key)
+                       items)
+               with
+              | Ok () -> ()
+              | Error _ -> failwith "partition run: single-client txn aborted")
           | Gen.Lock key ->
               flush ();
               if not (Hashtbl.mem locked key) then begin
@@ -707,8 +810,99 @@ let prop_batched_equals_unbatched =
                 seed chunk)
          @@ fun () ->
          let n_ops = 60 in
-         run_partitioned ~chunk:1 ~seed ~n_ops
-         = run_partitioned ~chunk ~seed ~n_ops))
+         run_partitioned ~chunk:1 ~seed ~n_ops ()
+         = run_partitioned ~chunk ~seed ~n_ops ()))
+
+(* A committed transaction is byte-identical to applying its write-set as
+   plain individual ops: same Gen sequence down both schedules, final
+   value of every named key compared. Single-client sequences never
+   conflict, so every txn commits and the equivalence is exact. *)
+let prop_txn_equals_individual_ops =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"committed txn byte-identical to individual ops"
+       ~count:15
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         Seed_report.attempt ~test:"txn = individual ops" ~seed
+           ~repro:
+             (Printf.sprintf
+                "dune exec test/test_main.exe -- test check  # seed %d" seed)
+         @@ fun () ->
+         let n_ops = 60 in
+         run_partitioned ~chunk:1 ~seed ~n_ops ()
+         = run_partitioned ~txn_as_ops:true ~chunk:1 ~seed ~n_ops ()))
+
+(* An aborted transaction leaves every member key untouched. For each
+   generated Txn op the driver opens a handle, reads a victim member,
+   invalidates that read from outside, applies the write-set, and
+   commits — which must fail; the members must then read back exactly as
+   snapshotted (the victim showing only the external write). *)
+let prop_aborted_txn_untouched =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"aborted txn leaves members untouched" ~count:15
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         Seed_report.attempt ~test:"aborted txn untouched" ~seed
+           ~repro:
+             (Printf.sprintf
+                "dune exec test/test_main.exe -- test check  # seed %d" seed)
+         @@ fun () ->
+         let fx, cfg = fixture () in
+         let ok = ref true in
+         let sentinel = Bytes.of_string "external-racing-write" in
+         Sim.spawn fx.sim "t" (fun () ->
+             let st = Dstore.create fx.p fx.pm fx.ssd cfg in
+             let ctx = Dstore.ds_init st in
+             List.iter
+               (fun (op : Gen.op) ->
+                 match op with
+                 | Gen.Put { key; size; vseed } ->
+                     Dstore.oput ctx key (Gen.value ~vseed size)
+                 | Gen.Delete key -> ignore (Dstore.odelete ctx key)
+                 | Gen.Batch items ->
+                     ignore
+                       (Dstore.obatch ctx
+                          (List.map
+                             (function
+                               | Gen.B_put { key; size; vseed } ->
+                                   Dstore.Bput (key, Gen.value ~vseed size)
+                               | Gen.B_del key -> Dstore.Bdelete key)
+                             items))
+                 | Gen.Txn { items; _ } ->
+                     let member = function
+                       | Gen.B_put { key; _ } | Gen.B_del key -> key
+                     in
+                     let keys = List.map member items in
+                     let victim = List.hd keys in
+                     let snapshot =
+                       List.map (fun k -> (k, Dstore.oget ctx k)) keys
+                     in
+                     let tx = Dstore_txn.create ctx in
+                     ignore (Dstore_txn.get tx victim);
+                     Dstore.oput ctx victim sentinel;
+                     List.iter
+                       (function
+                         | Gen.B_put { key; size; vseed } ->
+                             Dstore_txn.put tx key (Gen.value ~vseed size)
+                         | Gen.B_del key -> Dstore_txn.delete tx key)
+                       items;
+                     (match Dstore_txn.commit tx with
+                     | Ok () -> ok := false (* stale read must abort *)
+                     | Error (Dstore_txn.Conflict _) -> ()
+                     | Error _ -> ok := false);
+                     List.iter
+                       (fun (k, old) ->
+                         let expect =
+                           if k = victim then Some sentinel else old
+                         in
+                         if Dstore.oget ctx k <> expect then ok := false)
+                       snapshot
+                 | Gen.Get key -> ignore (Dstore.oget ctx key)
+                 | Gen.Write _ | Gen.Lock _ | Gen.Unlock _ -> ())
+               (Gen.generate ~seed ~n:50);
+             Dstore.stop st);
+         Sim.run fx.sim;
+         !ok))
 
 let contains s sub =
   let n = String.length s and m = String.length sub in
@@ -759,6 +953,7 @@ let suite =
       `Quick,
       test_oracle_pending_write_extension );
     ("oracle: pending batch any-subset", `Quick, test_oracle_pending_batch);
+    ("oracle: pending txn all-or-nothing", `Quick, test_oracle_pending_txn);
     ("oracle: phantom keys", `Quick, test_oracle_phantom);
     ("fsck: clean store", `Quick, test_fsck_clean);
     ( "fsck: freed referenced block",
@@ -778,7 +973,12 @@ let suite =
     ( "explorer: detects skipped batch commit persist",
       `Slow,
       test_sweep_detects_skip_batch_commit );
+    ( "explorer: detects skipped txn commit persist",
+      `Slow,
+      test_sweep_detects_skip_txn_commit );
     prop_delta_publishes_identical_bytes;
     prop_batched_equals_unbatched;
+    prop_txn_equals_individual_ops;
+    prop_aborted_txn_untouched;
     ("explorer: obs export + report json", `Quick, test_sweep_obs_export);
   ]

@@ -968,6 +968,206 @@ let test_obatch_crash_all_committed () =
       Dstore.stop st);
   Sim.run fx.sim
 
+(* --- OCC transactions ---------------------------------------------------- *)
+
+let test_txn_commit_visible () =
+  with_store (fun _ st ctx ->
+      Dstore.oput ctx "ta" (value_of_string "old-a");
+      let r =
+        Dstore_txn.txn ctx (fun tx ->
+            Dstore_txn.put tx "ta" (value_of_string "new-a");
+            Dstore_txn.put tx "tb" (value_of_string "new-b"))
+      in
+      Alcotest.(check bool) "committed" true (Result.is_ok r);
+      check Alcotest.string "ta overwritten" "new-a"
+        (Bytes.to_string (Option.get (Dstore.oget ctx "ta")));
+      check Alcotest.string "tb created" "new-b"
+        (Bytes.to_string (Option.get (Dstore.oget ctx "tb")));
+      let s = Dipper.stats (Dstore.engine st) in
+      check Alcotest.int "txns committed" 1 s.Dipper.txns_committed;
+      check Alcotest.int "txns aborted" 0 s.Dipper.txns_aborted;
+      check Alcotest.int "member records" 2 s.Dipper.txn_member_records)
+
+let test_txn_read_your_writes () =
+  with_store (fun _ _ ctx ->
+      Dstore.oput ctx "rw" (value_of_string "stored");
+      let r =
+        Dstore_txn.txn ctx (fun tx ->
+            check Alcotest.string "reads through to store" "stored"
+              (Bytes.to_string (Option.get (Dstore_txn.get tx "rw")));
+            Dstore_txn.put tx "rw" (value_of_string "buffered");
+            check Alcotest.string "buffered write shadows" "buffered"
+              (Bytes.to_string (Option.get (Dstore_txn.get tx "rw")));
+            Dstore_txn.delete tx "rw";
+            Alcotest.(check bool) "buffered delete shadows" true
+              (Dstore_txn.get tx "rw" = None))
+      in
+      Alcotest.(check bool) "committed" true (Result.is_ok r);
+      Alcotest.(check bool) "final delete applied" false
+        (Dstore.oexists ctx "rw"))
+
+let test_txn_abort_untouched () =
+  with_store (fun _ st ctx ->
+      Dstore.oput ctx "ab" (value_of_string "keep");
+      let r =
+        Dstore_txn.txn ctx (fun tx ->
+            Dstore_txn.put tx "ab" (value_of_string "discard");
+            Dstore_txn.put tx "ab2" (value_of_string "discard");
+            Dstore_txn.abort tx)
+      in
+      Alcotest.(check bool) "reported aborted" true (Result.is_error r);
+      check Alcotest.string "member untouched" "keep"
+        (Bytes.to_string (Option.get (Dstore.oget ctx "ab")));
+      Alcotest.(check bool) "member never created" false
+        (Dstore.oexists ctx "ab2");
+      check Alcotest.int "nothing committed" 0
+        (Dipper.stats (Dstore.engine st)).Dipper.txns_committed)
+
+let test_txn_stale_read_aborts () =
+  with_store (fun _ st ctx ->
+      Dstore.oput ctx "sr" (value_of_string "v0");
+      let tx = Dstore_txn.create ctx in
+      ignore (Dstore_txn.get tx "sr");
+      (* A racing commit moves the version between the read and
+         validation. *)
+      Dstore.oput ctx "sr" (value_of_string "v1");
+      Dstore_txn.put tx "other" (value_of_string "w");
+      (match Dstore_txn.commit tx with
+      | Error (Dstore_txn.Conflict k) ->
+          check Alcotest.string "conflicting key reported" "sr" k
+      | Ok () -> Alcotest.fail "stale read committed"
+      | Error r -> Alcotest.failf "unexpected abort: %s" (Dstore_txn.pp_abort r));
+      Alcotest.(check bool) "write-set not applied" false
+        (Dstore.oexists ctx "other");
+      check Alcotest.string "racing value intact" "v1"
+        (Bytes.to_string (Option.get (Dstore.oget ctx "sr")));
+      check Alcotest.int "abort counted" 1
+        (Dipper.stats (Dstore.engine st)).Dipper.txns_aborted)
+
+let test_txn_retry_commits () =
+  (* The wrapper re-runs the whole function after a conflict abort, so the
+     second attempt reads the fresh version and commits. *)
+  with_store (fun _ st ctx ->
+      Dstore.oput ctx "rk" (value_of_string "v0");
+      let attempts = ref 0 in
+      let r =
+        Dstore_txn.txn ctx (fun tx ->
+            incr attempts;
+            ignore (Dstore_txn.get tx "rk");
+            if !attempts = 1 then
+              (* Invalidate our own read from outside the transaction. *)
+              Dstore.oput ctx "rk" (value_of_string "raced");
+            Dstore_txn.put tx "rk" (value_of_string "final"))
+      in
+      Alcotest.(check bool) "eventually committed" true (Result.is_ok r);
+      check Alcotest.int "two attempts" 2 !attempts;
+      check Alcotest.string "second attempt's write" "final"
+        (Bytes.to_string (Option.get (Dstore.oget ctx "rk")));
+      let s = Dipper.stats (Dstore.engine st) in
+      check Alcotest.int "one abort counted" 1 s.Dipper.txns_aborted;
+      check Alcotest.int "one commit counted" 1 s.Dipper.txns_committed)
+
+let test_txn_readonly_validates () =
+  with_store (fun _ st ctx ->
+      Dstore.oput ctx "ro" (value_of_string "v");
+      let appended0 =
+        (Dipper.stats (Dstore.engine st)).Dipper.records_appended
+      in
+      let r = Dstore_txn.txn ctx (fun tx -> ignore (Dstore_txn.get tx "ro")) in
+      Alcotest.(check bool) "read-only txn commits" true (Result.is_ok r);
+      check Alcotest.int "nothing appended" appended0
+        (Dipper.stats (Dstore.engine st)).Dipper.records_appended)
+
+(* Satellite: the hoisted one-pass conflict scan, pinned via its test
+   seam. A staged txn span holds in-flight tickets on its member keys;
+   one scan must find them, the ignore list must exclude them, and commit
+   must retire them. *)
+let test_conflict_scan_one_pass () =
+  with_store (fun _ st ctx ->
+      Dstore.oput ctx "cs1" (value_of_string "x");
+      let e = Dstore.engine st in
+      let tx =
+        match
+          Dipper.txn_append e ~reads:[]
+            ~items:
+              [
+                ("cs1", 1, fun () -> Logrec.Noop { key = "cs1" });
+                ("cs2", 1, fun () -> Logrec.Noop { key = "cs2" });
+              ]
+        with
+        | Ok tx -> tx
+        | Error k -> Alcotest.failf "unexpected stale read on %s" k
+      in
+      (match Dipper.conflicting_ticket_any e [ "cs2"; "unrelated" ] with
+      | Some (k, _) -> check Alcotest.string "in-flight member found" "cs2" k
+      | None -> Alcotest.fail "in-flight member not found");
+      Alcotest.(check bool) "unrelated keys clean" true
+        (Dipper.conflicting_ticket_any e [ "unrelated" ] = None);
+      Alcotest.(check bool) "ignore list excludes own tickets" true
+        (Dipper.conflicting_ticket_any ~ignore:(Dipper.txn_members tx) e
+           [ "cs1"; "cs2" ]
+        = None);
+      Dipper.txn_commit e tx;
+      Alcotest.(check bool) "tickets retired by commit" true
+        (Dipper.conflicting_ticket_any e [ "cs1"; "cs2" ] = None))
+
+let test_txn_crash_committed_survives () =
+  let fx = fixture () in
+  Sim.spawn fx.sim "main" (fun () ->
+      let st = Dstore.create fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      Dstore.oput ctx "t0" (value_of_string "seed");
+      match
+        Dstore_txn.txn ctx (fun tx ->
+            Dstore_txn.put tx "t0" (value_of_string "txn0");
+            Dstore_txn.put tx "t1" (value_of_string "txn1"))
+      with
+      | Ok () -> ()
+      | Error r -> Alcotest.failf "commit failed: %s" (Dstore_txn.pp_abort r));
+  Sim.run fx.sim;
+  Pmem.crash fx.pm Pmem.Drop_all;
+  Sim.clear_pending fx.sim;
+  Sim.spawn fx.sim "recovery" (fun () ->
+      let st = Dstore.recover fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      check Alcotest.string "member 0 replayed" "txn0"
+        (Bytes.to_string (Option.get (Dstore.oget ctx "t0")));
+      check Alcotest.string "member 1 replayed" "txn1"
+        (Bytes.to_string (Option.get (Dstore.oget ctx "t1")));
+      Dstore.stop st);
+  Sim.run fx.sim
+
+let test_txn_torn_span_dropped () =
+  (* Skip_txn_commit_record leaves the commit record's line unflushed:
+     power loss drops it and recovery must surface NO member — exactly
+     the all-or-nothing contract (and the fault the checker selftest
+     proves catchable). *)
+  let cfg = { small_cfg with Config.fault = Config.Skip_txn_commit_record } in
+  let fx = fixture ~cfg () in
+  Sim.spawn fx.sim "main" (fun () ->
+      let st = Dstore.create fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      Dstore.oput ctx "t0" (value_of_string "seed");
+      match
+        Dstore_txn.txn ctx (fun tx ->
+            Dstore_txn.put tx "t0" (value_of_string "txn0");
+            Dstore_txn.put tx "t1" (value_of_string "txn1"))
+      with
+      | Ok () -> ()
+      | Error r -> Alcotest.failf "commit failed: %s" (Dstore_txn.pp_abort r));
+  Sim.run fx.sim;
+  Pmem.crash fx.pm Pmem.Drop_all;
+  Sim.clear_pending fx.sim;
+  Sim.spawn fx.sim "recovery" (fun () ->
+      let st = Dstore.recover fx.p fx.pm fx.ssd fx.cfg in
+      let ctx = Dstore.ds_init st in
+      check Alcotest.string "member 0 rolled back" "seed"
+        (Bytes.to_string (Option.get (Dstore.oget ctx "t0")));
+      Alcotest.(check bool) "member 1 never surfaced" false
+        (Dstore.oexists ctx "t1");
+      Dstore.stop st);
+  Sim.run fx.sim
+
 let suite =
   [
     ("put/get", `Quick, test_put_get);
@@ -1020,5 +1220,14 @@ let suite =
     ("obatch under own olock", `Quick, test_obatch_locked_key);
     ("obatch fence amortization", `Quick, test_obatch_fence_amortization);
     ("obatch crash: acked batch survives", `Quick, test_obatch_crash_all_committed);
+    ("txn commit visible + counted", `Quick, test_txn_commit_visible);
+    ("txn read-your-writes", `Quick, test_txn_read_your_writes);
+    ("txn abort untouched", `Quick, test_txn_abort_untouched);
+    ("txn stale read aborts", `Quick, test_txn_stale_read_aborts);
+    ("txn retry wrapper recommits", `Quick, test_txn_retry_commits);
+    ("txn read-only validates", `Quick, test_txn_readonly_validates);
+    ("txn conflict scan one-pass", `Quick, test_conflict_scan_one_pass);
+    ("txn crash: committed span survives", `Quick, test_txn_crash_committed_survives);
+    ("txn crash: torn span dropped", `Quick, test_txn_torn_span_dropped);
     prop_crash_recovery_observational_equivalence;
   ]

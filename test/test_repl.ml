@@ -290,6 +290,23 @@ let drive_group ctx sizes (op : Gen.op) =
           items
       in
       ignore (Group.obatch ctx ops)
+  | Gen.Txn { items; _ } ->
+      (* The replication group has no transaction entry point (txn member
+         records reach backups as plain ops via the commit hook); drive
+         the write-set as the equivalent batch — same final state, same
+         shipped record stream shape. *)
+      let ops =
+        List.map
+          (function
+            | Gen.B_put { key; size; vseed } ->
+                Hashtbl.replace sizes key size;
+                Dstore.Bput (key, Gen.value ~vseed size)
+            | Gen.B_del key ->
+                Hashtbl.remove sizes key;
+                Dstore.Bdelete key)
+          items
+      in
+      ignore (Group.obatch ctx ops)
   | Gen.Lock _ | Gen.Unlock _ -> ()
 
 (* Run the generated ops against an Ack_all pair with the journal on,
