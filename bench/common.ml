@@ -14,6 +14,7 @@ type opts = {
   shards : int;  (* focus shard count for the sharding experiment *)
   stagger : bool;  (* staggered checkpoint scheduling in the cluster *)
   batch : int;  (* group-commit batch size (1 = per-op commit) *)
+  cache_mb : int;  (* DRAM object-cache budget for DStore runs (0 = off) *)
 }
 
 let default_opts =
@@ -27,9 +28,15 @@ let default_opts =
     shards = 4;
     stagger = true;
     batch = 1;
+    cache_mb = 0;
   }
 
-let scale_of opts = { Systems.default_scale with objects = opts.objects }
+let scale_of opts =
+  {
+    Systems.default_scale with
+    objects = opts.objects;
+    cache_mb = opts.cache_mb;
+  }
 
 (* The comparison roster of the paper's evaluation (§5.1). *)
 type sys_id = DStore | DStore_cow | Cached | Lsm | Inline

@@ -123,6 +123,7 @@ let sweep_threshold opts =
                       get = (fun k buf -> Dstore.oget_into ctx k buf);
                       delete = (fun k -> ignore (Dstore.odelete ctx k));
                       put_batch = Some (fun kvs -> Dstore.oput_batch ctx kvs);
+                      read_view = None;
                     });
                 checkpoint_now = Some (fun () -> Dstore.checkpoint_now st);
                 stop =
@@ -189,6 +190,7 @@ let sweep_clone_mode opts =
                     get = (fun k buf -> Dstore.oget_into ctx k buf);
                     delete = (fun k -> ignore (Dstore.odelete ctx k));
                     put_batch = Some (fun kvs -> Dstore.oput_batch ctx kvs);
+                    read_view = None;
                   });
               checkpoint_now = Some (fun () -> Dstore.checkpoint_now st);
               stop =

@@ -32,6 +32,7 @@ let experiments : (string * string * (Common.opts -> unit)) list =
     ("tail", "per-op causal spans + tail-latency attribution", Exp_tail.run);
     ("repl", "replication durability modes / link latency sweep", Exp_repl.run);
     ("txn", "OCC transaction abort/throughput sweep vs contention", Exp_txn.run);
+    ("cache", "DRAM object cache: size x zipfian sweep on YCSB-B/C", Exp_cache.run);
   ]
 
 let usage () =
@@ -50,6 +51,8 @@ let usage () =
   print_endline "  --no-stagger   disable staggered checkpoint scheduling";
   print_endline
     "  --batch N      group-commit batch size for DStore runs (default 1)";
+  print_endline
+    "  --cache-mb N   DRAM object-cache budget for DStore runs (default 0 = off)";
   print_endline "  --seed N"
 
 let () =
@@ -83,6 +86,9 @@ let () =
         parse rest
     | "--batch" :: v :: rest ->
         opts := { !opts with Common.batch = int_of_string v };
+        parse rest
+    | "--cache-mb" :: v :: rest ->
+        opts := { !opts with Common.cache_mb = int_of_string v };
         parse rest
     | ("--help" | "-h") :: _ ->
         usage ();

@@ -69,8 +69,15 @@ let opts_term =
             "Group-commit batch size for DStore runs (1 = classic per-op \
              commit).")
   in
+  let cache_mb =
+    Arg.(
+      value
+      & opt int Common.default_opts.Common.cache_mb
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:"DRAM object-cache budget for DStore runs (0 = cache off).")
+  in
   let make clients objects seconds window_ms recovery_objects seed shards
-      no_stagger batch =
+      no_stagger batch cache_mb =
     {
       Common.clients;
       objects;
@@ -81,11 +88,12 @@ let opts_term =
       shards;
       stagger = not no_stagger;
       batch;
+      cache_mb;
     }
   in
   Term.(
     const make $ clients $ objects $ seconds $ window_ms $ recovery_objects
-    $ seed $ shards $ no_stagger $ batch)
+    $ seed $ shards $ no_stagger $ batch $ cache_mb)
 
 let experiments =
   [
@@ -105,6 +113,7 @@ let experiments =
       "Sharded cluster scaling and staggered checkpoints",
       Exp_shard.run );
     ("batch", "Group-commit batch-size sweep", Exp_batch.run);
+    ("cache", "DRAM object cache: size x zipfian sweep on YCSB-B/C", Exp_cache.run);
   ]
 
 let cmd_of (name, doc, f) =

@@ -33,6 +33,11 @@ let check_cfg ?(log_slots = 512) ~clone fault =
     meta_entries = 1024;
     ssd_blocks = 4096;
     checkpoint_workers = 2;
+    (* Always sweep with the DRAM object cache on: small enough that
+       eviction happens inside a scenario, so every crash point also
+       exercises the read-path coherence story (and recovery-starts-cold,
+       since the cache is volatile). *)
+    cache_bytes = 256 * 1024;
     fault;
   }
 
@@ -45,6 +50,7 @@ let fault_conv =
     | "skip-batch-commit" -> Ok Config.Skip_batch_commit_fence
     | "skip-replica-ack" -> Ok Config.Skip_replica_ack_fence
     | "skip-txn-commit" -> Ok Config.Skip_txn_commit_record
+    | "stale-cache-read" -> Ok Config.Stale_cache_read
     | s -> Error (`Msg (Printf.sprintf "unknown fault %S" s))
   in
   let print fmt f =
@@ -56,7 +62,8 @@ let fault_conv =
       | Config.Skip_dirty_track -> "skip-dirty"
       | Config.Skip_batch_commit_fence -> "skip-batch-commit"
       | Config.Skip_replica_ack_fence -> "skip-replica-ack"
-      | Config.Skip_txn_commit_record -> "skip-txn-commit")
+      | Config.Skip_txn_commit_record -> "skip-txn-commit"
+      | Config.Stale_cache_read -> "stale-cache-read")
   in
   Arg.conv (parse, print)
 
@@ -146,8 +153,10 @@ let sweep_cmd =
              word never flushed), $(b,skip-flush) (payload lines of \
              multi-slot records never flushed), $(b,skip-dirty), \
              $(b,skip-batch-commit) (group-commit words set but the \
-             batch's single persist pass skipped) or $(b,skip-txn-commit) \
-             (transaction commit record stored but never flushed).")
+             batch's single persist pass skipped), $(b,skip-txn-commit) \
+             (transaction commit record stored but never flushed) or \
+             $(b,stale-cache-read) (DRAM cache serves reads but the write \
+             pipeline skips invalidation/write-through).")
   in
   let expect =
     Arg.(
@@ -558,8 +567,9 @@ let selftest_cmd =
         true
       end
     in
-    let case name ?log_slots ~clone fault expect_violations =
+    let case name ?log_slots ?seed:seed_override ~clone fault expect_violations =
       Printf.printf "--- %s\n%!" name;
+      let seed = Option.value seed_override ~default:seed in
       let r =
         run_sweep ?log_slots ~seed ~n_ops:ops ~subsets ~stride:1 ~clone ~fault
           ~quiet:false ()
@@ -610,6 +620,18 @@ let selftest_cmd =
           (fun () ->
             case "skip-dirty" ~log_slots:96 ~clone:Config.Delta
               Config.Skip_dirty_track true);
+          (* DRAM cache coherence: the mutated pipeline keeps serving
+             cached values but never invalidates or write-throughs them,
+             so an overwrite of a cached key leaves the old value live —
+             caught by the explorer's live-read oracle check in the very
+             run where it happens (it is a volatile bug: crash recovery
+             alone would hide it, since the cache restarts cold). Pinned
+             seed: the detection needs a read of a key that is later
+             overwritten and read again, and the default seed's 120-op
+             stream happens to never produce that shape. *)
+          (fun () ->
+            case "stale-cache-read" ~seed:7 ~clone:Config.Delta
+              Config.Stale_cache_read true);
           (* Replicated pair: the clean protocol keeps every acked op on
              the backup through whole-pair crashes; acking before the
              apply (skip-replica-ack) does not. Smaller scenario — each

@@ -12,6 +12,8 @@
      --stagger         staggered checkpoint scheduling (default)
      --no-stagger      let every shard checkpoint whenever its log says so
      --batch N         group-commit batch size (default 1 = per-op commit)
+     --cache-mb N      DRAM object-cache budget, split evenly across shards
+                       (default 0 = cache off)
      --backups N       run the REPLICATED shell instead: a primary plus N
                        backup engines with log shipping over simulated links
      --repl MODE       replication durability: async, ack-one, ack-all
@@ -62,6 +64,9 @@
      trace-shard I [N] last N trace events of shard I's store
      trace-clear       empty the cluster trace ring
      footprint         DRAM/PMEM/SSD usage summed across shards
+     cache             DRAM object-cache statistics summed across shards
+     cache-clear       drop every cached object (volatile state only;
+                       counters are kept so hit rates stay comparable)
      check             structural fsck of every shard + root verification
      crash             whole-machine power loss with random cache-line loss
      recover           recover every shard from the devices
@@ -78,14 +83,17 @@ module Metrics = Dstore_obs.Metrics
 module Trace = Dstore_obs.Trace
 module Span = Dstore_obs.Span
 
+(* A ref: --cache-mb rewrites it before the session starts, and recovery
+   (both shells) re-opens stores with whatever the session settled on. *)
 let cfg =
-  {
-    Config.default with
-    space_bytes = 8 * 1024 * 1024;
-    meta_entries = 4096;
-    ssd_blocks = 16384;
-    log_slots = 1024;
-  }
+  ref
+    {
+      Config.default with
+      space_bytes = 8 * 1024 * 1024;
+      meta_entries = 4096;
+      ssd_blocks = 16384;
+      log_slots = 1024;
+    }
 
 (* An interactive transaction: bound lazily to the shard its first key
    routes to (a txn is single-shard by construction — see Cluster.txn);
@@ -404,6 +412,26 @@ let handle s line =
         (Tablefmt.bytes f.Dstore.dram)
         (Tablefmt.bytes f.Dstore.pmem)
         (Tablefmt.bytes f.Dstore.ssd)
+  | [ "cache" ] -> (
+      match Cluster.cache_stats (cluster s) with
+      | None -> print_endline "(cache disabled: start with --cache-mb N)"
+      | Some st ->
+          let module C = Dstore_cache.Cache in
+          let looked = st.C.hits + st.C.misses in
+          Printf.printf
+            "budget=%s resident=%s entries=%d\n\
+             hits=%d misses=%d hit-rate=%s\n\
+             fills=%d evictions=%d invalidations=%d recycled=%d\n"
+            (Tablefmt.bytes st.C.budget) (Tablefmt.bytes st.C.bytes)
+            st.C.entries st.C.hits st.C.misses
+            (if looked = 0 then "n/a"
+             else
+               Printf.sprintf "%.1f%%"
+                 (100.0 *. float_of_int st.C.hits /. float_of_int looked))
+            st.C.fills st.C.evictions st.C.invalidations st.C.recycled)
+  | [ "cache-clear" ] ->
+      Cluster.cache_clear (cluster s);
+      print_endline "cache dropped on every shard (counters kept)"
   | [ "check" ] ->
       exec s (fun () ->
           let c = cluster s in
@@ -437,7 +465,7 @@ let handle s line =
       exec s (fun () ->
           let c =
             Cluster.recover ~obs:s.obs ~shard_obs:(shard_obs s)
-              ~policy:s.policy s.platform cfg s.nodes
+              ~policy:s.policy s.platform !cfg s.nodes
           in
           s.cluster <- Some c;
           s.ctx <- Some (Cluster.ds_init c);
@@ -455,8 +483,8 @@ let handle s line =
       print_endline
         "unknown command (put/get/del/batch/txn/list/checkpoint/ckpt/shards/\n\
          stats/metrics/tail/spans/trace/trace-shard/trace-clear/footprint/\n\
-         check/crash/recover/quit; txn subcommands: begin/get/put/del/commit/\n\
-         abort)"
+         cache/cache-clear/check/crash/recover/quit; txn subcommands: \n\
+         begin/get/put/del/commit/abort)"
 
 (* --- Replicated shell (with --backups) ------------------------------------ *)
 
@@ -575,7 +603,7 @@ let repl_main backups mode latency_ns =
             Pmem.create platform
               {
                 Pmem.default_config with
-                size = Dipper.layout_bytes cfg;
+                size = Dipper.layout_bytes !cfg;
                 crash_model = true;
               };
           ssd = Ssd.create platform { Ssd.default_config with pages = 16384 };
@@ -584,7 +612,7 @@ let repl_main backups mode latency_ns =
   let link = { Link.default_config with Link.latency_ns } in
   let g = ref None in
   Sim.spawn sim "setup" (fun () ->
-      g := Some (Group.create ~mode ~link platform cfg nodes));
+      g := Some (Group.create ~mode ~link platform !cfg nodes));
   Sim.run sim;
   let g = Option.get !g in
   let s = { rsim = sim; rgroup = g; rctx = Group.ds_init g } in
@@ -651,6 +679,14 @@ let parse_args () =
         | _ ->
             prerr_endline "--latency-ns expects a non-negative integer";
             exit 2)
+    | "--cache-mb" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 0 ->
+            cfg := { !cfg with Config.cache_bytes = v * 1024 * 1024 };
+            go rest
+        | _ ->
+            prerr_endline "--cache-mb expects a non-negative integer";
+            exit 2)
     | "--stagger" :: rest ->
         stagger := true;
         go rest
@@ -659,8 +695,8 @@ let parse_args () =
         go rest
     | a :: _ ->
         Printf.eprintf
-          "unknown argument %s (try --shards N, --batch N, --no-stagger, \
-           --backups N, --repl MODE, --latency-ns N)\n"
+          "unknown argument %s (try --shards N, --batch N, --cache-mb N, \
+           --no-stagger, --backups N, --repl MODE, --latency-ns N)\n"
           a;
         exit 2
   in
@@ -669,6 +705,10 @@ let parse_args () =
 
 let () =
   let n_shards, stagger, batch, backups, rmode, latency = parse_args () in
+  (* --cache-mb names the whole-machine budget; shards each own a slice. *)
+  if !cfg.Config.cache_bytes > 0 && n_shards > 1 then
+    cfg :=
+      { !cfg with Config.cache_bytes = max 1 (!cfg.Config.cache_bytes / n_shards) };
   if backups > 0 then begin
     repl_main backups rmode latency;
     exit 0
@@ -683,7 +723,7 @@ let () =
             Pmem.create platform
               {
                 Pmem.default_config with
-                size = Dipper.layout_bytes cfg;
+                size = Dipper.layout_bytes !cfg;
                 crash_model = true;
                 share = Some bw;
               };
@@ -692,7 +732,7 @@ let () =
   in
   let policy = if stagger then Cluster.staggered else Cluster.no_stagger in
   let obs =
-    Obs.create ~trace_capacity:cfg.Config.trace_capacity
+    Obs.create ~trace_capacity:!cfg.Config.trace_capacity
       ~now:(fun () -> platform.Platform.now ())
       ()
   in
@@ -713,7 +753,7 @@ let () =
   in
   exec s (fun () ->
       let c =
-        Cluster.create ~obs ~shard_obs:(shard_obs s) ~policy platform cfg
+        Cluster.create ~obs ~shard_obs:(shard_obs s) ~policy platform !cfg
           s.nodes
       in
       s.cluster <- Some c;

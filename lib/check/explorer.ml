@@ -75,7 +75,24 @@ let apply_op oracle ctx ssd locked (op : Gen.op) =
       Oracle.begin_delete oracle key;
       ignore (Dstore.odelete ctx key);
       Oracle.commit_pending oracle
-  | Gen.Get key -> ignore (Dstore.oget ctx key)
+  | Gen.Get key -> (
+      (* Live-read oracle check. Single client, so nothing is pending at
+         a Get and the store must return exactly the committed value.
+         This is what catches read-path coherence bugs — e.g. a DRAM
+         cache serving a value older than a committed overwrite
+         ([Config.Stale_cache_read]) — in the very run where they
+         happen, not only after a crash. *)
+      let got = Dstore.oget ctx key in
+      match (got, Oracle.committed_value oracle key) with
+      | None, None -> ()
+      | Some g, Some w when Bytes.equal g w -> ()
+      | Some _, None ->
+          failwith (Printf.sprintf "live read: phantom value for %S" key)
+      | None, Some _ ->
+          failwith (Printf.sprintf "live read: lost value for %S" key)
+      | Some _, Some _ ->
+          failwith
+            (Printf.sprintf "live read: stale or wrong value for %S" key))
   | Gen.Write { key; off_pct; len; vseed } -> (
       match Oracle.committed_value oracle key with
       | None -> () (* deterministic skip: same branch in every run *)
@@ -187,8 +204,29 @@ let crash_run (cfg : Config.t) ops ~k ~mode ~mode_label =
       run_workload oracle ctx fx.ssd ops;
       Dstore.stop st;
       finished := true);
-  (try Sim.run fx.sim with Crash_point _ -> ());
+  (* The workload phase may raise for two reasons: the planted crash
+     point (expected — swallowed, the run proceeds to recovery), or a
+     live-read oracle mismatch / engine corruption before reaching it
+     (a detection in its own right — reported instead of killing the
+     sweep). *)
+  let live_failure =
+    try
+      Sim.run fx.sim;
+      None
+    with Crash_point _ -> None | e -> Some (Printexc.to_string e)
+  in
   Pmem.set_persist_hook fx.pm None;
+  match live_failure with
+  | Some msg ->
+      [
+        {
+          crash_event = k;
+          mode = mode_label;
+          source = Oracle_violation;
+          detail = "live run raised " ^ msg;
+        };
+      ]
+  | None ->
   if !finished then
     (* The scenario produced fewer events than the counting run promised:
        the replay diverged, which breaks the explorer's premise. *)

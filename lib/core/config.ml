@@ -90,6 +90,14 @@ type fault =
           acknowledged multi-key transaction can evaporate wholesale on
           power failure — the torn-transaction bug the transactional
           oracle must catch. *)
+  | Stale_cache_read
+      (** DRAM object-cache coherence mutation (honored by the read
+          cache glue in [Dstore], not the persistence protocol): serve
+          reads from the cache but skip the write-pipeline
+          invalidation/write-through, so a read after a committed
+          overwrite or delete can return the {e old} bytes — the
+          stale-read bug the live-read coherence check must catch.
+          Volatile only: crash recovery is unaffected by construction. *)
 
 type t = {
   checkpoint : checkpoint_mode;
@@ -113,6 +121,11 @@ type t = {
           append + one commit round. 1 = classic per-op commit. Only the
           batched entry points ([Dstore.obatch] and friends) consult it;
           single-op calls are always batch = 1. *)
+  cache_bytes : int;
+      (** DRAM object-cache byte budget; 0 disables the cache. Strictly
+          volatile (never persisted, cold after recovery) and only
+          engaged under [Logical] logging, where the write pipeline's
+          reader fencing makes invalidation race-free. *)
   costs : costs;
   obs_enabled : bool;
       (** Observability opt-out: when false the store's metrics registry
@@ -140,6 +153,7 @@ let default =
     ssd_blocks = 60 * 1024;
     readcount_buckets = 65536;
     batch = 1;
+    cache_bytes = 0;
     costs = default_costs;
     obs_enabled = true;
     trace_capacity = 4096;

@@ -934,6 +934,14 @@ let conflicting_ticket ?ignore_ticket t key =
   let ignore = Option.to_list ignore_ticket in
   Platform.with_lock t.lock (fun () -> conflict_for ~ignore t key)
 
+(* Conflict scan + committed version in ONE lock round: the hoisted
+   versioned read ([Dstore.oget_versioned]) observes the version at
+   reader entry instead of paying a second lock acquisition and scan. *)
+let conflicting_ticket_versioned ?ignore_ticket t key =
+  let ignore = Option.to_list ignore_ticket in
+  Platform.with_lock t.lock (fun () ->
+      (conflict_for ~ignore t key, version_locked t key))
+
 let wait_ticket_done t tk = wait_ticket t tk
 
 let wait_write_conflict t key =

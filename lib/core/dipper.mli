@@ -241,6 +241,13 @@ val conflicting_ticket : ?ignore_ticket:ticket -> t -> string -> ticket option
     caller's own advisory-lock NOOP, so a lock holder can operate on the
     object it locked. *)
 
+val conflicting_ticket_versioned :
+  ?ignore_ticket:ticket -> t -> string -> ticket option * int
+(** {!conflicting_ticket} and {!key_version} in a single frontend-lock
+    round: the conflict scan plus the key's committed version, observed
+    atomically. Backs the hoisted single-lookup [Dstore.oget_versioned]
+    (version strictly before value, no second lock acquisition). *)
+
 val wait_ticket_done : t -> ticket -> unit
 (** Spin (with backoff) until the ticket's record commits. *)
 

@@ -7,6 +7,7 @@ module Obs = Dstore_obs.Obs
 module Metrics = Dstore_obs.Metrics
 module Trace = Dstore_obs.Trace
 module Span = Dstore_obs.Span
+module Cache = Dstore_cache.Cache
 
 exception Object_not_found of string
 
@@ -93,6 +94,9 @@ type t = {
   mutable collect_breakdown : bool;
   bd : breakdown;
   obs : Obs.t;
+  cache : Cache.t option;
+      (* DRAM object cache (strictly volatile; see the cache glue below).
+         None when [cfg.cache_bytes = 0] or under physical logging. *)
   (* Per-operation end-to-end latency histograms (virtual-time ns). *)
   h_put : Metrics.histo;
   h_get : Metrics.histo;
@@ -270,6 +274,23 @@ let build platform cfg engine ssd =
   in
   register_breakdown_views obs.Obs.metrics bd;
   let m = obs.Obs.metrics in
+  (* The cache engages only under logical logging: the logical write
+     pipeline's reader fencing (conflict scan + wait_readers) is what
+     makes invalidation race-free; the physical-logging ablation has no
+     such window, so it simply runs uncached. *)
+  let cache =
+    if cfg.cache_bytes > 0 && cfg.logging = Config.Logical then begin
+      let c = Cache.create ~budget:cfg.cache_bytes in
+      Metrics.gauge_fn m "cache.budget" (fun () -> Cache.budget c);
+      Metrics.gauge_fn m "cache.bytes" (fun () -> Cache.bytes c);
+      Metrics.gauge_fn m "cache.entries" (fun () -> Cache.entries c);
+      Metrics.gauge_fn m "cache.hits" (fun () -> Cache.hits c);
+      Metrics.gauge_fn m "cache.misses" (fun () -> Cache.misses c);
+      Metrics.gauge_fn m "cache.evictions" (fun () -> Cache.evictions c);
+      Some c
+    end
+    else None
+  in
   {
     platform;
     cfg;
@@ -284,6 +305,7 @@ let build platform cfg engine ssd =
     collect_breakdown = false;
     bd;
     obs;
+    cache;
     h_put = Metrics.histogram m "op.put";
     h_get = Metrics.histogram m "op.get";
     h_del = Metrics.histogram m "op.delete";
@@ -440,6 +462,61 @@ let put_max_slots key nblocks =
 
 let now t = t.platform.Platform.now ()
 
+(* --- DRAM object cache glue --------------------------------------------------- *)
+
+(* The cache is strictly volatile — it never touches a persistence
+   domain, so crash recovery is unaffected by construction (a recovered
+   store starts cold and refills on demand).
+
+   Coherence argument. Reads consult the cache inside the reader window
+   (between [read_entry] and [read_exit]), and writers maintain it from
+   the write pipeline at the point right after [Dipper.wait_readers]:
+   the log append under the frontend lock has already ordered the op and
+   made its ticket visible to the conflict scan, so
+
+   - every reader that entered BEFORE the append has drained (so no
+     in-flight miss path can re-fill the stale value after our
+     invalidation), and
+   - every reader arriving AFTER the append is held at [read_entry] by
+     the conflict scan until the op commits (so nobody observes the
+     write-through before the op is acknowledged).
+
+   Hence invalidation/write-through inherits exactly the order the
+   frontend lock gave the log append: once an overwrite or delete has
+   committed, a cached read can never return the older bytes. The
+   [Stale_cache_read] fault skips this maintenance to prove the checker's
+   live-read coherence property catches the resulting stale hits. *)
+
+(* Modeled DRAM copy cost for moving [size] bytes between the cache and
+   a caller/scratch buffer (~32 B/ns: ~128 ns for a 4 KB object). *)
+let copy_cost t size =
+  if size > 0 then t.platform.Platform.consume (max 1 (size / 32))
+
+let cache_lookup t key =
+  match t.cache with None -> None | Some c -> Cache.borrow c key
+
+(* Miss-path fill; booked as its own [S_cache_fill] segment so the tail
+   experiment can attribute residual read latency to fills vs ssd_queue. *)
+let cache_fill ?(span = Span.none) t key buf len =
+  match t.cache with
+  | None -> ()
+  | Some c ->
+      copy_cost t len;
+      Cache.put c key buf ~pos:0 ~len;
+      Span.seg span Span.S_cache_fill
+
+let cache_invalidate t key =
+  match t.cache with
+  | Some c when t.cfg.fault <> Config.Stale_cache_read -> Cache.invalidate c key
+  | _ -> ()
+
+let cache_write_through t key value size =
+  match t.cache with
+  | Some c when t.cfg.fault <> Config.Stale_cache_read ->
+      copy_cost t size;
+      Cache.put c key value ~pos:0 ~len:size
+  | _ -> ()
+
 (* --- the write pipeline (Figure 4) ------------------------------------------- *)
 
 let put_structures t key meta size extents freed_meta =
@@ -491,6 +568,8 @@ let oput_logical ctx t span key value size =
   Span.seg span Span.S_ticket;
   with_structs t (fun () ->
       put_structures t key meta size extents freed_meta);
+  (* Write-through inside the fenced window (see the cache glue). *)
+  cache_write_through t key value size;
   Span.seg span Span.S_structs;
   (* Step 8: data to the SSD. *)
   let t8 = now t in
@@ -603,29 +682,67 @@ let oget_into ctx key buf =
   let span = Span.start t.obs.Obs.spans Span.Get key in
   read_entry ~span ctx key;
   Span.seg span Span.S_ticket;
-  let located =
-    with_structs_read t (fun () ->
-        match Btree.find t.h.btree key with
-        | None -> None
-        | Some meta ->
-            t.platform.Platform.consume t.cfg.costs.lookup_ns;
-            let size, extents = Metazone.read_object t.h.zone meta in
-            Some (size, extents))
-  in
-  Span.seg span Span.S_index;
   let result =
-    match located with
-    | None -> -1
-    | Some (size, extents) ->
-        assert (Bytes.length buf >= size);
-        read_data ~span t (of_mz extents) buf size;
-        size
+    match cache_lookup t key with
+    | Some (cbuf, len) ->
+        (* Hit: one DRAM probe + one copy straight into the caller's
+           buffer — no index walk, no metadata read, no SSD. *)
+        t.platform.Platform.consume t.cfg.costs.lookup_ns;
+        copy_cost t len;
+        Span.seg span Span.S_index;
+        assert (Bytes.length buf >= len);
+        Bytes.blit cbuf 0 buf 0 len;
+        len
+    | None -> (
+        let located =
+          with_structs_read t (fun () ->
+              match Btree.find t.h.btree key with
+              | None -> None
+              | Some meta ->
+                  t.platform.Platform.consume t.cfg.costs.lookup_ns;
+                  let size, extents = Metazone.read_object t.h.zone meta in
+                  Some (size, extents))
+        in
+        Span.seg span Span.S_index;
+        match located with
+        | None -> -1
+        | Some (size, extents) ->
+            assert (Bytes.length buf >= size);
+            read_data ~span t (of_mz extents) buf size;
+            Span.seg span Span.S_data;
+            cache_fill ~span t key buf size;
+            size)
   in
-  Span.seg span Span.S_data;
   read_exit t key;
   Span.finish span;
   Metrics.observe t.h_get (now t - tstart);
   result
+
+(* Shared miss-or-hit value fetch inside an open reader window;
+   allocates the result buffer ([oget] / [oget_versioned]). *)
+let fetch_value ~span t key =
+  match cache_lookup t key with
+  | Some (cbuf, len) ->
+      t.platform.Platform.consume t.cfg.costs.lookup_ns;
+      copy_cost t len;
+      Span.seg span Span.S_index;
+      let buf = Bytes.create len in
+      Bytes.blit cbuf 0 buf 0 len;
+      Some buf
+  | None -> (
+      match Btree.find t.h.btree key with
+      | None ->
+          Span.seg span Span.S_index;
+          None
+      | Some meta ->
+          t.platform.Platform.consume t.cfg.costs.lookup_ns;
+          let size, extents = Metazone.read_object t.h.zone meta in
+          Span.seg span Span.S_index;
+          let buf = Bytes.create size in
+          read_data ~span t (of_mz extents) buf size;
+          Span.seg span Span.S_data;
+          cache_fill ~span t key buf size;
+          Some buf)
 
 let oget ctx key =
   check_ctx ctx;
@@ -634,19 +751,44 @@ let oget ctx key =
   let span = Span.start t.obs.Obs.spans Span.Get key in
   read_entry ~span ctx key;
   Span.seg span Span.S_ticket;
+  let result = fetch_value ~span t key in
+  read_exit t key;
+  Span.finish span;
+  Metrics.observe t.h_get (now t - tstart);
+  result
+
+(* Zero-copy borrow seam for hot read loops: on a cache hit the returned
+   buffer is the cache's own — valid only until the caller's next store
+   operation (a later fill may recycle it) — so nothing is copied at
+   all; on a miss, [scratch] is filled from the SSD path (warming the
+   cache) and returned. No per-op allocation either way. *)
+let oget_view ctx key scratch =
+  check_ctx ctx;
+  let t = ctx.store in
+  let tstart = now t in
+  let span = Span.start t.obs.Obs.spans Span.Get key in
+  read_entry ~span ctx key;
+  Span.seg span Span.S_ticket;
   let result =
-    match Btree.find t.h.btree key with
-    | None ->
-        Span.seg span Span.S_index;
-        None
-    | Some meta ->
+    match cache_lookup t key with
+    | Some (cbuf, len) ->
         t.platform.Platform.consume t.cfg.costs.lookup_ns;
-        let size, extents = Metazone.read_object t.h.zone meta in
         Span.seg span Span.S_index;
-        let buf = Bytes.create size in
-        read_data ~span t (of_mz extents) buf size;
-        Span.seg span Span.S_data;
-        Some buf
+        Some (cbuf, len)
+    | None -> (
+        match Btree.find t.h.btree key with
+        | None ->
+            Span.seg span Span.S_index;
+            None
+        | Some meta ->
+            t.platform.Platform.consume t.cfg.costs.lookup_ns;
+            let size, extents = Metazone.read_object t.h.zone meta in
+            Span.seg span Span.S_index;
+            assert (Bytes.length scratch >= size);
+            read_data ~span t (of_mz extents) scratch size;
+            Span.seg span Span.S_data;
+            cache_fill ~span t key scratch size;
+            Some (scratch, size))
   in
   read_exit t key;
   Span.finish span;
@@ -699,6 +841,7 @@ let odelete ?span:caller_span ctx key =
       with_structs t (fun () ->
           t.platform.Platform.consume t.cfg.costs.btree_ns;
           ignore (Btree.delete t.h.btree key));
+      cache_invalidate t key;
       Span.seg span Span.S_structs;
       Dipper.commit t.engine ticket;
       Span.seg span Span.S_fence;
@@ -851,18 +994,20 @@ let exec_sub_batch ctx t span ops =
     List.map2
       (fun (op, _) tk ->
         match (op, Dipper.ticket_op tk) with
-        | ( Bput (key, _),
+        | ( Bput (key, value),
             Logrec.Put { size; meta; extents; freed_meta; freed_extents; _ } )
           ->
             Dipper.wait_readers t.engine t.rc key;
             with_structs t (fun () ->
                 put_structures t key meta size extents freed_meta);
+            cache_write_through t key value size;
             (Some (freed_meta, freed_extents), true)
         | Bdelete key, Logrec.Delete { meta; extents; _ } ->
             Dipper.wait_readers t.engine t.rc key;
             with_structs t (fun () ->
                 t.platform.Platform.consume t.cfg.costs.btree_ns;
                 ignore (Btree.delete t.h.btree key));
+            cache_invalidate t key;
             (Some (meta, extents), true)
         | Bdelete _, Logrec.Noop _ -> (None, false)
         | _ -> assert false)
@@ -956,7 +1101,8 @@ let oopen ctx name ?(create = true) mode =
               t.platform.Platform.consume
                 (t.cfg.costs.meta_ns + t.cfg.costs.btree_ns);
               Metazone.write_object t.h.zone meta ~size:0 [];
-              ignore (Btree.insert t.h.btree name meta))
+              ignore (Btree.insert t.h.btree name meta));
+          cache_invalidate t name
       | _ -> ());
       Dipper.commit t.engine ticket
   | false, _, _ -> raise (Object_not_found name));
@@ -1007,6 +1153,22 @@ let oread o buf ~size ~off =
   let span = Span.start t.obs.Obs.spans Span.Read o.name in
   read_entry ~span o.octx o.name;
   Span.seg span Span.S_ticket;
+  (* Whole-object cache hit: serve the byte range straight from the
+     cached buffer (no index walk, no SSD). Misses take the page-granular
+     SSD path below and do NOT fill — a partial read can't warm a
+     whole-object cache. *)
+  match cache_lookup t o.name with
+  | Some (cbuf, osz) ->
+      let n = if off >= osz then 0 else min size (osz - off) in
+      t.platform.Platform.consume t.cfg.costs.lookup_ns;
+      copy_cost t n;
+      Span.seg span Span.S_index;
+      if n > 0 then Bytes.blit cbuf off buf 0 n;
+      read_exit t o.name;
+      Span.finish span;
+      Metrics.observe t.h_read (now t - tstart);
+      n
+  | None ->
   let located =
     with_structs_read t (fun () ->
         match Btree.find t.h.btree o.name with
@@ -1090,6 +1252,9 @@ let owrite ?span:caller_span o buf ~size ~off =
     let meta, old_extents, new_extents, new_size = Option.get !plan in
     Dipper.wait_readers t.engine t.rc name;
     Span.seg span Span.S_ticket;
+    (* Partial overwrite (even the in-place NOOP case rewrites SSD
+       bytes): the cached whole-object copy is stale either way. *)
+    cache_invalidate t name;
     (match Dipper.ticket_op ticket with
     | Logrec.Write _ ->
         with_structs t (fun () ->
@@ -1162,14 +1327,51 @@ let key_version ctx key =
   check_ctx ctx;
   Dipper.key_version ctx.store.engine key
 
+(* Versioned reader entry: the retry loop of [read_entry] with the
+   conflict scan and version read fused into ONE frontend-lock round
+   ([Dipper.conflicting_ticket_versioned]). Returns the version observed
+   by the round that found no conflict. *)
+let rec read_entry_versioned ?(span = Span.none) ctx key =
+  let t = ctx.store in
+  Readcount.enter_reader t.rc key;
+  match
+    Dipper.conflicting_ticket_versioned
+      ?ignore_ticket:(own_lock ctx key) t.engine key
+  with
+  | None, v -> v
+  | Some tk, _ ->
+      Readcount.exit_reader t.rc key;
+      (if Span.live span then begin
+         let tw = now t in
+         Dipper.wait_ticket_done t.engine tk;
+         Span.stall span Span.Conflict_retry (now t - tw)
+       end
+       else Dipper.wait_ticket_done t.engine tk);
+      read_entry_versioned ~span ctx key
+
 (* Version BEFORE value: if a commit lands between the two reads, the
    recorded version is stale and validation aborts the transaction —
    never the reverse interleaving (fresh version, old value), which
-   validation could not detect. *)
+   validation could not detect.
+
+   Hoisted to a single versioned lookup: the version comes out of the
+   reader entry's own conflict-scan lock round and the value out of one
+   [fetch_value] in the same reader window — the old path paid a second
+   lock acquisition ([Dipper.key_version]) and then re-ran the whole
+   read protocol inside [oget], i.e. two frontend-lock rounds and two
+   index passes per call on the transactional hot read path. *)
 let oget_versioned ctx key =
   check_ctx ctx;
-  let v = Dipper.key_version ctx.store.engine key in
-  (v, oget ctx key)
+  let t = ctx.store in
+  let tstart = now t in
+  let span = Span.start t.obs.Obs.spans Span.Get key in
+  let v = read_entry_versioned ~span ctx key in
+  Span.seg span Span.S_ticket;
+  let result = fetch_value ~span t key in
+  read_exit t key;
+  Span.finish span;
+  Metrics.observe t.h_get (now t - tstart);
+  (v, result)
 
 (* Commit a transaction's buffered write-set against its read-set.
    Mirrors [exec_sub_batch] — stage allocations and SSD payloads before
@@ -1269,18 +1471,20 @@ let txn_commit_writes ?(span = Span.none) ctx ~reads ~writes =
             List.map2
               (fun (w, _) tk ->
                 match (w, Dipper.ticket_op tk) with
-                | ( Tput (key, _),
+                | ( Tput (key, value),
                     Logrec.Put { size; meta; extents; freed_meta; freed_extents; _ }
                   ) ->
                     Dipper.wait_readers t.engine t.rc key;
                     with_structs t (fun () ->
                         put_structures t key meta size extents freed_meta);
+                    cache_write_through t key value size;
                     Some (freed_meta, freed_extents)
                 | Tdelete key, Logrec.Delete { meta; extents; _ } ->
                     Dipper.wait_readers t.engine t.rc key;
                     with_structs t (fun () ->
                         t.platform.Platform.consume t.cfg.costs.btree_ns;
                         ignore (Btree.delete t.h.btree key));
+                    cache_invalidate t key;
                     Some (meta, extents)
                 | Tdelete _, Logrec.Noop _ -> None
                 | _ -> assert false)
@@ -1318,3 +1522,7 @@ let footprint t =
     pmem = Dipper.pmem_footprint t.engine;
     ssd = Bitpool.allocated t.h.blockpool * page_size t;
   }
+
+let cache_stats t = Option.map Cache.stats t.cache
+
+let cache_clear t = Option.iter Cache.clear t.cache

@@ -80,7 +80,17 @@ val oget : ctx -> string -> Bytes.t option
 
 val oget_into : ctx -> string -> Bytes.t -> int
 (** Zero-copy-ish variant: read into the caller's buffer, return the
-    object size; -1 if absent. The buffer must be large enough. *)
+    object size; -1 if absent. The buffer must be large enough. On a
+    DRAM-cache hit the bytes come straight out of the cached buffer —
+    one copy, no index walk, no SSD. *)
+
+val oget_view : ctx -> string -> Bytes.t -> (Bytes.t * int) option
+(** Zero-copy borrow seam for hot read loops: [oget_view ctx key scratch]
+    returns [(buf, len)] where [buf] is the cache's own buffer on a hit
+    (nothing copied; the view is only valid until the caller's next
+    store operation) or [scratch] filled from the SSD path on a miss
+    (which also warms the cache). [None] if absent. No per-op allocation
+    on either path; [scratch] must be large enough for any object. *)
 
 val odelete : ?span:Dstore_obs.Span.t -> ctx -> string -> bool
 (** Remove an object; [false] if it did not exist. Durable on return. *)
@@ -167,9 +177,14 @@ val key_version : ctx -> string -> int
 (** The key's committed-version counter (see [Dipper.key_version]). *)
 
 val oget_versioned : ctx -> string -> int * Bytes.t option
-(** [oget] preceded by a {!key_version} observation — the version is read
+(** [oget] with the key's committed version — the version is read
     strictly {e before} the value, so a racing commit can only make the
-    observation stale (caught by validation), never silently fresh. *)
+    observation stale (caught by validation), never silently fresh.
+    Single-lookup: the version is observed by the reader entry's own
+    conflict-scan lock round ([Dipper.conflicting_ticket_versioned]) and
+    the value is fetched inside the same reader window — one
+    frontend-lock round and one index pass, where the naive composition
+    [key_version] + [oget] paid two of each. *)
 
 val txn_commit_writes :
   ?span:Dstore_obs.Span.t ->
@@ -228,6 +243,24 @@ val page_bytes : t -> int
 type footprint = { dram : int; pmem : int; ssd : int }
 
 val footprint : t -> footprint
+
+(** {1 DRAM object cache}
+
+    A sized, strictly-volatile CLOCK cache over whole objects
+    ([Config.cache_bytes] > 0 enables it; see [Dstore_cache.Cache] and
+    the "Read cache" section of DESIGN.md). Reads consult it inside the
+    reader window; the write pipeline write-throughs puts and
+    invalidates deletes/overwrites inside the fenced window after
+    [Dipper.wait_readers], so a cached read can never return a value
+    older than a committed write. Never persisted: recovery starts
+    cold. *)
+
+val cache_stats : t -> Dstore_cache.Cache.stats option
+(** Hit/miss/eviction/byte counters; [None] when the cache is disabled. *)
+
+val cache_clear : t -> unit
+(** Drop every cached object (volatile state only; correctness is
+    unaffected — subsequent reads refill from the SSD path). *)
 
 (** {1 Write-path breakdown (Table 3)} *)
 

@@ -74,9 +74,10 @@ type seg =
   | S_ckpt_publish
   | S_rec_metadata
   | S_rec_replay
+  | S_cache_fill  (* DRAM object-cache fill copy on a read miss *)
   | S_other  (* CPU glue between the named cuts *)
 
-let n_segs = 17
+let n_segs = 18
 
 let seg_index = function
   | S_index -> 0
@@ -95,14 +96,16 @@ let seg_index = function
   | S_ckpt_publish -> 13
   | S_rec_metadata -> 14
   | S_rec_replay -> 15
-  | S_other -> 16
+  | S_cache_fill -> 16
+  | S_other -> 17
 
 let seg_names =
   [|
     "index_lookup"; "ticket_wait"; "lock_hold"; "log_append"; "commit_fence";
     "ssd_payload"; "struct_update"; "batch_stage"; "batch_commit";
     "ckpt_archive"; "ckpt_clone"; "ckpt_replay"; "ckpt_persist";
-    "ckpt_publish"; "recovery_metadata"; "recovery_replay"; "other";
+    "ckpt_publish"; "recovery_metadata"; "recovery_replay"; "cache_fill";
+    "other";
   |]
 
 let seg_label i = seg_names.(i)

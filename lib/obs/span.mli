@@ -47,6 +47,7 @@ type seg =
   | S_ckpt_publish
   | S_rec_metadata
   | S_rec_replay
+  | S_cache_fill
   | S_other
 
 val n_segs : int

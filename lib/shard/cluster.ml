@@ -249,6 +249,8 @@ let oget ctx key = Dstore.oget (route ctx key) key
 
 let oget_into ctx key buf = Dstore.oget_into (route ctx key) key buf
 
+let oget_view ctx key buf = Dstore.oget_view (route ctx key) key buf
+
 let odelete ctx key = Dstore.odelete (route ctx key) key
 
 let oexists ctx key = Dstore.oexists (route ctx key) key
@@ -360,6 +362,35 @@ let footprint c =
 
 let checkpoint_now c =
   Array.iter (fun sh -> Dstore.checkpoint_now sh.store) c.shards
+
+(* Per-shard DRAM cache stats, summed into one cluster view ([None] when
+   no shard has a cache). Per-shard series need no extra plumbing: each
+   shard's registry carries its own cache.* gauges, which [stop] /
+   [aggregate_metrics] fold in under the shard<i>. prefix. *)
+let cache_stats c =
+  Array.fold_left
+    (fun acc sh ->
+      match Dstore.cache_stats sh.store with
+      | None -> acc
+      | Some (s : Dstore_cache.Cache.stats) -> (
+          match acc with
+          | None -> Some s
+          | Some (a : Dstore_cache.Cache.stats) ->
+              Some
+                {
+                  Dstore_cache.Cache.budget = a.budget + s.budget;
+                  bytes = a.bytes + s.bytes;
+                  entries = a.entries + s.entries;
+                  hits = a.hits + s.hits;
+                  misses = a.misses + s.misses;
+                  evictions = a.evictions + s.evictions;
+                  invalidations = a.invalidations + s.invalidations;
+                  fills = a.fills + s.fills;
+                  recycled = a.recycled + s.recycled;
+                }))
+    None c.shards
+
+let cache_clear c = Array.iter (fun sh -> Dstore.cache_clear sh.store) c.shards
 
 let log_fill c i = Dipper.log_fill (Dstore.engine c.shards.(i).store)
 

@@ -117,6 +117,11 @@ val oget : ctx -> string -> Bytes.t option
 
 val oget_into : ctx -> string -> Bytes.t -> int
 
+val oget_view : ctx -> string -> Bytes.t -> (Bytes.t * int) option
+(** Zero-copy borrow from the owning shard's DRAM cache — see
+    {!Dstore.oget_view}. The borrowed view is only valid until the
+    caller's next operation on {e any} shard. *)
+
 val odelete : ctx -> string -> bool
 
 val oexists : ctx -> string -> bool
@@ -193,6 +198,14 @@ val footprint : t -> Dstore.footprint
 
 val checkpoint_now : t -> unit
 (** Checkpoint every shard, in shard order (respects the gate). *)
+
+val cache_stats : t -> Dstore_cache.Cache.stats option
+(** Field-wise sum of every shard's DRAM-cache counters; [None] when no
+    shard has a cache. Per-shard series stay visible as
+    [shard<i>.cache.*] gauges in {!aggregate_metrics}/{!stop}. *)
+
+val cache_clear : t -> unit
+(** Drop every shard's cached objects (volatile state only). *)
 
 val log_fill : t -> int -> float
 (** Active-log fill fraction of shard [i]. *)

@@ -18,6 +18,14 @@ type client = {
           route it through [oput_batch]): all puts durable on return, any
           subset may survive a crash during the call. [None] = the runner
           falls back to per-op [put]. *)
+  read_view : (string -> Bytes.t -> int) option;
+      (** Zero-copy read endpoint, when the system has one (DStore
+          variants route it through [oget_view]): fetch the object,
+          borrowing the store's DRAM-cache buffer on a hit instead of
+          copying into the argument scratch buffer (used only on a
+          miss), and return the size; -1 if absent. The runner's read
+          loop prefers this over [get] — the hot path then allocates and
+          copies nothing per op. [None] = the runner uses [get]. *)
 }
 
 type system = {

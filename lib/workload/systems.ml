@@ -18,6 +18,7 @@ type scale = {
   crash_model : bool;  (** Dirty-line tracking; off for performance runs. *)
   retain_data : bool;  (** Keep payload bytes on the SSD model. *)
   log_slots : int;  (** DIPPER log / cached-journal capacity. *)
+  cache_mb : int;  (** DRAM object-cache budget (MiB); 0 disables. *)
 }
 
 let default_scale =
@@ -29,6 +30,7 @@ let default_scale =
     crash_model = false;
     retain_data = false;
     log_slots = 8192;
+    cache_mb = 0;
   }
 
 let make_ssd platform scale =
@@ -67,6 +69,7 @@ let dstore_config scale =
     space_bytes = space_bytes_for scale;
     meta_entries = Dstore_util.Base_bits.ceil_pow2 (2 * scale.objects);
     ssd_blocks = scale.ssd_pages;
+    cache_bytes = scale.cache_mb * 1024 * 1024;
   }
 
 let dstore ?(tweak = Fun.id) ?label platform scale : Kv_intf.system =
@@ -94,6 +97,12 @@ let dstore ?(tweak = Fun.id) ?label platform scale : Kv_intf.system =
           get = (fun k buf -> Dstore.oget_into ctx k buf);
           delete = (fun k -> ignore (Dstore.odelete ctx k));
           put_batch = Some (fun kvs -> Dstore.oput_batch ctx kvs);
+          read_view =
+            Some
+              (fun k buf ->
+                match Dstore.oget_view ctx k buf with
+                | Some (_, n) -> n
+                | None -> -1);
         });
     checkpoint_now = Some (fun () -> Dstore.checkpoint_now st);
     stop = (fun () -> Dstore.stop st);
@@ -146,6 +155,7 @@ let cached ?label ?(tweak = Fun.id) platform scale : Kv_intf.system =
           get = (fun k buf -> Cached_store.get st k buf);
           delete = (fun k -> ignore (Cached_store.delete st k));
           put_batch = None;
+          read_view = None;
         });
     checkpoint_now = Some (fun () -> Cached_store.checkpoint_now st);
     stop = (fun () -> Cached_store.stop st);
@@ -177,6 +187,7 @@ let lsm ?label platform scale : Kv_intf.system =
           get = (fun k buf -> Lsm_store.get st k buf);
           delete = (fun k -> ignore (Lsm_store.delete st k));
           put_batch = None;
+          read_view = None;
         });
     checkpoint_now = None;
     stop = (fun () -> Lsm_store.stop st);
@@ -210,6 +221,7 @@ let lsm_no_stall ?label platform scale : Kv_intf.system =
           get = (fun k buf -> Lsm_store.get st k buf);
           delete = (fun k -> ignore (Lsm_store.delete st k));
           put_batch = None;
+          read_view = None;
         });
     checkpoint_now = None;
     stop = (fun () -> Lsm_store.stop st);
@@ -233,6 +245,8 @@ let sharded ?(shards = 4) ?(stagger = true) ?label platform scale :
       scale with
       objects = max 1 (scale.objects / shards);
       ssd_pages = max 1024 (scale.ssd_pages / shards);
+      cache_mb =
+        (if scale.cache_mb = 0 then 0 else max 1 (scale.cache_mb / shards));
     }
   in
   let cfg = dstore_config per in
@@ -269,6 +283,12 @@ let sharded ?(shards = 4) ?(stagger = true) ?label platform scale :
           get = (fun k buf -> Cluster.oget_into ctx k buf);
           delete = (fun k -> ignore (Cluster.odelete ctx k));
           put_batch = Some (fun kvs -> Cluster.oput_batch ctx kvs);
+          read_view =
+            Some
+              (fun k buf ->
+                match Cluster.oget_view ctx k buf with
+                | Some (_, n) -> n
+                | None -> -1);
         });
     checkpoint_now = Some (fun () -> Cluster.checkpoint_now c);
     stop = (fun () -> Cluster.stop c);
@@ -332,6 +352,7 @@ let replicated ?(backups = 1) ?mode ?link_latency_ns ?label platform scale :
               (fun k -> absorb () (fun () -> ignore (Group.odelete ctx k)));
             put_batch =
               Some (fun kvs -> absorb () (fun () -> Group.oput_batch ctx kvs));
+            read_view = None;
           });
       checkpoint_now = Some (fun () -> Group.checkpoint_now g);
       stop = (fun () -> Group.stop g);
@@ -368,6 +389,7 @@ let inline ?label platform scale : Kv_intf.system =
           get = (fun k buf -> Inline_store.get st k buf);
           delete = (fun k -> ignore (Inline_store.delete st k));
           put_batch = None;
+          read_view = None;
         });
     checkpoint_now = None;
     stop = (fun () -> Inline_store.stop st);

@@ -18,6 +18,9 @@ type scale = {
   crash_model : bool;  (** Dirty-line tracking; off for performance runs. *)
   retain_data : bool;  (** Keep payload bytes on the SSD model. *)
   log_slots : int;  (** DIPPER log capacity. *)
+  cache_mb : int;
+      (** DRAM object-cache budget (MiB); 0 disables. Sharded systems
+          split the budget evenly across shards. *)
 }
 
 val default_scale : scale
