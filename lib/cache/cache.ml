@@ -157,31 +157,20 @@ let mem t key =
 let put t key src ~pos ~len =
   if len >= 0 then begin
     match Hashtbl.find_opt t.tbl key with
-    | Some e when e.live ->
+    | Some e when e.live && Bytes.length e.buf >= len ->
         (* Replace in place, reusing the buffer when it still fits. *)
-        if Bytes.length e.buf >= len then begin
-          Bytes.blit src pos e.buf 0 len;
-          e.len <- len;
-          e.referenced <- true
-        end
-        else begin
-          let cap = 1 lsl size_class len in
-          if cap > t.budget then kill t e
-          else begin
-            t.bytes <- t.bytes - Bytes.length e.buf;
-            recycle_buf t e.buf;
-            evict_to_fit t cap;
-            let buf = take_buf t len in
-            Bytes.blit src pos buf 0 len;
-            e.buf <- buf;
-            e.len <- len;
-            e.referenced <- true;
-            t.bytes <- t.bytes + Bytes.length buf
-          end
-        end
-    | _ ->
-        let cap = 1 lsl size_class len in
-        if cap <= t.budget then begin
+        Bytes.blit src pos e.buf 0 len;
+        e.len <- len;
+        e.referenced <- true
+    | existing ->
+        (* Grown replace or fresh insert. Detach any stale entry FIRST
+           ([kill] removes it from the table, subtracts its capacity and
+           recycles its buffer exactly once) so [evict_to_fit] below can
+           never select it and recycle/subtract a second time. *)
+        (match existing with Some e when e.live -> kill t e | _ -> ());
+        let c = size_class len in
+        if c < n_classes && 1 lsl c <= t.budget then begin
+          let cap = 1 lsl c in
           evict_to_fit t cap;
           let buf = take_buf t len in
           Bytes.blit src pos buf 0 len;

@@ -686,12 +686,15 @@ let oget_into ctx key buf =
     match cache_lookup t key with
     | Some (cbuf, len) ->
         (* Hit: one DRAM probe + one copy straight into the caller's
-           buffer — no index walk, no metadata read, no SSD. *)
+           buffer — no index walk, no metadata read, no SSD. Copy out
+           BEFORE charging modeled costs: [consume] is a scheduling
+           point, and a concurrent op's fill/write-through could evict
+           and recycle the borrowed buffer during the yield. *)
+        assert (Bytes.length buf >= len);
+        Bytes.blit cbuf 0 buf 0 len;
         t.platform.Platform.consume t.cfg.costs.lookup_ns;
         copy_cost t len;
         Span.seg span Span.S_index;
-        assert (Bytes.length buf >= len);
-        Bytes.blit cbuf 0 buf 0 len;
         len
     | None -> (
         let located =
@@ -723,11 +726,12 @@ let oget_into ctx key buf =
 let fetch_value ~span t key =
   match cache_lookup t key with
   | Some (cbuf, len) ->
+      (* Copy out before the [consume] yield — see [oget_into]. *)
+      let buf = Bytes.create len in
+      Bytes.blit cbuf 0 buf 0 len;
       t.platform.Platform.consume t.cfg.costs.lookup_ns;
       copy_cost t len;
       Span.seg span Span.S_index;
-      let buf = Bytes.create len in
-      Bytes.blit cbuf 0 buf 0 len;
       Some buf
   | None -> (
       match Btree.find t.h.btree key with
@@ -758,10 +762,13 @@ let oget ctx key =
   result
 
 (* Zero-copy borrow seam for hot read loops: on a cache hit the returned
-   buffer is the cache's own — valid only until the caller's next store
-   operation (a later fill may recycle it) — so nothing is copied at
-   all; on a miss, [scratch] is filled from the SSD path (warming the
-   cache) and returned. No per-op allocation either way. *)
+   buffer is the cache's own — valid only until ANY store mutation (a
+   fill/write-through/invalidation by any client, not just the caller's
+   own next op, may evict and recycle it) — so nothing is copied at all;
+   on a miss, [scratch] is filled from the SSD path (warming the cache)
+   and returned. No per-op allocation either way. Callers that share the
+   store with concurrent writers must consume the view before yielding,
+   or use [oget_into]. *)
 let oget_view ctx key scratch =
   check_ctx ctx;
   let t = ctx.store in
@@ -1160,10 +1167,11 @@ let oread o buf ~size ~off =
   match cache_lookup t o.name with
   | Some (cbuf, osz) ->
       let n = if off >= osz then 0 else min size (osz - off) in
+      (* Copy out before the [consume] yield — see [oget_into]. *)
+      if n > 0 then Bytes.blit cbuf off buf 0 n;
       t.platform.Platform.consume t.cfg.costs.lookup_ns;
       copy_cost t n;
       Span.seg span Span.S_index;
-      if n > 0 then Bytes.blit cbuf off buf 0 n;
       read_exit t o.name;
       Span.finish span;
       Metrics.observe t.h_read (now t - tstart);

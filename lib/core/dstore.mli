@@ -87,10 +87,16 @@ val oget_into : ctx -> string -> Bytes.t -> int
 val oget_view : ctx -> string -> Bytes.t -> (Bytes.t * int) option
 (** Zero-copy borrow seam for hot read loops: [oget_view ctx key scratch]
     returns [(buf, len)] where [buf] is the cache's own buffer on a hit
-    (nothing copied; the view is only valid until the caller's next
-    store operation) or [scratch] filled from the SSD path on a miss
+    (nothing copied) or [scratch] filled from the SSD path on a miss
     (which also warms the cache). [None] if absent. No per-op allocation
-    on either path; [scratch] must be large enough for any object. *)
+    on either path; [scratch] must be large enough for any object.
+
+    The borrowed view is invalidated by {e any} store mutation — a cache
+    fill, write-through, or invalidation performed by any concurrent
+    client, not just the caller's own next operation, may evict and
+    recycle the underlying buffer. Consume the view before yielding
+    (i.e. before any other store call); with concurrent writers prefer
+    [oget_into], which copies out before any scheduling point. *)
 
 val odelete : ?span:Dstore_obs.Span.t -> ctx -> string -> bool
 (** Remove an object; [false] if it did not exist. Durable on return. *)

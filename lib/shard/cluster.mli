@@ -119,8 +119,10 @@ val oget_into : ctx -> string -> Bytes.t -> int
 
 val oget_view : ctx -> string -> Bytes.t -> (Bytes.t * int) option
 (** Zero-copy borrow from the owning shard's DRAM cache — see
-    {!Dstore.oget_view}. The borrowed view is only valid until the
-    caller's next operation on {e any} shard. *)
+    {!Dstore.oget_view}. The borrowed view is invalidated by {e any}
+    store mutation on the owning shard — including fills and
+    write-throughs by concurrent clients — not just the caller's own
+    next operation; consume it before yielding. *)
 
 val odelete : ctx -> string -> bool
 

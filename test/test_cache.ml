@@ -77,6 +77,34 @@ let test_clock_second_chance () =
   check Alcotest.bool "touched entry survives" true (run ~touch:true);
   check Alcotest.bool "untouched control evicted" false (run ~touch:false)
 
+(* Regression: growing an entry under eviction pressure must detach the
+   entry being replaced before the clock sweep runs. The old code
+   recycled the stale buffer while the entry was still in the ring, so
+   the sweep could evict it and recycle the same buffer a second time —
+   two pool slots aliasing one [Bytes] (later fills then share a buffer)
+   and its capacity subtracted twice from the byte accounting. *)
+let test_grow_replace_under_pressure () =
+  let c = Cache.create ~budget:4096 in
+  (* Fill the budget exactly: four entries of the 1024-byte class. *)
+  List.iter (fun k -> put c k (v 1000 k.[0])) [ "a"; "b"; "c"; "d" ];
+  check Alcotest.int "full" 4096 (Cache.bytes c);
+  (* Grow "a" into the 2048 class: the insert must evict others, never
+     the half-replaced "a" itself. *)
+  put c "a" (v 2000 'A');
+  check (Alcotest.option Alcotest.bytes) "grown value" (Some (v 2000 'A'))
+    (get c "a");
+  check Alcotest.bool "budget respected" true (Cache.bytes c <= 4096);
+  (* Two fresh same-class fills must land in distinct buffers: under the
+     double-recycle bug the free pool held the same buffer twice. *)
+  put c "x" (v 1000 'x');
+  put c "y" (v 1000 'y');
+  (match (Cache.borrow c "x", Cache.borrow c "y") with
+  | Some (bx, _), Some (by, _) ->
+      check Alcotest.bool "distinct buffers" true (bx != by)
+  | _ -> Alcotest.fail "x/y not resident");
+  check (Alcotest.option Alcotest.bytes) "x intact" (Some (v 1000 'x')) (get c "x");
+  check (Alcotest.option Alcotest.bytes) "y intact" (Some (v 1000 'y')) (get c "y")
+
 let test_invalidate_and_clear () =
   let c = Cache.create ~budget:4096 in
   put c "a" (v 100 'a');
@@ -340,6 +368,8 @@ let suite =
     Alcotest.test_case "cache: budget and CLOCK eviction" `Quick
       test_budget_and_eviction;
     Alcotest.test_case "cache: second chance" `Quick test_clock_second_chance;
+    Alcotest.test_case "cache: grow-replace under eviction pressure" `Quick
+      test_grow_replace_under_pressure;
     Alcotest.test_case "cache: invalidate, recycle, clear" `Quick
       test_invalidate_and_clear;
     Alcotest.test_case "store: hit/miss counters and clear" `Quick
