@@ -53,6 +53,10 @@ let usage () =
     "  --batch N      group-commit batch size for DStore runs (default 1)";
   print_endline
     "  --cache-mb N   DRAM object-cache budget for DStore runs (default 0 = off)";
+  print_endline
+    "  --ship-batch N replication ship-batch op budget (1 = serial baseline)";
+  print_endline
+    "  --apply-depth N backup apply-queue depth for the repl experiment";
   print_endline "  --seed N"
 
 let () =
@@ -89,6 +93,12 @@ let () =
         parse rest
     | "--cache-mb" :: v :: rest ->
         opts := { !opts with Common.cache_mb = int_of_string v };
+        parse rest
+    | "--ship-batch" :: v :: rest ->
+        opts := { !opts with Common.ship_batch = Some (int_of_string v) };
+        parse rest
+    | "--apply-depth" :: v :: rest ->
+        opts := { !opts with Common.apply_depth = Some (int_of_string v) };
         parse rest
     | ("--help" | "-h") :: _ ->
         usage ();

@@ -76,8 +76,24 @@ let opts_term =
       & info [ "cache-mb" ] ~docv:"MB"
           ~doc:"DRAM object-cache budget for DStore runs (0 = cache off).")
   in
+  let ship_batch =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ship-batch" ] ~docv:"N"
+          ~doc:
+            "Replication ship-batch op budget (1 = serial per-entry \
+             shipping, the pre-pipeline baseline).")
+  in
+  let apply_depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "apply-depth" ] ~docv:"N"
+          ~doc:"Backup apply-queue depth for the replication experiment.")
+  in
   let make clients objects seconds window_ms recovery_objects seed shards
-      no_stagger batch cache_mb =
+      no_stagger batch cache_mb ship_batch apply_depth =
     {
       Common.clients;
       objects;
@@ -89,11 +105,13 @@ let opts_term =
       stagger = not no_stagger;
       batch;
       cache_mb;
+      ship_batch;
+      apply_depth;
     }
   in
   Term.(
     const make $ clients $ objects $ seconds $ window_ms $ recovery_objects
-    $ seed $ shards $ no_stagger $ batch $ cache_mb)
+    $ seed $ shards $ no_stagger $ batch $ cache_mb $ ship_batch $ apply_depth)
 
 let experiments =
   [
@@ -114,6 +132,9 @@ let experiments =
       Exp_shard.run );
     ("batch", "Group-commit batch-size sweep", Exp_batch.run);
     ("cache", "DRAM object cache: size x zipfian sweep on YCSB-B/C", Exp_cache.run);
+    ( "repl",
+      "Replication durability modes, link latency, and pipeline ablation",
+      Exp_repl.run );
   ]
 
 let cmd_of (name, doc, f) =

@@ -51,6 +51,7 @@ let fault_conv =
     | "skip-replica-ack" -> Ok Config.Skip_replica_ack_fence
     | "skip-txn-commit" -> Ok Config.Skip_txn_commit_record
     | "stale-cache-read" -> Ok Config.Stale_cache_read
+    | "skip-resync-replay" -> Ok Config.Skip_resync_journal_replay
     | s -> Error (`Msg (Printf.sprintf "unknown fault %S" s))
   in
   let print fmt f =
@@ -63,7 +64,8 @@ let fault_conv =
       | Config.Skip_batch_commit_fence -> "skip-batch-commit"
       | Config.Skip_replica_ack_fence -> "skip-replica-ack"
       | Config.Skip_txn_commit_record -> "skip-txn-commit"
-      | Config.Stale_cache_read -> "stale-cache-read")
+      | Config.Stale_cache_read -> "stale-cache-read"
+      | Config.Skip_resync_journal_replay -> "skip-resync-replay")
   in
   Arg.conv (parse, print)
 
@@ -385,8 +387,15 @@ let durability_conv =
   in
   Arg.conv (parse, print)
 
-let run_pair_sweep ~seed ~n_ops ~subsets ~stride ~mode ~latency ~target ~clone
-    ~fault ~quiet () =
+(* Default resync drill over an [n]-op scenario: kill early, start the
+   transfer with a third of the ops still to come (they are the window
+   suffix), rejoin with a third left to sample the recovered backup. *)
+let resync_story n =
+  Pair_explorer.Resync
+    { kill_at = max 1 (n / 6); resync_at = max 2 (n / 3); join_at = 2 * n / 3 }
+
+let run_pair_sweep ?(story = Pair_explorer.Steady) ~seed ~n_ops ~subsets
+    ~stride ~mode ~latency ~target ~clone ~fault ~quiet () =
   let obs = Obs.create ~now:(fun () -> 0) () in
   let progress ~done_ ~total =
     if (not quiet) && (done_ mod 25 = 0 || done_ = total) then
@@ -396,14 +405,15 @@ let run_pair_sweep ~seed ~n_ops ~subsets ~stride ~mode ~latency ~target ~clone
   let subset_seeds = List.init subsets (fun i -> 11 + (12 * i)) in
   let r =
     Pair_explorer.sweep ~obs ~subset_seeds ~stride ~progress ~mode
-      ~link_latency_ns:latency ~target_node:target ~seed ~n_ops
+      ~link_latency_ns:latency ~story ~target_node:target ~seed ~n_ops
       (pair_cfg ~clone fault)
   in
   Printf.printf
-    "pair sweep: seed=%d ops=%d mode=%s target=node%d events=%d (init %d) \
-     points=%d (mid-ckpt %d) runs=%d violations=%d\n"
+    "pair sweep: seed=%d ops=%d mode=%s story=%s target=node%d events=%d \
+     (init %d) points=%d (mid-ckpt %d) runs=%d violations=%d\n"
     r.Pair_explorer.seed r.Pair_explorer.n_ops
     (Dstore_repl.Repl.durability_name r.Pair_explorer.mode)
+    (Pair_explorer.story_label r.Pair_explorer.story)
     r.Pair_explorer.target_node r.Pair_explorer.total_events
     r.Pair_explorer.init_events r.Pair_explorer.crash_points
     r.Pair_explorer.mid_ckpt_points r.Pair_explorer.runs
@@ -471,8 +481,22 @@ let pair_cmd =
       & info [ "fault" ] ~docv:"FAULT"
           ~doc:
             "Injected protocol bug on both engines: $(b,none), engine faults \
-             ($(b,skip-commit), ...) or the replication-protocol mutation \
-             $(b,skip-replica-ack) (backup acks a span before applying it).")
+             ($(b,skip-commit), ...) or the replication-protocol mutations \
+             $(b,skip-replica-ack) (backup acks a span before applying it) \
+             and $(b,skip-resync-replay) (a re-synced backup skips the \
+             journal suffix shipped during its snapshot transfer — needs \
+             $(b,--resync)).")
+  in
+  let resync =
+    Arg.(
+      value & flag
+      & info [ "resync" ]
+          ~doc:
+            "Overlay the kill/re-sync drill: the backup is killed early in \
+             the scenario, re-synced via snapshot stream while writes \
+             continue, and rejoined — crash points then also land \
+             mid-transfer and mid-install, and the failover check follows \
+             the primary's slot state ($(b,backup_ready)).")
   in
   let expect =
     Arg.(
@@ -486,10 +510,14 @@ let pair_cmd =
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON.")
   in
-  let run seed ops mode latency target subsets stride clone fault expect json =
+  let run seed ops mode latency target subsets stride clone fault resync
+      expect json =
+    let story =
+      if resync then resync_story ops else Pair_explorer.Steady
+    in
     let r =
-      run_pair_sweep ~seed ~n_ops:ops ~subsets ~stride ~mode ~latency ~target
-        ~clone ~fault ~quiet:false ()
+      run_pair_sweep ~story ~seed ~n_ops:ops ~subsets ~stride ~mode ~latency
+        ~target ~clone ~fault ~quiet:false ()
     in
     (match json with
     | Some path ->
@@ -526,7 +554,7 @@ let pair_cmd =
           the oracle.")
     Term.(
       const run $ seed $ ops $ mode $ latency $ target $ subsets $ stride
-      $ clone_arg $ fault $ expect $ json)
+      $ clone_arg $ fault $ resync $ expect $ json)
 
 let selftest_cmd =
   let ops =
@@ -543,10 +571,14 @@ let selftest_cmd =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Scenario seed.")
   in
   let run seed ops subsets =
-    let pair_case name fault expect_violations =
+    let pair_case ?(resync = false) ?(stride = 1) name fault expect_violations =
       Printf.printf "--- %s\n%!" name;
+      let n_ops = max 24 (ops / 5) in
+      let story =
+        if resync then resync_story n_ops else Pair_explorer.Steady
+      in
       let r =
-        run_pair_sweep ~seed ~n_ops:(max 24 (ops / 5)) ~subsets:1 ~stride:1
+        run_pair_sweep ~story ~seed ~n_ops ~subsets:1 ~stride
           ~mode:Dstore_repl.Repl.Ack_all ~latency:1_000 ~target:1
           ~clone:Config.Delta ~fault ~quiet:false ()
       in
@@ -640,6 +672,20 @@ let selftest_cmd =
           (fun () ->
             pair_case "pair-skip-replica-ack" Config.Skip_replica_ack_fence
               true);
+          (* Laggard catch-up: the kill/re-sync drill must stay clean —
+             crash points land mid-snapshot-transfer and mid-install, and
+             the rejoined backup must hold every acked op — while the
+             transfer-window mutation (the re-synced backup seeds its
+             applied watermark past the suffix shipped during the
+             transfer, silently dropping it) must be caught by the same
+             byte-level oracle. Strided: each crash point replays the
+             whole drill including the snapshot stream. *)
+          (fun () ->
+            pair_case ~resync:true ~stride:2 "pair-resync-clean"
+              Config.No_fault false);
+          (fun () ->
+            pair_case ~resync:true ~stride:2 "pair-skip-resync-replay"
+              Config.Skip_resync_journal_replay true);
         ]
     in
     let ok = List.for_all Fun.id results in

@@ -19,15 +19,24 @@
      --repl MODE       replication durability: async, ack-one, ack-all
                        (default ack-all; only with --backups)
      --latency-ns N    one-way link latency (default 5000; only with --backups)
+     --ship-batch N    replication ship-batch op budget (1 = serial per-entry
+                       shipping; only with --backups)
+     --apply-depth N   backup apply-queue depth (only with --backups)
 
    Replicated-shell commands (with --backups):
      put/get/del/list/checkpoint as below, plus
      repl status       epoch, durability mode, rseq / committed LSN, and per
-                       backup: shipped, acked, acked LSN, applied, lag
+                       backup: slot state, shipped, acked, acked LSN,
+                       applied, lag
      kill-primary      abrupt primary loss: power-fail its PMEM and fence it;
                        ops fail until promote
+     kill-backup N     abrupt backup loss: power-fail node N's PMEM, mark its
+                       slot dead (it stops gating the quorum), detach it
      promote           seal the epoch and fail over to the most-applied backup
-                       (replays its log via the recovery path)
+                       (replays its log via the recovery path); laggard
+                       survivors are re-synced automatically
+     repl resync N     stream a checkpoint-consistent snapshot to detached
+                       node N and re-attach it (Syncing until caught up)
 
    Commands:
      put KEY VALUE     store an object (routed to its owning shard)
@@ -490,7 +499,6 @@ let handle s line =
 
 module Repl = Dstore_repl.Repl
 module Group = Dstore_repl.Group
-module Backup = Dstore_repl.Backup
 module Primary = Dstore_repl.Primary
 
 type rsession = {
@@ -516,19 +524,26 @@ let repl_status s =
     (if st.Group.alive then Printf.sprintf "node%d" st.Group.primary_
      else "DEAD (promote to fail over)")
     st.Group.rseq st.Group.committed_lsn;
+  (match Group.detached s.rgroup with
+  | [] -> ()
+  | ds ->
+      Printf.printf "detached (resync to rejoin): %s\n"
+        (String.concat ", "
+           (List.map (Printf.sprintf "node%d") (List.sort compare ds))));
   match st.Group.lines with
   | [] -> print_endline "(no attached backups)"
   | lines ->
       let t =
         Tablefmt.create
-          [ "backup"; "shipped"; "acked"; "acked lsn"; "applied"; "lag";
-            "in flight" ]
+          [ "backup"; "state"; "shipped"; "acked"; "acked lsn"; "applied";
+            "lag"; "in flight" ]
       in
       List.iter
         (fun (l : Group.backup_line) ->
           Tablefmt.row t
             [
               Printf.sprintf "node%d" l.Group.node;
+              Primary.slot_state_name l.Group.state;
               string_of_int l.Group.shipped;
               string_of_int l.Group.acked;
               string_of_int l.Group.acked_lsn;
@@ -576,6 +591,32 @@ let repl_handle s line =
               (Group.primary_index s.rgroup)
               (Group.epoch s.rgroup))
       else print_endline "(already dead)"
+  | [ "kill-backup"; n ] | [ "repl"; "kill-backup"; n ] -> (
+      match int_of_string_opt n with
+      | None -> print_endline "kill-backup expects a node index"
+      | Some node ->
+          repl_exec s (fun () ->
+              match Group.kill_backup ~crash:true s.rgroup node with
+              | () ->
+                  Printf.printf
+                    "backup node%d power-failed and detached (slot dead, no \
+                     longer gating the quorum)\n"
+                    node
+              | exception Invalid_argument m ->
+                  Printf.printf "cannot kill backup: %s\n" m))
+  | [ "resync"; n ] | [ "repl"; "resync"; n ] -> (
+      match int_of_string_opt n with
+      | None -> print_endline "resync expects a node index"
+      | Some node ->
+          repl_exec s (fun () ->
+              match Group.resync s.rgroup node with
+              | () ->
+                  Printf.printf
+                    "node%d re-synced: snapshot streamed and installed, slot \
+                     re-attached (t=%d ns)\n"
+                    node (Sim.now s.rsim)
+              | exception Invalid_argument m ->
+                  Printf.printf "cannot resync: %s\n" m))
   | [ "promote" ] ->
       repl_exec s (fun () ->
           match Group.promote s.rgroup with
@@ -591,7 +632,7 @@ let repl_handle s line =
   | _ ->
       print_endline
         "unknown command (put/get/del/list/checkpoint/repl status/\n\
-         kill-primary/promote/quit)"
+         kill-primary/kill-backup N/promote/repl resync N/quit)"
 
 let repl_main backups mode latency_ns =
   let sim = Sim.create () in
@@ -687,6 +728,30 @@ let parse_args () =
         | _ ->
             prerr_endline "--cache-mb expects a non-negative integer";
             exit 2)
+    | "--ship-batch" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 ->
+            (* ship-batch 1 also zeroes the linger so shipping degenerates
+               to the serial per-entry baseline, mirroring the bench. *)
+            cfg :=
+              {
+                !cfg with
+                Config.repl_ship_ops = v;
+                repl_ship_linger_ns =
+                  (if v <= 1 then 0 else !cfg.Config.repl_ship_linger_ns);
+              };
+            go rest
+        | _ ->
+            prerr_endline "--ship-batch expects a positive integer";
+            exit 2)
+    | "--apply-depth" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 ->
+            cfg := { !cfg with Config.repl_apply_depth = v };
+            go rest
+        | _ ->
+            prerr_endline "--apply-depth expects a positive integer";
+            exit 2)
     | "--stagger" :: rest ->
         stagger := true;
         go rest
@@ -696,7 +761,8 @@ let parse_args () =
     | a :: _ ->
         Printf.eprintf
           "unknown argument %s (try --shards N, --batch N, --cache-mb N, \
-           --no-stagger, --backups N, --repl MODE, --latency-ns N)\n"
+           --no-stagger, --backups N, --repl MODE, --latency-ns N, \
+           --ship-batch N, --apply-depth N)\n"
           a;
         exit 2
   in

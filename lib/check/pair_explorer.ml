@@ -11,10 +11,19 @@ module Metrics = Dstore_obs.Metrics
 module Trace = Dstore_obs.Trace
 module Json = Dstore_obs.Json
 
+type story = Steady | Resync of { kill_at : int; resync_at : int; join_at : int }
+
+let story_label = function
+  | Steady -> "steady"
+  | Resync { kill_at; resync_at; join_at } ->
+      Printf.sprintf "resync:kill@%d,resync@%d,join@%d" kill_at resync_at
+        join_at
+
 type report = {
   seed : int;
   n_ops : int;
   mode : Repl.durability;
+  story : story;
   target_node : int;
   total_events : int;
   init_events : int;
@@ -129,9 +138,38 @@ let apply_op oracle ctx page_size locked (op : Gen.op) =
         Group.ounlock ctx key
       end
 
-let run_workload oracle ctx page_size ops =
+let run_workload ?(on_op = fun _ -> ()) oracle ctx page_size ops =
   let locked = Hashtbl.create 8 in
-  List.iter (apply_op oracle ctx page_size locked) ops
+  List.iteri
+    (fun i op ->
+      on_op i;
+      apply_op oracle ctx page_size locked op)
+    ops
+
+(* Settle gap inserted before each op at and after the story's join
+   point: long enough for the acks already in flight (link round trip
+   plus the backup's chunk apply) to land, so the re-synced slot flips
+   [Live] between ops instead of forever chasing a rseq that advances
+   with every back-to-back op. Without the gap, neither the clean
+   convergence nor the [Skip_resync_journal_replay] divergence would
+   ever be sampled at a crash point with [backup_ready] true. *)
+let settle_ns = 50_000
+
+(* Per-op failure/catch-up drill driven by op index: kill the backup
+   (power-failing its PMEM), later stream it a snapshot on a spawned
+   fiber — the foreground ops issued during the transfer are the
+   window the resync protocol must not drop — then block until the
+   transfer lands and keep writing against the rejoined backup. *)
+let story_hook platform g = function
+  | Steady -> fun _ -> ()
+  | Resync { kill_at; resync_at; join_at } ->
+      fun i ->
+        if i = kill_at then Group.kill_backup ~crash:true g 1
+        else if i = resync_at then Group.resync_start g 1
+        else if i >= join_at then begin
+          if i = join_at then Group.resync_join g;
+          platform.Platform.sleep settle_ns
+        end
 
 type mode_spec = Drop | Subset of int
 
@@ -149,7 +187,7 @@ let mode_for spec ~target j =
 let link_config latency_ns =
   { Link.default_config with Link.latency_ns }
 
-let count_events (cfg : Config.t) ~mode ~link ~target ops =
+let count_events (cfg : Config.t) ~mode ~link ~story ~target ops =
   let fx = make_fixture cfg in
   let tpm = fx.nodes.(target).Group.pm in
   let init_events = ref 0 in
@@ -157,9 +195,12 @@ let count_events (cfg : Config.t) ~mode ~link ~target ops =
       let g = Group.create ~mode ~link fx.platform cfg fx.nodes in
       init_events := Pmem.persist_events tpm;
       let ctx = Group.ds_init g in
-      run_workload (Oracle.create ()) ctx
+      run_workload
+        ~on_op:(story_hook fx.platform g story)
+        (Oracle.create ()) ctx
         (Ssd.page_size fx.nodes.(0).Group.ssd)
         ops;
+      Group.resync_join g;
       Group.stop g);
   let failure =
     try
@@ -180,20 +221,34 @@ let target_mid_ckpt g target =
 (* One crash run: stop the whole pair when the target node's PMEM hits
    persistence event [k], power-fail both nodes, then check each
    node's recovery story standalone: the backup as a promotion would see
-   it, the primary as a plain restart would. *)
-let crash_run (cfg : Config.t) ~mode ~link ~target ops ~k ~spec =
+   it, the primary as a plain restart would.
+
+   Under a [Resync] story the failover check is gated on
+   [Group.backup_ready] {e sampled at the crash instant}: while the
+   backup is killed, mid-transfer, or still [Syncing] its suffix, a
+   real deployment would not promote it (the primary's slot state says
+   so), so the oracle is only held against node 1 when its slot was
+   [Live]. Sampling in the persist hook is safe — no PMEM persist
+   happens while the primary's lock is held, so the lock is always
+   free here. *)
+let crash_run (cfg : Config.t) ~mode ~link ~story ~target ops ~k ~spec =
   let fx = make_fixture cfg in
   let oracle = Oracle.create () in
   let tpm = fx.nodes.(target).Group.pm in
   let group = ref None in
   let mid_ckpt = ref false in
+  let ready = ref (story = Steady) in
   let label = mode_label spec in
   Pmem.set_persist_hook tpm
     (Some
        (fun n ->
          if n = k then begin
            (match !group with
-           | Some g -> mid_ckpt := target_mid_ckpt g target
+           | Some g ->
+               mid_ckpt := target_mid_ckpt g target;
+               (match story with
+               | Steady -> ()
+               | Resync _ -> ready := Group.backup_ready g 1)
            | None -> ());
            raise (Explorer.Crash_point n)
          end));
@@ -202,7 +257,12 @@ let crash_run (cfg : Config.t) ~mode ~link ~target ops ~k ~spec =
       let g = Group.create ~mode ~link fx.platform cfg fx.nodes in
       group := Some g;
       let ctx = Group.ds_init g in
-      run_workload oracle ctx (Ssd.page_size fx.nodes.(0).Group.ssd) ops;
+      run_workload
+        ~on_op:(story_hook fx.platform g story)
+        oracle ctx
+        (Ssd.page_size fx.nodes.(0).Group.ssd)
+        ops;
+      Group.resync_join g;
       Group.stop g;
       finished := true);
   (try Sim.run fx.sim with Explorer.Crash_point _ -> ());
@@ -258,7 +318,7 @@ let crash_run (cfg : Config.t) ~mode ~link ~target ops ~k ~spec =
                          (Printexc.to_string e));
                   ]
         in
-        check_node "failover" 1;
+        if !ready then check_node "failover" 1;
         check_node "primary" 0);
     (try Sim.run fx.sim
      with e ->
@@ -273,8 +333,8 @@ let default_subset_seeds = [ 11; 23 ]
 
 let sweep ?obs ?(subset_seeds = default_subset_seeds) ?(stride = 1)
     ?(progress = fun ~done_:_ ~total:_ -> ()) ?(mode = Repl.Ack_all)
-    ?(link_latency_ns = 1_000) ?(target_node = 1) ~seed ~n_ops
-    (cfg : Config.t) =
+    ?(link_latency_ns = 1_000) ?(story = Steady) ?(target_node = 1) ~seed
+    ~n_ops (cfg : Config.t) =
   if stride < 1 then invalid_arg "Pair_explorer.sweep: stride < 1";
   if target_node < 0 || target_node > 1 then
     invalid_arg "Pair_explorer.sweep: target_node must be 0 or 1";
@@ -282,10 +342,21 @@ let sweep ?obs ?(subset_seeds = default_subset_seeds) ?(stride = 1)
     invalid_arg
       "Pair_explorer.sweep: Async promises nothing about the backup; sweep \
        Ack_one or Ack_all";
+  (match story with
+  | Steady -> ()
+  | Resync { kill_at; resync_at; join_at } ->
+      if
+        not
+          (0 < kill_at && kill_at < resync_at && resync_at < join_at
+         && join_at < n_ops)
+      then
+        invalid_arg
+          "Pair_explorer.sweep: Resync story needs 0 < kill_at < resync_at < \
+           join_at < n_ops");
   let link = link_config link_latency_ns in
   let ops = Gen.generate ~seed ~n:n_ops in
   let init_events, total_events, baseline_failure =
-    count_events cfg ~mode ~link ~target:target_node ops
+    count_events cfg ~mode ~link ~story ~target:target_node ops
   in
   let points = ref [] in
   let k = ref (init_events + 1) in
@@ -308,9 +379,10 @@ let sweep ?obs ?(subset_seeds = default_subset_seeds) ?(stride = 1)
   let bump = function Some c -> Metrics.incr c | None -> () in
   note
     (Printf.sprintf
-       "check: pair sweep seed=%d ops=%d mode=%s target=%d events=%d points=%d"
-       seed n_ops (Repl.durability_name mode) target_node total_events
-       (List.length points));
+       "check: pair sweep seed=%d ops=%d mode=%s story=%s target=%d events=%d \
+        points=%d"
+       seed n_ops (Repl.durability_name mode) (story_label story) target_node
+       total_events (List.length points));
   let runs = ref 0 in
   let mid_ckpt_points = ref 0 in
   let violations =
@@ -339,7 +411,7 @@ let sweep ?obs ?(subset_seeds = default_subset_seeds) ?(stride = 1)
           incr runs;
           bump c_runs;
           let mid, bad =
-            crash_run cfg ~mode ~link ~target:target_node ops ~k ~spec
+            crash_run cfg ~mode ~link ~story ~target:target_node ops ~k ~spec
           in
           if mid then mid_at_k := true;
           List.iter
@@ -368,6 +440,7 @@ let sweep ?obs ?(subset_seeds = default_subset_seeds) ?(stride = 1)
     seed;
     n_ops;
     mode;
+    story;
     target_node;
     total_events;
     init_events;
@@ -383,6 +456,7 @@ let report_json r =
       ("seed", Json.Int r.seed);
       ("ops", Json.Int r.n_ops);
       ("mode", Json.String (Repl.durability_name r.mode));
+      ("story", Json.String (story_label r.story));
       ("target_node", Json.Int r.target_node);
       ("total_events", Json.Int r.total_events);
       ("init_events", Json.Int r.init_events);

@@ -26,10 +26,31 @@
 
 open Dstore_core
 
+type story =
+  | Steady  (** Plain workload — the original sweep. *)
+  | Resync of { kill_at : int; resync_at : int; join_at : int }
+      (** Failure/catch-up drill driven by op index: at [kill_at] the
+          backup is killed (PMEM power-failed) and detached; at
+          [resync_at] a snapshot re-sync starts on a spawned fiber
+          while the foreground ops keep committing — those ops are the
+          transfer-window suffix the protocol must replay, and where
+          [Config.Skip_resync_journal_replay] silently drops data; at
+          [join_at] the workload blocks until the transfer lands, then
+          keeps writing against the rejoined backup (with a small
+          settle gap per op so its slot can flip [Live] and the sweep
+          samples crash points against the promoted-state oracle
+          again). Under this story the failover check of each crash
+          point is gated on {!Dstore_repl.Group.backup_ready} sampled
+          at the crash instant: node 1 is held to the oracle only when
+          a real deployment would promote it. *)
+
+val story_label : story -> string
+
 type report = {
   seed : int;
   n_ops : int;
   mode : Dstore_repl.Repl.durability;
+  story : story;
   target_node : int;  (** 0 = primary's PMEM swept, 1 = backup's. *)
   total_events : int;
   init_events : int;
@@ -46,6 +67,7 @@ val sweep :
   ?progress:(done_:int -> total:int -> unit) ->
   ?mode:Dstore_repl.Repl.durability ->
   ?link_latency_ns:int ->
+  ?story:story ->
   ?target_node:int ->
   seed:int ->
   n_ops:int ->
@@ -57,7 +79,11 @@ val sweep :
     subset seed with per-node derived [Random] modes. [mode] defaults to
     [Ack_all]; [Async] raises [Invalid_argument] (its acked ops are
     allowed to die with the primary, so the failover check would flag
-    false positives). [cfg] configures both engines — a
-    [Skip_replica_ack_fence] fault in it is honored by the backup. *)
+    false positives). [story] (default [Steady]) overlays the
+    kill/re-sync drill; a [Resync] story requires
+    [0 < kill_at < resync_at < join_at < n_ops]. [cfg] configures both
+    engines — a [Skip_replica_ack_fence] or
+    [Skip_resync_journal_replay] fault in it is honored by the
+    backup. *)
 
 val report_json : report -> Dstore_obs.Json.t

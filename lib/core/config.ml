@@ -98,6 +98,16 @@ type fault =
           overwrite or delete can return the {e old} bytes — the
           stale-read bug the live-read coherence check must catch.
           Volatile only: crash recovery is unaffected by construction. *)
+  | Skip_resync_journal_replay
+      (** Replica catch-up mutation (honored by [Dstore_repl.Group], not
+          the engine): a re-syncing laggard installs the streamed
+          checkpoint snapshot but {e drops the journal suffix} — the
+          entries shipped between the snapshot cut and the moment its
+          slot re-attached are marked applied without being executed.
+          Ops acknowledged during the transfer window silently vanish
+          from the rejoined backup, so promoting it later serves a state
+          that is not the acked prefix — the divergence the pair sweep's
+          byte-identity oracle must catch. *)
 
 type t = {
   checkpoint : checkpoint_mode;
@@ -126,6 +136,25 @@ type t = {
           volatile (never persisted, cold after recovery) and only
           engaged under [Logical] logging, where the write pipeline's
           reader fencing makes invalidation race-free. *)
+  repl_ship_ops : int;
+      (** Replication ship-batch op budget: the primary coalesces up to
+          this many consecutive committed entries into one multi-entry
+          ship message before forcing a flush. 1 = one message per entry
+          (the PR 7 behavior, the serial ablation baseline). *)
+  repl_ship_bytes : int;
+      (** Replication ship-batch byte budget: a staged batch is flushed
+          as soon as its serialized payload reaches this size, whatever
+          its op count. *)
+  repl_ship_linger_ns : int;
+      (** How long the first staged entry may wait for co-travellers
+          before the batch is flushed anyway. 0 = flush on every entry
+          (batching off, whatever the budgets say). *)
+  repl_apply_depth : int;
+      (** Backup apply-queue bound, in entries: the receive loop drains
+          the data link into a queue of at most this depth (then
+          backpressures into the link), decoupling receive from apply so
+          shipped spans re-execute through the group-commit path while
+          later messages are still in flight. *)
   costs : costs;
   obs_enabled : bool;
       (** Observability opt-out: when false the store's metrics registry
@@ -154,6 +183,10 @@ let default =
     readcount_buckets = 65536;
     batch = 1;
     cache_bytes = 0;
+    repl_ship_ops = 32;
+    repl_ship_bytes = 256 * 1024;
+    repl_ship_linger_ns = 5_000;
+    repl_apply_depth = 256;
     costs = default_costs;
     obs_enabled = true;
     trace_capacity = 4096;

@@ -1446,6 +1446,56 @@ let log_fill t =
 let checkpoints_quiesced t =
   Platform.with_lock t.lock (fun () -> not (t.ckpt_needed || t.ckpt_running))
 
+(* --- snapshot image transfer (replica catch-up) --------------------------- *)
+
+(* The published space half doubles as the node's checkpoint-consistent
+   transfer image: after [checkpoint_now] under a write barrier it holds
+   the entire committed history, so a laggard that installs these bytes
+   plus the journal suffix converges to byte identity. The capture copies
+   to DRAM immediately (the half is recycled by the next checkpoint). *)
+let capture_image t =
+  let src = Space.attach (space_mem t t.current_space) in
+  let used = Space.used_bytes src in
+  Pmem.bulk_read_cost t.pm used;
+  let buf = Bytes.create used in
+  Pmem.blit_to_bytes t.pm ~src:t.lay.space_off.(t.current_space) buf ~dst:0
+    ~len:used;
+  buf
+
+(* Overwrite a (possibly stale, possibly uninitialized) device with a
+   captured image, leaving it exactly as a freshly-recovered store:
+   image in half 0, both logs empty, root pointing at them. Ordering is
+   the crash-safety story: the root magic is zeroed first, so a crash
+   anywhere mid-install leaves a device that [Root.attach] refuses —
+   visibly non-promotable rather than half-old, half-new. [Root.init]
+   lands last and completes the install atomically. *)
+let install_image pm (cfg : Config.t) ~image =
+  let lay = layout_of cfg in
+  if Pmem.size pm < lay.total then
+    invalid_arg
+      (Printf.sprintf "Dipper.install_image: device too small (%d < %d)"
+         (Pmem.size pm) lay.total);
+  let len = Bytes.length image in
+  if len > lay.space_bytes then
+    invalid_arg "Dipper.install_image: image larger than a space half";
+  Root.invalidate pm ~off:0;
+  Pmem.blit_from_bytes pm image ~src:0 ~dst:lay.space_off.(0) ~len;
+  Pmem.persist pm lay.space_off.(0) len;
+  let logs =
+    Array.map (fun off -> Oplog.attach pm ~off ~slots:cfg.log_slots) lay.log_off
+  in
+  Oplog.reset logs.(0) ~lsn_base:1;
+  Oplog.reset logs.(1) ~lsn_base:(1 + cfg.log_slots);
+  ignore
+    (Root.init pm ~off:0
+       {
+         Root.current_space = 0;
+         active_log = 0;
+         ckpt_in_progress = false;
+         ckpt_archived_log = 0;
+         last_applied_lsn = 0;
+       })
+
 (* --- footprint ------------------------------------------------------------ *)
 
 let pmem_footprint t =

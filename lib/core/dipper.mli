@@ -282,6 +282,23 @@ val log_fill : t -> float
     the quantity the checkpoint trigger thresholds on ([Config.t]'s
     [checkpoint_threshold]); surfaced for status displays. *)
 
+(** {1 Snapshot image transfer (replica catch-up)} *)
+
+val capture_image : t -> Bytes.t
+(** Copy the published space half's used prefix to DRAM (bulk read cost
+    charged). Meaningful only while the engine is write-quiesced right
+    after a {!checkpoint_now} — the image is then checkpoint-consistent
+    and holds the entire committed history. The replication layer streams
+    it to a re-syncing laggard. *)
+
+val install_image : Pmem.t -> Config.t -> image:Bytes.t -> unit
+(** Overwrite [pm] with a captured image, leaving the device exactly as a
+    freshly-recovered store: image in space half 0, both logs empty, root
+    pointing at them ([last_applied_lsn = 0]). Crash-safe by ordering:
+    the root magic is zeroed {e first} and re-created {e last}, so a
+    crash mid-install leaves a visibly uninitialized device rather than a
+    half-old, half-new one. Follow with {!recover}. *)
+
 (** {1 Lifecycle} *)
 
 val stop : t -> unit

@@ -327,6 +327,43 @@ let stop t = Dipper.stop t.engine
 
 let checkpoint_now t = Dipper.checkpoint_now t.engine
 
+(* --- snapshot transfer (replica catch-up) --------------------------------- *)
+
+type snapshot = { snap_space : Bytes.t; snap_ssd : Bytes.t }
+
+let snapshot_bytes s = Bytes.length s.snap_space + Bytes.length s.snap_ssd
+
+(* Whole-device SSD copies in bounded chunks: the device charges per-page
+   service time either way, the chunking just caps the scratch window. *)
+let ssd_chunk_pages = 256
+
+let capture_snapshot t =
+  let snap_space = Dipper.capture_image t.engine in
+  let ps = Ssd.page_size t.ssd in
+  let n = Ssd.pages t.ssd in
+  let snap_ssd = Bytes.create (n * ps) in
+  let p = ref 0 in
+  while !p < n do
+    let c = min ssd_chunk_pages (n - !p) in
+    Ssd.read t.ssd ~page:!p snap_ssd ~off:(!p * ps) ~count:c;
+    p := !p + c
+  done;
+  { snap_space; snap_ssd }
+
+let install_snapshot ?obs platform pm ssd cfg snapshot =
+  Dipper.install_image pm cfg ~image:snapshot.snap_space;
+  let ps = Ssd.page_size ssd in
+  let n = Ssd.pages ssd in
+  if Bytes.length snapshot.snap_ssd <> n * ps then
+    invalid_arg "Dstore.install_snapshot: SSD geometry mismatch";
+  let p = ref 0 in
+  while !p < n do
+    let c = min ssd_chunk_pages (n - !p) in
+    Ssd.write ssd ~page:!p snapshot.snap_ssd ~off:(!p * ps) ~count:c;
+    p := !p + c
+  done;
+  recover ?obs platform pm ssd cfg
+
 let next_ctx_id = Atomic.make 1
 
 let ds_init t = { store = t; id = Atomic.fetch_and_add next_ctx_id 1; live = true }

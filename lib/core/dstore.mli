@@ -56,6 +56,41 @@ val stop : t -> unit
 (** Stop background machinery. No final checkpoint: recovery replays the
     active log, as in the paper's clean-shutdown measurement. *)
 
+(** {1 Snapshot transfer (replica catch-up)}
+
+    A checkpoint-consistent image of the whole store, built from the
+    published PMEM half (see {!Dipper.capture_image}) plus the data
+    device, used by the replication layer to stream a re-syncing laggard
+    back to currency: install the snapshot, then replay the journal
+    suffix shipped after the snapshot cut. *)
+
+type snapshot = {
+  snap_space : Bytes.t;  (** Published space half, used prefix. *)
+  snap_ssd : Bytes.t;  (** Whole data device. *)
+}
+
+val snapshot_bytes : snapshot -> int
+(** Transfer size: what the streaming link should charge for. *)
+
+val capture_snapshot : t -> snapshot
+(** Copy the published half and the SSD to DRAM (device read costs
+    charged). Only meaningful while the store is write-quiesced right
+    after a {!checkpoint_now} — the replication primary provides that
+    barrier. *)
+
+val install_snapshot :
+  ?obs:Dstore_obs.Obs.t ->
+  Platform.t ->
+  Pmem.t ->
+  Ssd.t ->
+  Config.t ->
+  snapshot ->
+  t
+(** Overwrite both devices with the snapshot and recover a store from
+    them. Crash-safe: the PMEM root is invalidated first and re-created
+    last ({!Dipper.install_image}), so a crash mid-install leaves a
+    visibly uninitialized node. *)
+
 val ds_init : t -> ctx
 (** Per-thread request context (Table 2: [ds_init]). *)
 

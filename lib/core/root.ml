@@ -57,6 +57,10 @@ let init pm ~off state =
 
 let is_initialized pm ~off = Pmem.get_u64 pm off = magic
 
+let invalidate pm ~off =
+  Pmem.set_u64 pm off 0;
+  Pmem.persist pm off 16
+
 let attach pm ~off =
   if not (is_initialized pm ~off) then
     invalid_arg "Root.attach: no initialized root object";

@@ -34,6 +34,14 @@ val attach : Pmem.t -> off:int -> t
 
 val is_initialized : Pmem.t -> off:int -> bool
 
+val invalidate : Pmem.t -> off:int -> unit
+(** Zero the magic word (persisted): the device no longer carries an
+    initialized root, so [attach] and recovery refuse it. Used while a
+    streamed snapshot is being installed over the device — a crash
+    mid-install must leave the node visibly non-promotable rather than
+    half-old, half-new. [init] re-creates the root last, completing the
+    install atomically. *)
+
 val read : t -> state
 
 val publish : t -> state -> unit

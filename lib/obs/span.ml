@@ -35,8 +35,9 @@ type cause =
   | Ssd_queue  (* SSD channel queueing *)
   | Repl_wait  (* replication: waiting for backup span acks *)
   | Txn_retry  (* OCC transaction: aborted attempt + backoff before retry *)
+  | Repl_apply  (* backup: shipped entry queued behind the apply pipeline *)
 
-let n_causes = 7
+let n_causes = 8
 
 let cause_index = function
   | Ckpt_interference -> 0
@@ -46,11 +47,12 @@ let cause_index = function
   | Ssd_queue -> 4
   | Repl_wait -> 5
   | Txn_retry -> 6
+  | Repl_apply -> 7
 
 let cause_names =
   [|
     "ckpt_interference"; "log_full"; "conflict_retry"; "batch_wait";
-    "ssd_queue"; "repl_wait"; "txn_retry";
+    "ssd_queue"; "repl_wait"; "txn_retry"; "repl_apply";
   |]
 
 let cause_label i = cause_names.(i)

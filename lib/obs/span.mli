@@ -24,6 +24,10 @@ type cause =
   | Ssd_queue  (** SSD channel queueing. *)
   | Repl_wait  (** Replication: waiting for backup span acks. *)
   | Txn_retry  (** OCC transaction: aborted attempt + backoff before retry. *)
+  | Repl_apply
+      (** Backup apply pipeline: time a shipped entry spent queued
+          between receipt and its re-execution through the group-commit
+          path. Booked on the {e backup}'s recorder. *)
 
 val n_causes : int
 val cause_index : cause -> int

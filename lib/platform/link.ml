@@ -34,6 +34,7 @@ type 'a t = {
   mutable in_flight : int;
   mutable closed : bool;
   mutable sent : int;
+  mutable sent_bytes : int;
   mutable delivered : int;
   mutable dropped : int;
 }
@@ -52,6 +53,7 @@ let create p cfg =
     in_flight = 0;
     closed = false;
     sent = 0;
+    sent_bytes = 0;
     delivered = 0;
     dropped = 0;
   }
@@ -65,6 +67,7 @@ let send t ?(bytes = 64) msg =
     Platform.with_lock t.lock (fun () ->
         if t.closed then raise Closed;
         t.sent <- t.sent + 1;
+        t.sent_bytes <- t.sent_bytes + bytes;
         let jitter =
           if t.cfg.jitter_ns > 0 then Rng.int t.rng (t.cfg.jitter_ns + 1) else 0
         in
@@ -132,5 +135,6 @@ let pending t =
   Platform.with_lock t.lock (fun () -> t.in_flight + Queue.length t.ready)
 
 let sent t = t.sent
+let sent_bytes t = t.sent_bytes
 let delivered t = t.delivered
 let dropped t = t.dropped

@@ -56,6 +56,10 @@ val pending : 'a t -> int
 
 val sent : 'a t -> int
 
+val sent_bytes : 'a t -> int
+(** Cumulative serialized payload accepted by [send] (dropped messages
+    included — they consumed the wire). *)
+
 val delivered : 'a t -> int
 (** Messages handed to [recv]/[try_recv]. *)
 

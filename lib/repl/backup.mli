@@ -1,6 +1,25 @@
 (** Backup engine: a full [Dstore.t] on its own devices that receives
     shipped spans, re-executes them through the Table 2 API (durable on
-    return: append-and-persist), and acks each applied entry.
+    return: append-and-persist), and acks what it has applied.
+
+    {b Pipelined apply} (PR: pipelined replication): receive and apply
+    are decoupled. The receive loop drains the data link into a bounded
+    queue ([Config.repl_apply_depth] entries; when full it stops
+    receiving, backpressuring into the link), and a separate apply loop
+    drains the queue in chunks of up to [Config.repl_ship_ops] entries,
+    re-executing each chunk through the {e group-commit} path: runs of
+    puts / deletes / shipped group commits coalesce into one
+    [Dstore.obatch] call (safe — batched and unbatched execution are
+    byte-identical by construction), while creates and ranged writes
+    break the run and replay individually. One ack covers the chunk:
+    the highest applied rseq, which the primary's monotone per-slot
+    watermark expands to every entry at or below it.
+
+    Time an entry spends queued between receipt and re-execution is
+    booked as [Span.Repl_apply] blame on this store's recorder, and the
+    pipeline exports [repl.apply_queue] / [repl.apply_depth] /
+    [repl.apply_batches] / [repl.apply_entries] / [repl.apply_drain_ns]
+    on its registry.
 
     Epoch fence: a ship whose epoch is older than the backup's is
     rejected with a negative ack carrying the backup's epoch — this is
@@ -8,8 +27,8 @@
     failover. A ship with a {e newer} epoch is adopted (the backup
     learns of its new primary from the stream itself).
 
-    [Config.Skip_replica_ack_fence] on the backup's config inverts the
-    apply/ack order — the ack leaves before the span is applied and
+    [Config.Skip_replica_ack_fence] on the backup's config moves the
+    ack to {e enqueue} time — it leaves before the entry is applied and
     persisted — which is exactly the protocol bug the pair explorer's
     selftest must catch. *)
 
@@ -20,25 +39,36 @@ type t
 
 val create :
   Platform.t ->
+  ?applied0:int ->
   data:Repl.ship_msg Link.t ->
   ack:Repl.ack_msg Link.t ->
   epoch:int ->
   Dstore.t ->
   t
-(** Wrap a (fresh or recovered) store as a backup. Call {!start} to
-    spawn the receive loop. *)
+(** Wrap a (fresh or recovered) store as a backup. [applied0] (default
+    0) seeds the applied-rseq watermark — a re-synced laggard passes
+    the snapshot's watermark so the shipped suffix starts exactly after
+    it. Call {!start} to spawn the loops. *)
 
 val reattach :
   t -> data:Repl.ship_msg Link.t -> ack:Repl.ack_msg Link.t -> epoch:int -> t
 (** After failover: rebind a surviving backup to a new primary's links
-    under the new epoch, keeping its store and applied watermark. Call
-    {!start} on the result. *)
+    under the new epoch, keeping its store and applied watermark (the
+    apply queue starts empty — the new primary reships everything above
+    the watermark). Call {!start} on the result. *)
 
 val start : t -> unit
-(** Spawn the receive loop (exits when the data link closes). *)
+(** Spawn the receive and apply loops (both exit when the data link
+    closes and the queue drains, or on {!stop}). *)
+
+val drain : t -> unit
+(** Block until everything already received has been applied (queue
+    empty, no chunk mid-execution). Failover uses this to stabilize the
+    applied watermark before comparing survivors. *)
 
 val stop : t -> unit
-(** Close both links (receive loop exits) and stop the store. *)
+(** Close both links, wake and retire both loops, stop the store.
+    Entries still queued are dropped — they were never acked. *)
 
 val store : t -> Dstore.t
 

@@ -21,9 +21,14 @@ type t = {
   mutable prim : Primary.t;  (* stale (fenced) handle after a kill *)
   mutable alive : bool;
   mutable atts : (int * Backup.t) list;  (* attached backups *)
+  mutable detached : int list;  (* ex-backups awaiting re-sync *)
   mutable generation : int;  (* bumps on promote; ctxs re-bind *)
   mutable link_seq : int;  (* distinct deterministic link seeds *)
   mutable journal_acc : Repl.entry list;  (* shipped under past epochs *)
+  (* background re-sync bookkeeping ({!resync_start}/{!resync_join}) *)
+  rs_lock : Platform.mutex;
+  rs_cond : Platform.cond;
+  mutable rs_active : int;
 }
 
 type ctx = { g : t; mutable gen : int; mutable c : Dstore.ctx }
@@ -72,9 +77,13 @@ let create ?(mode = Repl.Ack_all) ?(link = Link.default_config) ?bcfg
     prim;
     alive = true;
     atts = List.rev !atts;
+    detached = [];
     generation = 0;
     link_seq = !link_seq;
     journal_acc = [];
+    rs_lock = platform.Platform.new_mutex ();
+    rs_cond = platform.Platform.new_cond ();
+    rs_active = 0;
   }
 
 let ds_init g = { g; gen = g.generation; c = Dstore.ds_init g.gstore }
@@ -151,6 +160,7 @@ let store g = g.gstore
 let obs g = Dstore.obs g.gstore
 let primary g = g.prim
 let backups g = g.atts
+let detached g = g.detached
 let epoch g = g.gepoch
 let primary_index g = g.pidx
 let primary_alive g = g.alive
@@ -176,6 +186,112 @@ let kill_primary ?(crash = false) g =
     if crash then Pmem.crash g.nodes.(g.pidx).pm Pmem.Drop_all
   end
 
+let kill_backup ?(crash = false) g node =
+  match List.find_opt (fun (j, _) -> j = node) g.atts with
+  | None -> invalid_arg "Group.kill_backup: not an attached backup"
+  | Some (_, b) ->
+      Backup.stop b;
+      if crash then Pmem.crash g.nodes.(node).pm Pmem.Drop_all;
+      if g.alive then Primary.detach_slot g.prim node;
+      g.atts <- List.filter (fun (j, _) -> j <> node) g.atts;
+      if not (List.mem node g.detached) then g.detached <- node :: g.detached
+
+(* --- laggard catch-up ----------------------------------------------------- *)
+
+(* Stream a checkpoint-consistent snapshot to [node] and re-attach it.
+
+   The snapshot cut runs under the primary's write barrier
+   ({!Primary.begin_snapshot}): in-flight ops drain, the staged ship
+   batch flushes, a checkpoint folds the whole committed history into
+   the published half, and the image (published prefix + data device) is
+   captured to DRAM. The laggard's fresh slot is attached — [Syncing],
+   [acked0] = the snapshot's rseq watermark — {e before} the barrier
+   lifts, so every entry shipped afterwards has rseq > the watermark and
+   queues on the new slot's FIFO link. The journal suffix the laggard
+   replays is therefore exactly [snap_rseq + 1 ..]: nothing doubled,
+   nothing dropped.
+
+   Only the cut blocks writers. The transfer itself — the expensive part
+   — runs after [end_snapshot] with the write path open: its time is
+   modeled by shipping [snapshot_bytes] over a fresh link and blocking
+   this caller (not the group) on the delivery.
+
+   [Config.Skip_resync_journal_replay] on [bcfg] plants the protocol bug
+   this dance exists to avoid: the rejoined backup's applied watermark is
+   seeded with the rseq current {e after} the transfer, so the suffix
+   shipped during the transfer window is skipped as already-applied —
+   acked ops silently vanish from the rejoined backup, which the pair
+   sweep's byte-identity oracle must catch. *)
+let do_resync g node =
+  check_alive g;
+  if node = g.pidx then invalid_arg "Group.resync: node is the primary";
+  if List.exists (fun (j, _) -> j = node) g.atts then
+    invalid_arg "Group.resync: backup already attached";
+  if node < 0 || node >= Array.length g.nodes then
+    invalid_arg "Group.resync: no such node";
+  let prim = g.prim in
+  Primary.begin_snapshot prim;
+  let snap, snap_rseq, data, ack =
+    match
+      Dstore.checkpoint_now g.gstore;
+      let snap = Dstore.capture_snapshot g.gstore in
+      let snap_rseq = Primary.rseq prim in
+      let data = fresh_link g in
+      let ack = fresh_link g in
+      Primary.attach_slot prim ~node ~data ~ack ~acked0:snap_rseq
+        ~syncing:true;
+      (snap, snap_rseq, data, ack)
+    with
+    | r ->
+        Primary.end_snapshot prim;
+        r
+    | exception e ->
+        Primary.end_snapshot prim;
+        raise e
+  in
+  (* Model the bulk transfer: one message of the image's size over a
+     fresh link — the sender does not block, this caller waits out the
+     latency + serialization delay. *)
+  let bulk = fresh_link g in
+  Link.send bulk ~bytes:(Dstore.snapshot_bytes snap) ();
+  Link.recv bulk;
+  Link.close bulk;
+  let nd = g.nodes.(node) in
+  let bstore = Dstore.install_snapshot g.platform nd.pm nd.ssd g.bcfg snap in
+  let applied0 =
+    if g.bcfg.Config.fault = Config.Skip_resync_journal_replay then
+      (* Protocol mutation: seed the watermark with the rseq current
+         after the transfer — the suffix shipped meanwhile is dropped. *)
+      Primary.rseq prim
+    else snap_rseq
+  in
+  let b = Backup.create g.platform ~applied0 ~data ~ack ~epoch:g.gepoch bstore in
+  Backup.start b;
+  g.atts <- g.atts @ [ (node, b) ];
+  g.detached <- List.filter (fun j -> j <> node) g.detached
+
+let resync g node = do_resync g node
+
+let resync_start g node =
+  Platform.with_lock g.rs_lock (fun () -> g.rs_active <- g.rs_active + 1);
+  g.platform.Platform.spawn "repl.resync" (fun () ->
+      Fun.protect
+        ~finally:(fun () ->
+          Platform.with_lock g.rs_lock (fun () ->
+              g.rs_active <- g.rs_active - 1;
+              g.rs_cond.Platform.broadcast ()))
+        (fun () -> do_resync g node))
+
+let resync_join g =
+  Platform.with_lock g.rs_lock (fun () ->
+      while g.rs_active > 0 do
+        g.rs_cond.Platform.wait g.rs_lock
+      done)
+
+let backup_ready g node =
+  List.exists (fun (j, _) -> j = node) g.atts
+  && (not g.alive || Primary.slot_state g.prim node = Some Primary.Live)
+
 let promote ?index g =
   (* Validate before sealing: a promote that cannot succeed must not
      take down a live primary. *)
@@ -185,6 +301,10 @@ let promote ?index g =
       invalid_arg "Group.promote: not an attached backup"
   | _ -> ());
   seal g;
+  (* Pipelined apply: entries already received may still sit in apply
+     queues. Drain them so the applied watermarks are final before they
+     are compared. *)
+  List.iter (fun (_, b) -> Backup.drain b) g.atts;
   match g.atts with
   | [] -> invalid_arg "Group.promote: no attached backup"
   | bs ->
@@ -210,12 +330,14 @@ let promote ?index g =
       let store = Dstore.recover g.platform nd.pm nd.ssd g.cfg in
       let base = Backup.applied_rseq chosen in
       let keep = List.filter (fun (j, _) -> j <> idx) bs in
-      let attach, detach =
+      let attach, laggards =
         List.partition (fun (_, b) -> Backup.applied_rseq b = base) keep
       in
-      (* Laggards would need entries only the old primary had; without a
-         re-sync protocol they are detached rather than left diverged. *)
-      List.iter (fun (_, b) -> Backup.stop b) detach;
+      (* Laggards miss entries only the old primary had: they leave the
+         group for the moment and rejoin through the re-sync stream once
+         the new primary serves. *)
+      List.iter (fun (j, b) -> Backup.stop b; g.detached <- j :: g.detached)
+        laggards;
       let rebound =
         List.map
           (fun (j, b) ->
@@ -234,7 +356,11 @@ let promote ?index g =
           ~journal:g.journal_on store
           (Array.of_list (List.map fst rebound));
       g.alive <- true;
-      g.generation <- g.generation + 1
+      g.generation <- g.generation + 1;
+      (* Catch the laggards back up: the new primary streams each a
+         snapshot and re-attaches it (synchronously — promote returns
+         with every surviving node either live or syncing its suffix). *)
+      List.iter (fun (j, _) -> do_resync g j) laggards
 
 let quiesce g = if g.alive && g.atts <> [] then Primary.quiesce g.prim
 
@@ -245,6 +371,7 @@ let stop g =
 
 type backup_line = {
   node : int;
+  state : Primary.slot_state;
   shipped : int;
   acked : int;
   acked_lsn : int;
@@ -282,6 +409,7 @@ let status g =
         (fun (b : Primary.backup_status) ->
           {
             node = b.Primary.b_node;
+            state = b.Primary.b_state;
             shipped = b.Primary.b_shipped;
             acked = b.Primary.b_acked;
             acked_lsn = b.Primary.b_acked_lsn;

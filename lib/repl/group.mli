@@ -1,21 +1,25 @@
 (** Replicated DStore: a primary plus one or more backups behind the
-    Table 2 API, with epoch-based failover.
+    Table 2 API, with epoch-based failover and laggard catch-up.
 
     A {e pair} (one backup) is the common deployment; [Group]
     generalizes to N backups with the same protocol. Node 0 starts as
     primary; each backup runs a full engine on its own devices and
-    receives the primary's shipped spans over a simulated {!Link}.
+    receives the primary's shipped spans — coalesced into multi-entry
+    messages and re-executed through the backup's group-commit path
+    (see {!Primary} and {!Backup}) — over simulated {!Link}s.
 
     Failover: {!promote} seals the current epoch (fencing the old
-    primary if it is still alive), picks the backup with the highest
-    applied watermark (or the given index), replays its log via the
-    {e existing recovery path} ([Dstore.recover]), and serves under
-    epoch+1. Remaining backups that are exactly caught up with the
-    promoted node are re-attached under the new epoch; laggards are
-    detached (re-sync is out of scope — see DESIGN.md). A fenced old
-    primary rejects post-seal appends with {!Primary.Fenced}, and a
-    primary that missed the seal self-fences on the first stale-epoch
-    reject from a promoted backup. *)
+    primary if it is still alive), drains the survivors' apply queues,
+    picks the backup with the highest applied watermark (or the given
+    index), replays its log via the {e existing recovery path}
+    ([Dstore.recover]), and serves under epoch+1. Survivors exactly
+    caught up with the promoted node are re-attached under the new
+    epoch; laggards are {e re-synced}: the new primary streams each a
+    checkpoint-consistent snapshot and re-attaches it ({!resync}),
+    converging to byte identity instead of permanently detaching. A
+    fenced old primary rejects post-seal appends with
+    {!Primary.Fenced}, and a primary that missed the seal self-fences
+    on the first stale-epoch reject from a promoted backup. *)
 
 open Dstore_platform
 open Dstore_pmem
@@ -42,8 +46,9 @@ val create :
   t
 (** Format all nodes fresh; node 0 serves. [bcfg] overrides the backup
     engines' config (defaults to the primary's — this is where
-    [Skip_replica_ack_fence] goes); [obs] is handed to the primary
-    store. Defaults: [Ack_all], {!Link.default_config}. *)
+    [Skip_replica_ack_fence] and [Skip_resync_journal_replay] go);
+    [obs] is handed to the primary store. Defaults: [Ack_all],
+    {!Link.default_config}. *)
 
 val ds_init : t -> ctx
 val ds_finalize : ctx -> unit
@@ -83,6 +88,10 @@ val primary : t -> Primary.t
 val backups : t -> (int * Backup.t) list
 (** (node index, backup) for each attached backup. *)
 
+val detached : t -> int list
+(** Nodes that lost their attachment (killed backups, failover
+    laggards) and have not been re-synced yet. *)
+
 val epoch : t -> int
 val primary_index : t -> int
 val primary_alive : t -> bool
@@ -93,10 +102,47 @@ val kill_primary : ?crash:bool -> t -> unit
     PMEM, dropping unflushed lines) and close its links. Ops raise
     {!Primary.Fenced} until {!promote}. *)
 
+val kill_backup : ?crash:bool -> t -> int -> unit
+(** Backup-loss drill: stop the node's backup (with [crash], power-fail
+    its PMEM), mark its replication slot [Dead] — it stops gating the
+    quorum — and move it to {!detached}. Raises [Invalid_argument] if
+    the node is not an attached backup. *)
+
 val promote : ?index:int -> t -> unit
-(** Seal the epoch and fail over (see module doc). Raises
+(** Seal the epoch and fail over (see module doc). Survivor laggards
+    are re-synced from the new primary before [promote] returns. Raises
     [Invalid_argument] with no attached backup, or if [index] names a
     node that is not an attached backup. *)
+
+(** {1 Laggard catch-up} *)
+
+val resync : t -> int -> unit
+(** Stream a checkpoint-consistent snapshot to a detached node and
+    re-attach it. The cut runs under the primary's write barrier: ops
+    drain, the store checkpoints, the image (published PMEM half + data
+    device) is captured, and the node's fresh slot attaches [Syncing]
+    with the snapshot's rseq watermark — all before the barrier lifts,
+    so the shipped suffix the rejoined backup replays is exactly
+    [watermark + 1 ..]. Only the cut blocks writers; the transfer
+    itself runs with the write path open and blocks {e this caller}
+    for the modeled link time. The slot flips [Live] (and starts gating
+    durability) once the rejoined backup has acked everything shipped.
+    Raises [Invalid_argument] if the node is the primary or already
+    attached; {!Primary.Fenced} if the group is dead. *)
+
+val resync_start : t -> int -> unit
+(** {!resync} on a spawned fiber — the foreground workload keeps
+    running during the transfer (this is how the transfer-window fault
+    [Config.Skip_resync_journal_replay] becomes observable). *)
+
+val resync_join : t -> unit
+(** Block until every {!resync_start} has completed. *)
+
+val backup_ready : t -> int -> bool
+(** The node is attached and its slot is [Live]: promoting it now would
+    serve the acked prefix. [false] mid-transfer or mid-install — a
+    crash there must fail over to a different node (or wait), which is
+    exactly what the pair explorer samples at crash time. *)
 
 val quiesce : t -> unit
 (** Block until every attached backup has acked everything shipped
@@ -106,6 +152,7 @@ val stop : t -> unit
 
 type backup_line = {
   node : int;
+  state : Primary.slot_state;
   shipped : int;
   acked : int;
   acked_lsn : int;

@@ -10,14 +10,35 @@
     op's causal span as [Span.Repl_wait] blame, so tail attribution
     explains replication stalls by name.
 
+    {b Batched shipping} (PR: pipelined replication): committed entries
+    are staged in a pending buffer — rseq assigned at staging, so
+    stream order always equals commit order — and flushed as {e one}
+    multi-entry [ship_msg] when an op-count or byte budget fills
+    ([Config.repl_ship_ops] / [repl_ship_bytes]) or when the oldest
+    staged entry has lingered [repl_ship_linger_ns]. An ack covers a
+    whole span: the backup acks the highest rseq it has applied, and
+    the monotone per-slot watermark releases every durability wait at
+    or below it. [repl_ship_linger_ns = 0] or [repl_ship_ops = 1]
+    degenerates to one message per entry (the serial baseline). The
+    fill distribution is exported as the [repl.ship_batch_fill]
+    histogram.
+
+    {b Quorum} ranges over {e live} slots only. A slot is [Live]
+    (ordinary backup), [Syncing] (mid catch-up: receives the stream,
+    does not gate durability until it has acked everything shipped), or
+    [Dead] (link closed or explicitly detached; never counted again).
+    With zero live slots the quorum is vacuously reached — visible as
+    [repl.live_backups] = 0.
+
     Epoch fencing: {!fence} seals the primary — every subsequent call
     (and every in-progress durability wait) raises {!Fenced}. A primary
     that misses the seal fences itself on the first stale-epoch reject
     ack it receives from a promoted backup.
 
     Metrics ([repl.*]) register on the store's registry: epoch, rseq,
-    committed LSN watermark (from the engine's commit hook), ship / ack
-    / reject / wait counters, and the current replication lag. *)
+    committed LSN watermark (from the engine's commit hook), ship /
+    message / byte / ack / reject / wait counters, live-backup count,
+    and the current replication lag over live slots. *)
 
 open Dstore_platform
 open Dstore_core
@@ -28,6 +49,12 @@ exception Fenced
     under the configured quorum. *)
 
 type t
+
+(** Replication slot lifecycle (see the overview above). *)
+type slot_state = Live | Syncing | Dead
+
+val slot_state_name : slot_state -> string
+(** ["live"] / ["syncing"] / ["dead"]. *)
 
 val create :
   Platform.t ->
@@ -43,8 +70,9 @@ val create :
     backup's already-applied rseq (0 for a fresh pair, the applied
     watermark when re-attaching after failover). [rseq_base] continues
     an existing sequence. Installs the engine commit hook and spawns one
-    ack-receiver process per slot. [journal] retains every shipped entry
-    in DRAM (test seam — see {!journal}). *)
+    ack-receiver process per slot. Ship-batching knobs are read from the
+    store's [Config.t]. [journal] retains every shipped entry in DRAM
+    (test seam — see {!journal}). *)
 
 val store : t -> Dstore.t
 val mode : t -> Repl.durability
@@ -80,14 +108,55 @@ val oexists : t -> Dstore.ctx -> string -> bool
 val olock : t -> Dstore.ctx -> string -> unit
 val ounlock : t -> Dstore.ctx -> string -> unit
 
+(** {1 Snapshot barrier & slot management (replica catch-up)}
+
+    The re-sync protocol ([Group.resync]) cuts a checkpoint-consistent
+    snapshot under a write barrier: {!begin_snapshot} blocks new
+    mutators, flushes the staged ship batch, and drains in-flight ops;
+    the caller then checkpoints, captures the transfer image, and
+    attaches the laggard's fresh slot — all before {!end_snapshot}
+    reopens the write path. Attaching {e under} the barrier is what
+    makes the journal suffix exact: everything shipped after the
+    barrier lifts has rseq > the snapshot's watermark and flows down
+    the new slot's FIFO link, so the laggard replays exactly
+    [snapshot_rseq + 1 ..] — nothing doubled, nothing dropped. *)
+
+val begin_snapshot : t -> unit
+(** Close the write barrier: flush staged entries, wait until no
+    mutator is in flight. Raises {!Fenced} on a sealed primary. Only
+    one snapshot may be open at a time (concurrent callers queue). *)
+
+val end_snapshot : t -> unit
+(** Reopen the write path. *)
+
+val attach_slot :
+  t ->
+  node:int ->
+  data:Repl.ship_msg Link.t ->
+  ack:Repl.ack_msg Link.t ->
+  acked0:int ->
+  syncing:bool ->
+  unit
+(** Add a replication slot and spawn its ack receiver. With
+    [syncing:true] the slot starts [Syncing] and flips [Live] on the
+    first ack that covers everything shipped. *)
+
+val detach_slot : t -> int -> unit
+(** Mark the node's slot [Dead] (idempotent): it stops gating quorums
+    and receives no further ships. *)
+
+val slot_state : t -> int -> slot_state option
+(** Current state of the node's slot; [None] if never attached. *)
+
 (** {1 Status} *)
 
 type backup_status = {
   b_node : int;
+  b_state : slot_state;
   b_shipped : int;
   b_acked : int;
   b_acked_lsn : int;
-  b_link_pending : int;  (** Entries in flight + queued on the data link. *)
+  b_link_pending : int;  (** Messages in flight + queued on the data link. *)
 }
 
 type status = {
@@ -102,11 +171,14 @@ type status = {
 val status : t -> status
 
 val quiesce : t -> unit
-(** Block until every backup has acked everything shipped so far (or the
+(** Flush the staged batch, then block until no op is in flight and
+    every non-dead slot has acked everything shipped so far (or the
     primary is fenced). *)
 
 val wait_ns : t -> int
-(** Cumulative durability-wait time (also exported as [repl.wait_ns]). *)
+(** Cumulative durability-wait time, weighted by client ops (an
+    [R_batch] of n books n times its wait — the group-commit
+    convention); also exported as [repl.wait_ns]. *)
 
 val journal : t -> Repl.entry list
 (** Shipped entries in rseq order; empty unless created with

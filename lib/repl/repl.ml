@@ -37,6 +37,8 @@ let rop_bytes = function
           | Dstore.Bdelete k -> String.length k)
         0 ops
 
+let rop_ops = function R_batch ops -> List.length ops | _ -> 1
+
 type entry = { rseq : int; epoch : int; lsn : int; op : rop }
 
 type ship_msg = { s_epoch : int; entries : entry list }

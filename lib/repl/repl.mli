@@ -43,6 +43,11 @@ type rop =
 val rop_bytes : rop -> int
 (** Serialized payload size estimate, for the link bandwidth model. *)
 
+val rop_ops : rop -> int
+(** Client operations the entry represents: batch length for [R_batch],
+    1 otherwise. Weights replication wait accounting the same way
+    [n_ops] weights group-commit spans. *)
+
 type entry = {
   rseq : int;  (** Replication sequence number, in primary commit order. *)
   epoch : int;  (** The primary's epoch when shipped. *)

@@ -305,11 +305,28 @@ let sharded ?(shards = 4) ?(stagger = true) ?label platform scale :
    full-scale devices each, with its own bandwidth domain (replication
    adds hardware, it does not split it). The returned [Group.t] exposes
    status/lag and the failover controls to experiments and the CLI. *)
-let replicated ?(backups = 1) ?mode ?link_latency_ns ?label platform scale :
-    Kv_intf.system * Dstore_repl.Group.t =
+let replicated ?(backups = 1) ?mode ?link_latency_ns ?ship_batch ?apply_depth
+    ?label platform scale : Kv_intf.system * Dstore_repl.Group.t =
   let open Dstore_repl in
   if backups < 1 then invalid_arg "Systems.replicated: backups < 1";
   let cfg = dstore_config scale in
+  let cfg =
+    match ship_batch with
+    | None -> cfg
+    | Some n ->
+        (* ship_batch = 1 is the serial ablation: one message per entry,
+           no linger. *)
+        {
+          cfg with
+          Config.repl_ship_ops = max 1 n;
+          repl_ship_linger_ns = (if n <= 1 then 0 else cfg.Config.repl_ship_linger_ns);
+        }
+  in
+  let cfg =
+    match apply_depth with
+    | None -> cfg
+    | Some d -> { cfg with Config.repl_apply_depth = max 1 d }
+  in
   let nodes =
     Array.init (backups + 1) (fun _ ->
         {

@@ -72,6 +72,8 @@ val replicated :
   ?backups:int ->
   ?mode:Dstore_repl.Repl.durability ->
   ?link_latency_ns:int ->
+  ?ship_batch:int ->
+  ?apply_depth:int ->
   ?label:string ->
   Platform.t -> scale ->
   Kv_intf.system * Dstore_repl.Group.t
@@ -80,7 +82,10 @@ val replicated :
     machine) — behind the uniform interface, plus the group handle for
     replication status and failover control. [mode] defaults to
     [Ack_all]; [link_latency_ns] overrides the one-way link latency of
-    {!Dstore_platform.Link.default_config}. *)
+    {!Dstore_platform.Link.default_config}; [ship_batch] overrides
+    [Config.repl_ship_ops] (1 also zeroes the linger — the serial
+    ablation baseline) and [apply_depth] overrides
+    [Config.repl_apply_depth]. *)
 
 val sharded :
   ?shards:int -> ?stagger:bool -> ?label:string -> Platform.t -> scale ->

@@ -240,6 +240,66 @@ let test_failover_round_trip () =
       Group.stop g);
   Sim.run sim
 
+(* --- Laggard catch-up: resync ships only the post-snapshot suffix ------ *)
+
+(* Kill the backup, commit a "dark window" of ops it never saw, re-sync,
+   then commit a short suffix. The snapshot must carry the dark window
+   (watermark = rseq at the cut), so the rejoined backup re-executes
+   exactly the post-resync ops — a resync that double-shipped the
+   prefix would inflate [repl.apply_entries], and one that skipped the
+   suffix would leave the applied watermark behind. *)
+let test_resync_ships_only_suffix () =
+  let cfg = pair_cfg in
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let nodes = make_nodes p cfg 2 in
+  Sim.spawn sim "t" (fun () ->
+      let g = Group.create ~mode:Repl.Ack_all p cfg nodes in
+      let ctx = Group.ds_init g in
+      for i = 0 to 9 do
+        Group.oput ctx (Printf.sprintf "a%d" i) (Bytes.make 64 'a')
+      done;
+      Group.quiesce g;
+      Group.kill_backup ~crash:true g 1;
+      check (list int) "killed backup is detached" [ 1 ] (Group.detached g);
+      check bool "detached node not promotable" false (Group.backup_ready g 1);
+      for i = 0 to 9 do
+        Group.oput ctx (Printf.sprintf "b%d" i) (Bytes.make 64 'b')
+      done;
+      let snap = (Group.status g).Group.rseq in
+      Group.resync g 1;
+      check (list int) "re-synced node re-attached" [] (Group.detached g);
+      for i = 0 to 4 do
+        Group.oput ctx (Printf.sprintf "c%d" i) (Bytes.make 64 'c')
+      done;
+      Group.quiesce g;
+      let b = List.assoc 1 (Group.backups g) in
+      check int "applied watermark caught up" (snap + 5)
+        (Backup.applied_rseq b);
+      let applied =
+        match
+          Dstore_obs.Metrics.value
+            (Dstore.obs (Backup.store b)).Dstore_obs.Obs.metrics
+            "repl.apply_entries"
+        with
+        | Some n -> n
+        | None -> -1
+      in
+      check int "re-executed entries = post-resync ops only" 5 applied;
+      check bool "slot live again (gates durability, promotable)" true
+        (Group.backup_ready g 1);
+      (* The dark window made it across inside the snapshot. *)
+      Group.kill_primary ~crash:true g;
+      Group.promote g;
+      check (option bytes) "dark-window op served after failover"
+        (Some (Bytes.make 64 'b'))
+        (Group.oget ctx "b7");
+      check (option bytes) "post-resync op served after failover"
+        (Some (Bytes.make 64 'c'))
+        (Group.oget ctx "c3");
+      Group.stop g);
+  Sim.run sim
+
 (* --- Byte identity: promoted backup = replay of the acked prefix ------- *)
 
 (* Oversized log + high threshold: no automatic checkpoint fires on
@@ -337,8 +397,15 @@ let run_promoted ~seed ~n_ops =
   Option.get !result
 
 (* Replay a journal against a fresh single engine via the same
-   [Repl.apply_entry] the backup uses, and publish. *)
-let run_replay journal =
+   [Repl.apply_entry] the backup uses, and publish. [restart_at]
+   replays the discontinuity a resync snapshot bakes into the rejoined
+   backup: the image is the primary's {e published} space at the cut,
+   and the backup opens it through recovery — so its allocator state is
+   whatever recovery rebuilds from the published bytes, not the live
+   state the primary carried across the cut. The reference must do the
+   same (checkpoint, close, recover) at the same rseq for the
+   allocation history (and hence the bytes) to line up. *)
+let run_replay ?restart_at journal =
   let cfg = identity_cfg in
   let sim = Sim.create () in
   let p = Sim_platform.make sim in
@@ -355,9 +422,23 @@ let run_replay journal =
   in
   let result = ref None in
   Sim.spawn sim "w" (fun () ->
-      let st = Dstore.create p pm ssd cfg in
-      let ctx = Dstore.ds_init st in
-      List.iter (fun (e : Repl.entry) -> Repl.apply_entry ctx e.Repl.op) journal;
+      let cut = Option.value restart_at ~default:(-1) in
+      let prefix, suffix =
+        List.partition (fun (e : Repl.entry) -> e.Repl.rseq <= cut) journal
+      in
+      let st0 = Dstore.create p pm ssd cfg in
+      let ctx0 = Dstore.ds_init st0 in
+      List.iter (fun (e : Repl.entry) -> Repl.apply_entry ctx0 e.Repl.op) prefix;
+      let st, ctx =
+        if cut >= 0 then begin
+          Dstore.checkpoint_now st0;
+          Dstore.stop st0;
+          let st = Dstore.recover p pm ssd cfg in
+          (st, Dstore.ds_init st)
+        end
+        else (st0, ctx0)
+      in
+      List.iter (fun (e : Repl.entry) -> Repl.apply_entry ctx e.Repl.op) suffix;
       Dstore.checkpoint_now st;
       let shadow = Dipper.shadow_space (Dstore.engine st) in
       result := Some (Space.mem shadow, Space.used_bytes shadow);
@@ -383,6 +464,67 @@ let prop_promoted_backup_byte_identity =
          prom_used = replay_used
          && Mem.equal_range prom_mem replay_mem ~off:0 ~len:prom_used))
 
+(* Like [run_promoted], but the backup dies at a seed-derived op index
+   and is re-synced (snapshot + journal replay) at a later one before
+   the primary is lost. Returns the snapshot cut's rseq so the replay
+   reference can checkpoint at the same point. *)
+let run_resynced ~seed ~n_ops =
+  let cfg = identity_cfg in
+  let sim = Sim.create () in
+  let p = Sim_platform.make sim in
+  let nodes = make_nodes p cfg 2 in
+  let ops = Gen.generate ~seed ~n:n_ops in
+  let kill_at = 1 + (seed mod (n_ops / 2)) in
+  let resync_at = kill_at + 1 + (seed / 7 mod (n_ops - 2 - kill_at)) in
+  let snap = ref 0 in
+  let result = ref None in
+  Sim.spawn sim "w" (fun () ->
+      let g = Group.create ~mode:Repl.Ack_all ~journal:true p cfg nodes in
+      let ctx = Group.ds_init g in
+      let sizes = Hashtbl.create 16 in
+      List.iteri
+        (fun i op ->
+          if i = kill_at then Group.kill_backup ~crash:true g 1;
+          if i = resync_at then begin
+            snap := (Group.status g).Group.rseq;
+            Group.resync g 1
+          end;
+          drive_group ctx sizes op)
+        ops;
+      Group.quiesce g;
+      let journal = Group.journal g in
+      Group.kill_primary ~crash:true g;
+      Group.promote g;
+      Group.checkpoint_now g;
+      let shadow = Dipper.shadow_space (Dstore.engine (Group.store g)) in
+      result := Some (Space.mem shadow, Space.used_bytes shadow, journal);
+      Group.stop g);
+  Sim.run sim;
+  let mem, used, journal = Option.get !result in
+  (mem, used, journal, !snap)
+
+let prop_resynced_backup_byte_identity =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:
+         "killed + re-synced + promoted backup = replay of acked prefix \
+          (bytes)"
+       ~count:8
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         Seed_report.attempt ~test:"re-synced backup byte identity" ~seed
+           ~repro:
+             (Printf.sprintf
+                "dune exec test/test_main.exe -- test repl  # seed %d" seed)
+         @@ fun () ->
+         let prom_mem, prom_used, journal, snap =
+           run_resynced ~seed ~n_ops:60
+         in
+         if journal = [] then failwith "scenario shipped nothing";
+         let replay_mem, replay_used = run_replay ~restart_at:snap journal in
+         prom_used = replay_used
+         && Mem.equal_range prom_mem replay_mem ~off:0 ~len:prom_used))
+
 let suite =
   [
     test_case "link: FIFO under jitter + bandwidth" `Quick
@@ -395,5 +537,8 @@ let suite =
       test_group_fencing_and_promote;
     test_case "failover: every acked op served after promote" `Quick
       test_failover_round_trip;
+    test_case "resync: snapshot carries the prefix, link ships the suffix"
+      `Quick test_resync_ships_only_suffix;
     prop_promoted_backup_byte_identity;
+    prop_resynced_backup_byte_identity;
   ]
